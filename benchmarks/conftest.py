@@ -1,0 +1,14 @@
+"""Benchmark-suite configuration.
+
+Each benchmark regenerates one paper figure (quick workloads inside the
+timed body) and asserts the headline property of that figure afterwards,
+so `pytest benchmarks/ --benchmark-only` both times the harness and
+re-validates the reproduction.
+"""
+
+import pytest
+
+
+def pytest_collection_modifyitems(items):
+    for item in items:
+        item.add_marker(pytest.mark.benchmark)

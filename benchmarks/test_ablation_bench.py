@@ -1,0 +1,34 @@
+"""Benchmarks: ablation sweeps over the design choices (DESIGN.md §5)."""
+
+import pytest
+
+from repro.experiments.ablations import run_ablation
+
+
+def test_mac_granularity_sweep(benchmark):
+    result = benchmark(run_ablation, "mac-granularity", quick=True)
+    # Coarser MACs monotonically reduce traffic; 512 B captures most of it.
+    traffics = result.column("traffic")
+    assert all(a >= b for a, b in zip(traffics, traffics[1:]))
+    assert result.summary["traffic_64"] > 1.10
+    assert result.summary["traffic_512"] < 1.03
+
+
+def test_cache_size_sweep(benchmark):
+    result = benchmark(run_ablation, "cache-size", quick=True)
+    # Growing the cache barely helps on streaming DNN traffic (§VI-A).
+    assert result.summary["improvement_pct"] < 25.0
+
+
+def test_dram_grade_sweep(benchmark):
+    result = benchmark(run_ablation, "dram-grade", quick=True)
+    for row in result.rows:
+        assert row["MGX_time"] < row["BP_time"]
+
+
+def test_crypto_efficiency_sweep(benchmark):
+    result = benchmark(run_ablation, "crypto-efficiency", quick=True)
+    times = result.column("MGX_time")
+    # Overhead grows as the engine is provisioned further below peak.
+    assert all(a <= b + 1e-9 for a, b in zip(times, times[1:]))
+    assert times[0] < 1.03  # fully provisioned: metadata-only overhead

@@ -1,0 +1,25 @@
+"""Benchmarks: the beyond-the-figures studies (§V-A/B discussion points)."""
+
+from repro.experiments.extras import run_extra
+
+
+def test_spmspv_study(benchmark):
+    result = benchmark(run_extra, "spmspv", quick=True)
+    assert result.summary["max_MGX"] < 1.10
+
+
+def test_sssp_study(benchmark):
+    result = benchmark(run_extra, "sssp", quick=True)
+    for row in result.rows:
+        assert row["MGX"] < row["BP"]
+
+
+def test_batch_study(benchmark):
+    result = benchmark(run_extra, "batch", quick=True)
+    assert abs(result.summary["BP_batch_max"] - result.summary["BP_batch1"]) < 0.05
+
+
+def test_dataflow_study(benchmark):
+    result = benchmark(run_extra, "dataflow", quick=True)
+    for row in result.rows:
+        assert row["MGX"] < row["BP"]

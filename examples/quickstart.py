@@ -1,0 +1,121 @@
+#!/usr/bin/env python3
+"""Quickstart: the paper's tiled-MatMul example (Fig. 4), for real.
+
+Two matrices A (2 tiles) and B (4 tiles) multiply into C (2 tiles) with
+partial sums spilled to DRAM.  The kernel supplies version numbers from
+its program state exactly as Fig. 4(c) prescribes:
+
+* A and B were written with VN = n and are read-only → read with n;
+* the first partial write of C1/C2 uses n+1;
+* the final write (after reading the partials back with n+1) uses n+2.
+
+Everything here runs through the *functional* MGX engine: real AES-CTR
+encryption into an untrusted byte store, real MACs, and a working replay
+attack that the engine catches.
+"""
+
+import numpy as np
+
+from repro.common.errors import ReplayError
+from repro.core.functional import MgxFunctionalEngine
+from repro.crypto.keys import SessionKeys
+from repro.mem.attacker import Attacker
+from repro.mem.backing import BackingStore
+
+TILE = 16  # tile side; each tile is TILE*TILE float32 = 1024 bytes
+TILE_BYTES = TILE * TILE * 4
+
+
+def main() -> None:
+    rng = np.random.default_rng(42)
+
+    # --- a secure accelerator session -----------------------------------
+    keys = SessionKeys.derive(b"device-root-secret", b"user-session-nonce")
+    dram = BackingStore(1 << 20)  # the untrusted off-chip memory
+    engine = MgxFunctionalEngine(keys, dram, data_bytes=64 * 1024,
+                                 mac_granularity=512)
+
+    # Static layout: A tiles, B tiles, C tiles at fixed offsets.
+    base_a = 0
+    base_b = 2 * TILE_BYTES
+    base_c = 6 * TILE_BYTES
+
+    a_tiles = [rng.standard_normal((TILE, TILE)).astype(np.float32) for _ in range(2)]
+    b_tiles = [rng.standard_normal((TILE, TILE)).astype(np.float32) for _ in range(4)]
+
+    # --- initial state: A and B written with VN = n ----------------------
+    n = 1
+    for i, tile in enumerate(a_tiles):
+        engine.write(base_a + i * TILE_BYTES, tile.tobytes(), vn=n)
+    for i, tile in enumerate(b_tiles):
+        engine.write(base_b + i * TILE_BYTES, tile.tobytes(), vn=n)
+    print(f"wrote A (2 tiles) and B (4 tiles) with VN = {n}")
+
+    # --- the tiled MatMul kernel of Fig. 4(b) ----------------------------
+    # C_j += A_i * B_{j + 2(i-1)};  VN[C] increments per outer iteration.
+    vn_c = n
+    for i in range(2):  # outer loop: accumulate partial results
+        new_vn_c = vn_c + 1
+        for j in range(2):  # inner loop: C1, C2
+            a = np.frombuffer(
+                engine.read(base_a + i * TILE_BYTES, TILE_BYTES, vn=n),
+                dtype=np.float32,
+            ).reshape(TILE, TILE)
+            b_index = j + 2 * i
+            b = np.frombuffer(
+                engine.read(base_b + b_index * TILE_BYTES, TILE_BYTES, vn=n),
+                dtype=np.float32,
+            ).reshape(TILE, TILE)
+            if i == 0:
+                partial = np.zeros((TILE, TILE), dtype=np.float32)
+            else:
+                # Read the partial result back with the VN it was written
+                # under (vn_c), as in time steps 3-4 of Fig. 4(c).
+                partial = np.frombuffer(
+                    engine.read(base_c + j * TILE_BYTES, TILE_BYTES, vn=vn_c),
+                    dtype=np.float32,
+                ).reshape(TILE, TILE).copy()
+            partial += a @ b
+            engine.write(base_c + j * TILE_BYTES, partial.tobytes(), vn=new_vn_c)
+            print(f"  iter {i + 1}: C{j + 1} written with VN = n+{new_vn_c - n}")
+        vn_c = new_vn_c
+
+    # --- check the math against numpy ------------------------------------
+    c0 = np.frombuffer(engine.read(base_c, TILE_BYTES, vn=vn_c),
+                       dtype=np.float32).reshape(TILE, TILE)
+    expected = a_tiles[0] @ b_tiles[0] + a_tiles[1] @ b_tiles[2]
+    assert np.allclose(c0, expected, atol=1e-4)
+    print("C1 decrypted and matches the plaintext computation ✔")
+
+    # --- and now, an attack ----------------------------------------------
+    # The host snapshots the encrypted partial result of C1 (plus its MAC)
+    # and replays it after the final result lands: a classic rollback.
+    attacker = Attacker(dram)
+    granule = base_c // engine.mac_granularity
+    stale_c1 = attacker.snapshot(base_c, TILE_BYTES)
+    stale_macs = [
+        attacker.snapshot(engine.mac_address(granule + k), 8)
+        for k in range(TILE_BYTES // engine.mac_granularity)
+    ]
+    # (the snapshot was taken *after* the run; rewind it to the n+1 state
+    # by replaying what an attacker would have recorded mid-run — for the
+    # demo we simply re-run the first partial step into a scratch area)
+    engine.write(base_c + 4 * TILE_BYTES,
+                 (a_tiles[0] @ b_tiles[0]).astype(np.float32).tobytes(), vn=2)
+    stale_data = attacker.snapshot(base_c + 4 * TILE_BYTES, TILE_BYTES)
+    attacker.overwrite(base_c, stale_data.data)
+    scratch_granule = (base_c + 4 * TILE_BYTES) // engine.mac_granularity
+    for k in range(TILE_BYTES // engine.mac_granularity):
+        attacker.relocate(engine.mac_address(scratch_granule + k),
+                          engine.mac_address(granule + k), 8)
+    try:
+        engine.read(base_c, TILE_BYTES, vn=vn_c)
+        raise SystemExit("attack went undetected?!")
+    except ReplayError as exc:
+        print(f"replay attack detected ✔  ({exc})")
+    except Exception as exc:  # IntegrityError for the relocated MACs
+        print(f"attack detected ✔  ({type(exc).__name__}: {exc})")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,57 @@
+#!/usr/bin/env python3
+"""Secure H.264 decoding: out-of-order frames, regenerated VNs (§VII-A).
+
+Decodes an IBPB GOP: shows the Fig. 18 decode order, the Fig. 19 buffer
+access pattern (writes non-overlapping, reads dynamic), and then runs the
+whole decode through the functional MGX engine — every reference read is
+really decrypted with VN = CTR_IN ‖ F.
+
+Usage:  python examples/video_decode.py [pattern] [frames]
+"""
+
+import sys
+
+from repro.common.units import KIB
+from repro.core.functional import MgxFunctionalEngine
+from repro.crypto.keys import SessionKeys
+from repro.mem.backing import BackingStore
+from repro.video.decoder import DecoderConfig, H264Decoder
+from repro.video.gop import GopStructure
+
+
+def main() -> None:
+    pattern = sys.argv[1] if len(sys.argv) > 1 else "IBPB"
+    n_frames = int(sys.argv[2]) if len(sys.argv) > 2 else 12
+
+    gop = GopStructure(pattern, n_frames)
+    order = " ".join(
+        f"{f.frame_type.value}{f.display_number}" for f in gop.decode_order()
+    )
+    print(f"GOP pattern {pattern!r} × {n_frames} frames")
+    print(f"decode order (Fig. 18): {order}")
+
+    decoder = H264Decoder(gop, DecoderConfig())
+    trace = decoder.decode_trace()
+
+    print("\nbuffer access pattern (Fig. 19):")
+    print(f"{'step':>4s} {'frame':>6s} {'buffer':>6s} {'kind':>6s}  vn")
+    for record in trace.records[:20]:
+        print(f"{record.step:>4d} {record.frame_type}{record.display_number:<5d} "
+              f"{record.buffer_index:>6d} {record.kind:>6s}  {record.vn:#x}")
+    if len(trace.records) > 20:
+        print(f"  ... {len(trace.records) - 20} more")
+
+    writes = trace.writes_per_buffer_step()
+    assert all(v == 1 for v in writes.values())
+    print("\nevery buffer location written exactly once per frame ✔")
+
+    keys = SessionKeys.derive(b"decoder-root", b"stream-nonce")
+    engine = MgxFunctionalEngine(keys, BackingStore(1 << 20),
+                                 data_bytes=64 * KIB, mac_granularity=512)
+    ok = H264Decoder(gop, DecoderConfig()).functional_decode(engine)
+    print(f"functional decode through real AES-CTR + MACs: "
+          f"{'all reference reads verified ✔' if ok else 'FAILED'}")
+
+
+if __name__ == "__main__":
+    main()

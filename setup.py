@@ -1,0 +1,9 @@
+"""Setuptools shim for environments without the `wheel` package.
+
+`pip install -e .` requires bdist_wheel support that is unavailable in
+this offline environment; `python setup.py develop` provides the same
+editable install via egg-link. Configuration lives in pyproject.toml.
+"""
+from setuptools import setup
+
+setup()

@@ -1,0 +1,75 @@
+"""repro — reproduction of *MGX: Near-Zero Overhead Memory Protection for
+Data-Intensive Accelerators* (ISCA 2022).
+
+Layered like the paper's toolflow:
+
+* :mod:`repro.crypto`, :mod:`repro.mem`, :mod:`repro.dram` — substrates:
+  from-scratch AES/GHASH, the untrusted byte store + attacker API, and a
+  Ramulator-lite DDR4 model.
+* :mod:`repro.core` — the contribution: counter construction, on-chip VN
+  generators, Merkle tree, metadata cache, the BP/MGX/MGX_VN/MGX_MAC
+  timing engines, and functional engines doing real crypto.
+* :mod:`repro.dnn`, :mod:`repro.graph`, :mod:`repro.genome`,
+  :mod:`repro.video` — the accelerators the paper evaluates.
+* :mod:`repro.sim`, :mod:`repro.experiments` — the performance evaluator
+  and one module per paper figure.
+
+Quick taste (the paper's headline comparison on one workload)::
+
+    from repro.sim import dnn_sweep
+    sweep = dnn_sweep("ResNet", "Cloud")
+    print(sweep.normalized_time("BP"), sweep.normalized_time("MGX"))
+"""
+
+from repro.core import (
+    BaselineFunctionalEngine,
+    CounterModeProtection,
+    DataClass,
+    DnnVnState,
+    FrameVnState,
+    IterationVnState,
+    MemAccess,
+    MgxFunctionalEngine,
+    NoProtection,
+    Phase,
+    ProtectionScheme,
+    make_baseline,
+    make_mgx,
+    make_mgx_mac,
+    make_mgx_vn,
+    scheme_suite,
+)
+from repro.crypto import SessionKeys
+from repro.mem import AddressSpace, Attacker, BackingStore
+from repro.sim import PerfConfig, PerformanceModel, SchemeSweep, dnn_sweep, graph_sweep
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "BaselineFunctionalEngine",
+    "CounterModeProtection",
+    "DataClass",
+    "DnnVnState",
+    "FrameVnState",
+    "IterationVnState",
+    "MemAccess",
+    "MgxFunctionalEngine",
+    "NoProtection",
+    "Phase",
+    "ProtectionScheme",
+    "make_baseline",
+    "make_mgx",
+    "make_mgx_mac",
+    "make_mgx_vn",
+    "scheme_suite",
+    "SessionKeys",
+    "AddressSpace",
+    "Attacker",
+    "BackingStore",
+    "PerfConfig",
+    "PerformanceModel",
+    "SchemeSweep",
+    "dnn_sweep",
+    "graph_sweep",
+    "__version__",
+]

@@ -1,0 +1,50 @@
+"""Exception hierarchy for the MGX reproduction.
+
+All library-specific errors derive from :class:`ReproError` so that callers
+can catch everything from this package with a single except clause while
+still being able to distinguish security violations (which the functional
+protection engine raises on tampering) from plain configuration mistakes.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class ConfigError(ReproError):
+    """An object was constructed with inconsistent or invalid parameters."""
+
+
+class AddressError(ReproError):
+    """A memory access referenced an unmapped or misaligned address."""
+
+
+class SecurityError(ReproError):
+    """Base class for violations detected by the protection engine."""
+
+
+class IntegrityError(SecurityError):
+    """A MAC check failed: the data read from untrusted memory was altered."""
+
+
+class ReplayError(IntegrityError):
+    """A stale (data, MAC) pair was detected.
+
+    Raised when the verification succeeds against *some* historical version
+    number but not the current one, which is how the functional engine
+    distinguishes replay from plain corruption in its diagnostics.
+    """
+
+
+class FreshnessError(SecurityError):
+    """A version number was reused for a write, violating CTR-mode safety."""
+
+
+class VnOverflowError(SecurityError):
+    """A version-number counter exhausted its bit width.
+
+    The paper's remedy is re-encryption of the region under a fresh key;
+    the engines surface the condition instead of silently wrapping.
+    """

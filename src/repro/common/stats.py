@@ -1,0 +1,101 @@
+"""Lightweight statistics counters shared by the simulators.
+
+The protection engines, DRAM model and accelerators all report what they
+did through a :class:`StatsGroup`: a named bag of integer counters with a
+few conveniences (merging, ratios, pretty printing).  Keeping the stats
+separate from the simulation objects makes result collection uniform
+across subsystems and easy to assert on in tests.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Iterator
+
+
+class StatsGroup:
+    """A named collection of monotonically increasing counters."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._counters: "OrderedDict[str, int]" = OrderedDict()
+
+    def add(self, key: str, value: int = 1) -> None:
+        """Increment counter ``key`` by ``value`` (creating it at zero)."""
+        self._counters[key] = self._counters.get(key, 0) + value
+
+    def get(self, key: str) -> int:
+        """Current value of ``key`` (zero when never incremented)."""
+        return self._counters.get(key, 0)
+
+    def set(self, key: str, value: int) -> None:
+        """Overwrite counter ``key``; used for derived gauges."""
+        self._counters[key] = value
+
+    def merge(self, other: "StatsGroup") -> None:
+        """Accumulate every counter of ``other`` into this group."""
+        for key, value in other.items():
+            self.add(key, value)
+
+    def items(self) -> Iterator[tuple[str, int]]:
+        return iter(self._counters.items())
+
+    def as_dict(self) -> dict[str, int]:
+        return dict(self._counters)
+
+    def total(self, prefix: str = "") -> int:
+        """Sum of all counters whose name starts with ``prefix``."""
+        return sum(v for k, v in self._counters.items() if k.startswith(prefix))
+
+    def ratio(self, numerator: str, denominator: str) -> float:
+        """``numerator / denominator`` guarding against a zero denominator."""
+        den = self.get(denominator)
+        return self.get(numerator) / den if den else 0.0
+
+    def reset(self) -> None:
+        self._counters.clear()
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._counters
+
+    def __repr__(self) -> str:
+        body = ", ".join(f"{k}={v}" for k, v in self._counters.items())
+        return f"StatsGroup({self.name}: {body})"
+
+
+@dataclass
+class RunningMean:
+    """Streaming mean/min/max without storing samples."""
+
+    count: int = 0
+    total: float = 0.0
+    minimum: float = field(default=float("inf"))
+    maximum: float = field(default=float("-inf"))
+
+    def observe(self, value: float) -> None:
+        self.count += 1
+        self.total += value
+        self.minimum = min(self.minimum, value)
+        self.maximum = max(self.maximum, value)
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+
+def geometric_mean(values: list[float]) -> float:
+    """Geometric mean used for normalized-execution-time summaries.
+
+    The paper reports arithmetic averages of overheads; we expose both in
+    the experiment reports, with the geomean as the canonical summary for
+    normalized ratios.
+    """
+    if not values:
+        return 0.0
+    product = 1.0
+    for v in values:
+        if v <= 0:
+            raise ValueError(f"geometric mean requires positive values, got {v}")
+        product *= v
+    return product ** (1.0 / len(values))

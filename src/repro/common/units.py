@@ -1,0 +1,100 @@
+"""Size, frequency and time units used throughout the simulator.
+
+Everything in the simulator is expressed in a small set of base units:
+
+* sizes in **bytes** (``int``),
+* time in **cycles** of the component that owns the clock (``int`` or
+  ``float`` when averaging), and
+* frequencies in **hertz** (``float``).
+
+This module centralizes the constants and the handful of conversions so
+that no module hard-codes ``1024`` or ``1e9`` inline.
+"""
+
+from __future__ import annotations
+
+# ---------------------------------------------------------------------------
+# Sizes (bytes)
+# ---------------------------------------------------------------------------
+BYTE = 1
+KIB = 1024
+MIB = 1024 * KIB
+GIB = 1024 * MIB
+
+#: Size of a conventional cache block, the protection granularity of the
+#: baseline (Intel-MEE-like) scheme.
+CACHE_BLOCK = 64
+
+#: Granularity of one AES block (128 bits) processed by the encryption pipe.
+AES_BLOCK = 16
+
+# ---------------------------------------------------------------------------
+# Frequencies (Hz)
+# ---------------------------------------------------------------------------
+KHZ = 1e3
+MHZ = 1e6
+GHZ = 1e9
+
+
+def ceil_div(a: int, b: int) -> int:
+    """Integer ceiling division, the workhorse of every tiling computation."""
+    if b <= 0:
+        raise ValueError(f"ceil_div divisor must be positive, got {b}")
+    return -(-a // b)
+
+
+def round_up(value: int, multiple: int) -> int:
+    """Round ``value`` up to the next multiple of ``multiple``."""
+    return ceil_div(value, multiple) * multiple
+
+
+def round_down(value: int, multiple: int) -> int:
+    """Round ``value`` down to the previous multiple of ``multiple``."""
+    if multiple <= 0:
+        raise ValueError(f"round_down multiple must be positive, got {multiple}")
+    return (value // multiple) * multiple
+
+
+def is_pow2(value: int) -> bool:
+    """Return True when ``value`` is a positive power of two."""
+    return value > 0 and (value & (value - 1)) == 0
+
+
+def log2_int(value: int) -> int:
+    """Exact integer log2; raises for non powers of two."""
+    if not is_pow2(value):
+        raise ValueError(f"log2_int requires a power of two, got {value}")
+    return value.bit_length() - 1
+
+
+def cycles_to_seconds(cycles: float, freq_hz: float) -> float:
+    """Convert a cycle count at ``freq_hz`` into seconds."""
+    if freq_hz <= 0:
+        raise ValueError(f"frequency must be positive, got {freq_hz}")
+    return cycles / freq_hz
+
+
+def seconds_to_cycles(seconds: float, freq_hz: float) -> float:
+    """Convert seconds into cycles at ``freq_hz``."""
+    if freq_hz <= 0:
+        raise ValueError(f"frequency must be positive, got {freq_hz}")
+    return seconds * freq_hz
+
+
+def rescale_cycles(cycles: float, from_hz: float, to_hz: float) -> float:
+    """Re-express ``cycles`` of a ``from_hz`` clock in ``to_hz`` clock ticks.
+
+    Used when combining accelerator-clock compute time with DRAM-clock
+    memory time in the performance model.
+    """
+    return cycles * (to_hz / from_hz)
+
+
+def fmt_bytes(n: int) -> str:
+    """Human-readable byte count (e.g. ``"24.0 MiB"``) for reports."""
+    value = float(n)
+    for suffix in ("B", "KiB", "MiB", "GiB", "TiB"):
+        if value < 1024.0 or suffix == "TiB":
+            return f"{value:.1f} {suffix}" if suffix != "B" else f"{int(value)} B"
+        value /= 1024.0
+    raise AssertionError("unreachable")

@@ -1,0 +1,129 @@
+"""The memory-access vocabulary shared by accelerators and protection schemes.
+
+Accelerators move data between on-chip buffers and DRAM in *block
+transfers* much larger than a cache line (a weight tile, a feature-map
+tile, a chunk of adjacency list).  A :class:`MemAccess` describes one such
+transfer: where, how much, read or write, which class of data it carries
+(which selects the VN space per Fig. 6 and the MAC granularity), and
+whether the transfer streams contiguously or gathers scattered blocks.
+
+A :class:`Phase` bundles the accesses of one schedulable unit of work (a
+DNN layer tile pass, one tile-column of an SpMV, one GACT tile) together
+with the compute cycles the functional units spend on it.  The
+performance model overlaps compute and memory per phase (double
+buffering), which is how the paper's simulators combine SCALE-Sim /
+RTL timing with Ramulator.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.common.errors import ConfigError
+
+
+class AccessKind(enum.Enum):
+    READ = "read"
+    WRITE = "write"
+
+
+class DataClass(enum.Enum):
+    """What the bytes are, which determines VN space and MAC granularity.
+
+    The first three mirror Fig. 6's counter tag bits for DNNs; the rest
+    cover the graph, genome and video case studies plus a generic bulk
+    class.
+    """
+
+    FEATURE = "feature"
+    WEIGHT = "weight"
+    GRADIENT = "gradient"
+    ADJACENCY = "adjacency"
+    VECTOR = "vector"
+    EMBEDDING = "embedding"
+    SEQUENCE = "sequence"
+    TRACEBACK = "traceback"
+    FRAME = "frame"
+    BITSTREAM = "bitstream"
+    BULK = "bulk"
+
+
+@dataclass(frozen=True)
+class MemAccess:
+    """One block transfer between on-chip memory and DRAM."""
+
+    address: int
+    size: int
+    kind: AccessKind
+    data_class: DataClass = DataClass.BULK
+    #: True when the transfer streams a contiguous range; False when it
+    #: gathers/scatters isolated blocks (embedding lookups, SpMSpV reads).
+    sequential: bool = True
+    #: Version number supplied by the kernel on the control processor.
+    #: Timing schemes ignore it; the functional engine requires it for
+    #: MGX-style protection.  ``None`` means "scheme-managed" (baseline).
+    vn: int | None = None
+    #: For gathered (non-sequential) transfers: the contiguous burst size
+    #: of each element of the gather (e.g. one embedding row).  ``None``
+    #: defaults to one 64-byte block.
+    burst_bytes: int | None = None
+    #: For gathered transfers: the size of the region the bursts are
+    #: spread across (e.g. the whole embedding table).  Determines how
+    #: deep into the integrity tree a stored-VN scheme must walk.  May be
+    #: smaller than ``size`` when rows are re-read (hot embedding rows).
+    #: ``None`` defaults to the access size.
+    spread_bytes: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.address < 0:
+            raise ConfigError(f"address must be non-negative, got {self.address}")
+        if self.size <= 0:
+            raise ConfigError(f"size must be positive, got {self.size}")
+        if self.burst_bytes is not None and self.burst_bytes <= 0:
+            raise ConfigError(f"burst_bytes must be positive, got {self.burst_bytes}")
+        if self.spread_bytes is not None:
+            if self.spread_bytes < (self.burst_bytes or 1):
+                raise ConfigError("spread_bytes must cover at least one burst")
+
+    @property
+    def is_write(self) -> bool:
+        return self.kind is AccessKind.WRITE
+
+    @property
+    def end(self) -> int:
+        return self.address + self.size
+
+
+def read(address: int, size: int, data_class: DataClass = DataClass.BULK,
+         sequential: bool = True, vn: int | None = None,
+         burst_bytes: int | None = None, spread_bytes: int | None = None) -> MemAccess:
+    """Shorthand constructor for a read access."""
+    return MemAccess(address, size, AccessKind.READ, data_class, sequential, vn,
+                     burst_bytes, spread_bytes)
+
+
+def write(address: int, size: int, data_class: DataClass = DataClass.BULK,
+          sequential: bool = True, vn: int | None = None,
+          burst_bytes: int | None = None, spread_bytes: int | None = None) -> MemAccess:
+    """Shorthand constructor for a write access."""
+    return MemAccess(address, size, AccessKind.WRITE, data_class, sequential, vn,
+                     burst_bytes, spread_bytes)
+
+
+@dataclass
+class Phase:
+    """One schedulable unit: compute cycles + the DRAM transfers it needs."""
+
+    name: str
+    compute_cycles: float
+    accesses: list[MemAccess] = field(default_factory=list)
+
+    def read_bytes(self) -> int:
+        return sum(a.size for a in self.accesses if not a.is_write)
+
+    def write_bytes(self) -> int:
+        return sum(a.size for a in self.accesses if a.is_write)
+
+    def total_bytes(self) -> int:
+        return sum(a.size for a in self.accesses)

@@ -1,0 +1,105 @@
+"""Counter-block construction for AES-CTR memory encryption (Fig. 6).
+
+The 128-bit counter fed to AES is ``address (64b) || version number
+(64b)``.  MGX partitions the VN space by data class with tag bits in the
+top of the VN field — features ``00``, weights ``01``, gradients ``10``
+(Fig. 6), with ``11`` reserved for the other accelerator studies — so
+that two different data classes can never collide on a counter value even
+if their untagged VNs coincide.
+
+Several kernels build VNs by concatenating sub-counters (layer number and
+input count for DNNs; CTR_genome‖CTR_query for Darwin; CTR_IN‖frame for
+H.264).  :func:`pack_fields` provides that concatenation with explicit
+widths and overflow checking.
+"""
+
+from __future__ import annotations
+
+import enum
+
+from repro.common.errors import ConfigError, VnOverflowError
+from repro.core.access import DataClass
+
+#: Width of the version-number field in bits (paper §IV-C uses 64).
+VN_BITS = 64
+#: Bits reserved at the top of the VN for the data-class tag.
+TAG_BITS = 2
+#: Usable VN payload width.
+VN_PAYLOAD_BITS = VN_BITS - TAG_BITS
+
+
+class VnSpace(enum.IntEnum):
+    """Counter-tag values per Fig. 6 (and one shared space for the rest)."""
+
+    FEATURE = 0b00
+    WEIGHT = 0b01
+    GRADIENT = 0b10
+    OTHER = 0b11
+
+
+_DATA_CLASS_SPACE = {
+    DataClass.FEATURE: VnSpace.FEATURE,
+    DataClass.WEIGHT: VnSpace.WEIGHT,
+    DataClass.GRADIENT: VnSpace.GRADIENT,
+}
+
+
+def space_for(data_class: DataClass) -> VnSpace:
+    """VN space for a data class; non-DNN classes share ``OTHER``."""
+    return _DATA_CLASS_SPACE.get(data_class, VnSpace.OTHER)
+
+
+def tag_vn(space: VnSpace, payload: int) -> int:
+    """Combine a tag and a payload into a full 64-bit VN."""
+    if payload < 0:
+        raise ConfigError(f"VN payload must be non-negative, got {payload}")
+    if payload >= 1 << VN_PAYLOAD_BITS:
+        raise VnOverflowError(
+            f"VN payload {payload:#x} exceeds {VN_PAYLOAD_BITS} bits; "
+            "region must be re-encrypted under a fresh key"
+        )
+    return (int(space) << VN_PAYLOAD_BITS) | payload
+
+
+def untag_vn(vn: int) -> tuple[VnSpace, int]:
+    """Split a full VN back into (space, payload)."""
+    if not 0 <= vn < 1 << VN_BITS:
+        raise ConfigError(f"VN must fit in {VN_BITS} bits, got {vn:#x}")
+    return VnSpace(vn >> VN_PAYLOAD_BITS), vn & ((1 << VN_PAYLOAD_BITS) - 1)
+
+
+def pack_fields(*fields: tuple[int, int]) -> int:
+    """Concatenate ``(value, width_bits)`` fields MSB-first into one integer.
+
+    Example: Darwin's VN is ``pack_fields((ctr_genome, 31), (ctr_query, 31))``;
+    the H.264 VN is ``pack_fields((ctr_in, 31), (frame_number, 31))``.
+    Total width must not exceed the VN payload.
+    """
+    total = 0
+    value = 0
+    for field_value, width in fields:
+        if width <= 0:
+            raise ConfigError(f"field width must be positive, got {width}")
+        if not 0 <= field_value < 1 << width:
+            raise VnOverflowError(
+                f"field value {field_value} does not fit in {width} bits"
+            )
+        value = (value << width) | field_value
+        total += width
+    if total > VN_PAYLOAD_BITS:
+        raise ConfigError(f"packed fields use {total} bits > {VN_PAYLOAD_BITS}")
+    return value
+
+
+def counter_block(address: int, vn: int) -> bytes:
+    """The 16-byte AES-CTR counter block: 64-bit address ‖ 64-bit VN.
+
+    ``address`` is the physical address of the 16-byte lane being
+    encrypted; including it makes every lane's counter unique even when a
+    whole tensor shares one VN (§III-D).
+    """
+    if not 0 <= address < 1 << 64:
+        raise ConfigError(f"address must fit in 64 bits, got {address:#x}")
+    if not 0 <= vn < 1 << VN_BITS:
+        raise ConfigError(f"VN must fit in {VN_BITS} bits, got {vn:#x}")
+    return (address << 64 | vn).to_bytes(16, "big")

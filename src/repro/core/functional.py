@@ -1,0 +1,280 @@
+"""Functionally-correct memory protection over real bytes.
+
+The timing engines in :mod:`repro.core.schemes` count traffic; the
+engines here actually *do* the cryptography against an untrusted
+:class:`~repro.mem.backing.BackingStore`, so the security properties the
+paper argues for (§III-D) are demonstrated, not assumed:
+
+* :class:`MgxFunctionalEngine` — the kernel (caller) supplies the VN for
+  every read and write, exactly as MGX's control processor does.  Nothing
+  but ciphertext and truncated MACs ever reaches the store.  Tampering,
+  relocation, replay and wrong-VN reads all fail the MAC check; VN reuse
+  on writes is refused up front by the :class:`UniquenessGuard`.
+* :class:`BaselineFunctionalEngine` — the conventional scheme: per-block
+  VNs live *in the store* (attackable!) and are protected by a real
+  Merkle tree with an on-chip root.  The tests use it to show why the
+  tree is necessary: replaying a consistent (data, MAC, VN) triple slips
+  past the MAC but is caught by the tree.
+
+Both engines share the AES-CTR construction of Fig. 2: the counter block
+is ``lane_address ‖ VN`` per 16-byte lane, and the MAC binds
+``(ciphertext, granule_address, VN)``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.common.errors import ConfigError, IntegrityError, ReplayError
+from repro.common.units import CACHE_BLOCK, ceil_div
+from repro.core.counters import counter_block
+from repro.core.merkle import FunctionalMerkleTree
+from repro.core.vngen import UniquenessGuard
+from repro.crypto.aes_batch import AesBatch
+from repro.crypto.keys import SessionKeys
+from repro.crypto.mac import HmacSha256Mac, constant_time_equal
+from repro.mem.backing import BackingStore
+
+_LANE = 16
+
+
+def _keystream(aes: AesBatch, address: int, vn: int, nbytes: int) -> np.ndarray:
+    """CTR keystream: one counter block per 16-byte lane at its address."""
+    lanes = ceil_div(nbytes, _LANE)
+    counters = np.empty((lanes, _LANE), dtype=np.uint8)
+    for i in range(lanes):
+        counters[i] = np.frombuffer(counter_block(address + i * _LANE, vn), dtype=np.uint8)
+    return aes.encrypt_blocks(counters).reshape(-1)[:nbytes]
+
+
+def _xor(data: bytes, keystream: np.ndarray) -> bytes:
+    return (np.frombuffer(data, dtype=np.uint8) ^ keystream).tobytes()
+
+
+class MgxFunctionalEngine:
+    """MGX protection with caller-supplied version numbers.
+
+    ``data_bytes`` is the size of the protected data region; MACs are
+    stored (attackably) in the same backing store immediately above it.
+    ``mac_granularity`` sets how many data bytes one MAC covers — the
+    coarse-grained-MAC optimization.  Writes must cover whole granules
+    (accelerator tiles are granule-aligned by construction).
+    """
+
+    def __init__(
+        self,
+        keys: SessionKeys,
+        store: BackingStore,
+        data_bytes: int,
+        mac_granularity: int = 512,
+        tag_bits: int = 64,
+    ) -> None:
+        if mac_granularity % _LANE != 0:
+            raise ConfigError("MAC granularity must be a multiple of 16 bytes")
+        if data_bytes <= 0:
+            raise ConfigError("data_bytes must be positive")
+        self.store = store
+        self.data_bytes = data_bytes
+        self.mac_granularity = mac_granularity
+        self._aes = AesBatch(keys.encryption_key)
+        self._mac = HmacSha256Mac(keys.integrity_key, tag_bits=tag_bits)
+        self._mac_base = data_bytes
+        self.guard = UniquenessGuard()
+        if store.size < data_bytes + self._mac_table_bytes():
+            raise ConfigError(
+                "backing store too small for data plus MAC table: "
+                f"need {data_bytes + self._mac_table_bytes()}, have {store.size}"
+            )
+
+    def _mac_table_bytes(self) -> int:
+        return ceil_div(self.data_bytes, self.mac_granularity) * self._mac.tag_bytes
+
+    def mac_address(self, granule_index: int) -> int:
+        """Store address of the MAC slot for one granule (attacker-visible)."""
+        return self._mac_base + granule_index * self._mac.tag_bytes
+
+    def _check_span(self, address: int, size: int) -> tuple[int, int]:
+        if address % self.mac_granularity != 0 or size % self.mac_granularity != 0:
+            raise ConfigError(
+                f"access [{address:#x}, +{size}) must be aligned to the "
+                f"{self.mac_granularity}-byte MAC granularity"
+            )
+        if address + size > self.data_bytes:
+            raise ConfigError("access beyond the protected data region")
+        first = address // self.mac_granularity
+        return first, first + size // self.mac_granularity
+
+    # ------------------------------------------------------------------
+    def write(self, address: int, plaintext: bytes, vn: int) -> None:
+        """Encrypt and store ``plaintext`` with version number ``vn``."""
+        first, last = self._check_span(address, len(plaintext))
+        gran = self.mac_granularity
+        for index in range(first, last):
+            self.guard.register_write(index * gran, vn)
+        ciphertext = _xor(plaintext, _keystream(self._aes, address, vn, len(plaintext)))
+        self.store.write(address, ciphertext)
+        for index in range(first, last):
+            offset = (index - first) * gran
+            tag = self._mac.tag(ciphertext[offset : offset + gran], index * gran, vn)
+            self.store.write(self.mac_address(index), tag)
+
+    def read(self, address: int, size: int, vn: int) -> bytes:
+        """Verify and decrypt ``size`` bytes written with ``vn``.
+
+        Raises :class:`IntegrityError` on any tamper/relocation, and the
+        :class:`ReplayError` refinement when the stored bytes verify
+        against an *older* VN for the same location (a replayed stale
+        value rather than random corruption).
+        """
+        first, last = self._check_span(address, size)
+        gran = self.mac_granularity
+        ciphertext = self.store.read(address, size)
+        for index in range(first, last):
+            offset = (index - first) * gran
+            chunk = ciphertext[offset : offset + gran]
+            stored_tag = self.store.read(self.mac_address(index), self._mac.tag_bytes)
+            expected = self._mac.tag(chunk, index * gran, vn)
+            if not constant_time_equal(stored_tag, expected):
+                self._diagnose_failure(chunk, stored_tag, index * gran, vn)
+        return _xor(ciphertext, _keystream(self._aes, address, vn, size))
+
+    def rekey(self, new_keys: SessionKeys, new_vn: int) -> "MgxFunctionalEngine":
+        """Re-encrypt every written granule under fresh keys (§IV-C).
+
+        This is the paper's remedy for VN overflow: "MGX requires the
+        memory to be re-encrypted with a new key".  Each granule is read
+        and verified under its *current* VN with the old keys, then
+        rewritten under ``new_vn`` with the new keys.  Returns the new
+        engine; the old one must be discarded.
+        """
+        fresh = MgxFunctionalEngine(
+            new_keys, self.store, self.data_bytes,
+            mac_granularity=self.mac_granularity,
+            tag_bits=self._mac.tag_bytes * 8,
+        )
+        gran = self.mac_granularity
+        for granule_address, vn in sorted(self.guard._last_vn.items()):
+            plaintext = self.read(granule_address, gran, vn)
+            fresh.write(granule_address, plaintext, new_vn)
+        return fresh
+
+    def _diagnose_failure(self, chunk: bytes, stored_tag: bytes, granule_address: int,
+                          vn: int) -> None:
+        """Distinguish replay from corruption for better diagnostics."""
+        history = self.guard._history.get(granule_address, [])
+        for old_vn in history:
+            if old_vn != vn and constant_time_equal(
+                stored_tag, self._mac.tag(chunk, granule_address, old_vn)
+            ):
+                raise ReplayError(
+                    f"granule {granule_address:#x}: stored value authenticates "
+                    f"under stale VN {old_vn:#x}, expected {vn:#x} — replay attack"
+                )
+        raise IntegrityError(
+            f"granule {granule_address:#x}: MAC mismatch under VN {vn:#x} — "
+            "data, MAC or location was tampered with"
+        )
+
+
+class BaselineFunctionalEngine:
+    """Conventional protection: stored VNs + Merkle tree + 64-B granularity.
+
+    The caller never supplies VNs — the engine increments a per-block VN
+    on each write, stores it (plaintext, as in Intel MEE) in the backing
+    store, and protects the VN lines with a :class:`FunctionalMerkleTree`
+    whose root stays on-chip.  ``verify_vn_tree=False`` turns the tree
+    check off, which the tests use to demonstrate the replay attack the
+    tree exists to stop.
+    """
+
+    def __init__(
+        self,
+        keys: SessionKeys,
+        store: BackingStore,
+        data_bytes: int,
+        tag_bits: int = 56,
+        verify_vn_tree: bool = True,
+    ) -> None:
+        if data_bytes <= 0 or data_bytes % CACHE_BLOCK != 0:
+            raise ConfigError("data_bytes must be a positive multiple of 64")
+        self.store = store
+        self.data_bytes = data_bytes
+        self.verify_vn_tree = verify_vn_tree
+        self._aes = AesBatch(keys.encryption_key)
+        self._mac = HmacSha256Mac(keys.integrity_key, tag_bits=tag_bits)
+        self._blocks = data_bytes // CACHE_BLOCK
+        self._mac_base = data_bytes
+        self._vn_base = self._mac_base + self._blocks * self._mac.tag_bytes
+        self._vn_lines = ceil_div(self._blocks * 8, CACHE_BLOCK)
+        self._tree = FunctionalMerkleTree(self._vn_lines)
+        #: VN lines that have entered the tree; untouched lines hold the
+        #: all-zero initial state and are vacuously fresh (their blocks
+        #: have no MAC yet, so forged data still fails the MAC check).
+        self._initialized_lines: set[int] = set()
+        needed = self._vn_base + self._blocks * 8
+        if store.size < needed:
+            raise ConfigError(f"backing store too small: need {needed}, have {store.size}")
+
+    # -- attacker-relevant addresses ---------------------------------------
+    def mac_address(self, block_index: int) -> int:
+        return self._mac_base + block_index * self._mac.tag_bytes
+
+    def vn_address(self, block_index: int) -> int:
+        return self._vn_base + block_index * 8
+
+    # ------------------------------------------------------------------
+    def _check_span(self, address: int, size: int) -> tuple[int, int]:
+        if address % CACHE_BLOCK != 0 or size % CACHE_BLOCK != 0:
+            raise ConfigError("baseline accesses must be 64-byte aligned")
+        if address + size > self.data_bytes:
+            raise ConfigError("access beyond the protected data region")
+        first = address // CACHE_BLOCK
+        return first, first + size // CACHE_BLOCK
+
+    def _load_vn(self, block_index: int) -> int:
+        """Read a stored VN, verifying its line against the Merkle root."""
+        vn_bytes = self.store.read(self.vn_address(block_index), 8)
+        line = (block_index * 8) // CACHE_BLOCK
+        if self.verify_vn_tree and line in self._initialized_lines:
+            line_data = self.store.read(self._vn_base + line * CACHE_BLOCK, CACHE_BLOCK)
+            self._tree.verify(line, line_data, self._tree.root)
+        return int.from_bytes(vn_bytes, "big")
+
+    def _store_vn(self, block_index: int, vn: int) -> None:
+        self.store.write(self.vn_address(block_index), vn.to_bytes(8, "big"))
+        line = (block_index * 8) // CACHE_BLOCK
+        line_data = self.store.read(self._vn_base + line * CACHE_BLOCK, CACHE_BLOCK)
+        self._tree.update(line, line_data)
+        self._initialized_lines.add(line)
+
+    def write(self, address: int, plaintext: bytes) -> None:
+        """Encrypt and store; VNs increment per 64-byte block automatically."""
+        first, last = self._check_span(address, len(plaintext))
+        for index in range(first, last):
+            offset = (index - first) * CACHE_BLOCK
+            block_addr = index * CACHE_BLOCK
+            vn = self._load_vn(index) + 1
+            chunk = plaintext[offset : offset + CACHE_BLOCK]
+            ciphertext = _xor(chunk, _keystream(self._aes, block_addr, vn, CACHE_BLOCK))
+            self.store.write(block_addr, ciphertext)
+            self.store.write(
+                self.mac_address(index), self._mac.tag(ciphertext, block_addr, vn)
+            )
+            self._store_vn(index, vn)
+
+    def read(self, address: int, size: int) -> bytes:
+        """Verify (MAC + VN tree) and decrypt."""
+        first, last = self._check_span(address, size)
+        out = bytearray()
+        for index in range(first, last):
+            block_addr = index * CACHE_BLOCK
+            vn = self._load_vn(index)
+            ciphertext = self.store.read(block_addr, CACHE_BLOCK)
+            stored_tag = self.store.read(self.mac_address(index), self._mac.tag_bytes)
+            expected = self._mac.tag(ciphertext, block_addr, vn)
+            if not constant_time_equal(stored_tag, expected):
+                raise IntegrityError(
+                    f"block {index}: MAC mismatch under stored VN {vn:#x}"
+                )
+            out += _xor(ciphertext, _keystream(self._aes, block_addr, vn, CACHE_BLOCK))
+        return bytes(out)

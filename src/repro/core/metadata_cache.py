@@ -1,0 +1,119 @@
+"""On-chip metadata cache for the baseline protection scheme.
+
+The baseline (Intel-MEE-like) engine keeps recently used VN lines, MAC
+lines and integrity-tree nodes in a small on-chip cache — 32 KB in the
+paper's configuration — with LRU replacement, write-back and
+write-allocate policies (§VI-A).  MGX deliberately has no such cache.
+
+The model is a plain LRU over 64-byte line addresses.  ``access`` returns
+whether the line hit and, on a miss that evicts a dirty line, the address
+that must be written back.  The protection engine translates those
+outcomes into DRAM traffic.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+
+from repro.common.errors import ConfigError
+from repro.common.stats import StatsGroup
+from repro.common.units import CACHE_BLOCK
+
+
+@dataclass(frozen=True)
+class CacheOutcome:
+    """Result of one cache access."""
+
+    hit: bool
+    writeback_address: int | None = None
+
+
+class MetadataCache:
+    """Write-back, write-allocate cache of 64-byte metadata lines.
+
+    Fully-associative LRU by default (``ways=None``); pass ``ways`` for a
+    set-associative organization with LRU within each set — closer to
+    what an MEE implements in hardware.  The protection engine treats
+    both identically.
+    """
+
+    def __init__(self, capacity_bytes: int = 32 * 1024, line_bytes: int = CACHE_BLOCK,
+                 ways: int | None = None) -> None:
+        if capacity_bytes <= 0 or capacity_bytes % line_bytes != 0:
+            raise ConfigError(
+                f"cache capacity {capacity_bytes} must be a positive multiple "
+                f"of the line size {line_bytes}"
+            )
+        self.capacity_lines = capacity_bytes // line_bytes
+        self.line_bytes = line_bytes
+        if ways is not None:
+            if ways <= 0 or self.capacity_lines % ways != 0:
+                raise ConfigError(
+                    f"ways ({ways}) must divide the line capacity "
+                    f"({self.capacity_lines})"
+                )
+        self.ways = ways
+        self._n_sets = 1 if ways is None else self.capacity_lines // ways
+        #: per set: line_address -> dirty flag; ordering is recency.
+        self._sets: list["OrderedDict[int, bool]"] = [
+            OrderedDict() for _ in range(self._n_sets)
+        ]
+        self.stats = StatsGroup("metadata_cache")
+
+    def _align(self, address: int) -> int:
+        return address - (address % self.line_bytes)
+
+    def _set_of(self, line: int) -> "OrderedDict[int, bool]":
+        index = (line // self.line_bytes) % self._n_sets
+        return self._sets[index]
+
+    def _set_capacity(self) -> int:
+        return self.capacity_lines if self.ways is None else self.ways
+
+    def access(self, address: int, dirty: bool = False) -> CacheOutcome:
+        """Touch the line containing ``address``; allocate on miss.
+
+        ``dirty`` marks the line modified (a VN increment or MAC update);
+        dirty lines cost a writeback when evicted.
+        """
+        line = self._align(address)
+        lines = self._set_of(line)
+        if line in lines:
+            lines[line] = lines[line] or dirty
+            lines.move_to_end(line)
+            self.stats.add("hits")
+            return CacheOutcome(hit=True)
+
+        self.stats.add("misses")
+        writeback = None
+        if len(lines) >= self._set_capacity():
+            victim, victim_dirty = lines.popitem(last=False)
+            if victim_dirty:
+                writeback = victim
+                self.stats.add("writebacks")
+        lines[line] = dirty
+        return CacheOutcome(hit=False, writeback_address=writeback)
+
+    def contains(self, address: int) -> bool:
+        """Non-mutating lookup (no recency update); used by tests."""
+        line = self._align(address)
+        return line in self._set_of(line)
+
+    def flush(self) -> list[int]:
+        """Evict everything, returning dirty line addresses (end of run)."""
+        dirty = [
+            line for lines in self._sets for line, d in lines.items() if d
+        ]
+        for lines in self._sets:
+            lines.clear()
+        self.stats.add("writebacks", len(dirty))
+        return dirty
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.stats.get("hits") + self.stats.get("misses")
+        return self.stats.get("hits") / total if total else 0.0
+
+    def __len__(self) -> int:
+        return sum(len(lines) for lines in self._sets)

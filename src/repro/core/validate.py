@@ -1,0 +1,127 @@
+"""Trace validation: check the VN discipline of any phase stream.
+
+MGX's security rests on one kernel obligation (§III-D): *a VN value is
+used at most once for a write to a given location, and every read uses
+the VN of the most recent write covering it.*  Our built-in generators
+are tested against this; users bringing their own traces (via
+:mod:`repro.sim.tracefile` or a custom generator) can check theirs with
+:func:`validate_trace` — the same discipline, as a library function.
+
+The validator tracks (data-class-space, address-range) → last-write VN
+at access granularity.  Overlapping partial writes are supported as long
+as VNs move forward.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.access import DataClass, MemAccess, Phase
+from repro.core.counters import space_for
+
+
+@dataclass(frozen=True)
+class TraceViolation:
+    """One violation of the VN discipline."""
+
+    phase: str
+    access: MemAccess
+    reason: str
+
+    def __str__(self) -> str:
+        return (f"{self.phase}: {self.access.kind.value} @"
+                f"{self.access.address:#x}+{self.access.size}: {self.reason}")
+
+
+@dataclass
+class ValidationReport:
+    """Outcome of validating one trace."""
+
+    violations: list[TraceViolation] = field(default_factory=list)
+    accesses_checked: int = 0
+    writes_seen: int = 0
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    def summary(self) -> str:
+        status = "OK" if self.ok else f"{len(self.violations)} violation(s)"
+        return (f"{self.accesses_checked} accesses "
+                f"({self.writes_seen} writes): {status}")
+
+
+def validate_trace(phases: list[Phase],
+                   preloaded: dict[tuple[int, int], int] | None = None,
+                   max_violations: int = 50) -> ValidationReport:
+    """Check a phase stream against the MGX VN discipline.
+
+    ``preloaded`` seeds the write log for data the host placed before
+    execution (e.g. ``{(space_id, address): vn}`` for the external input
+    and the weights); entries use the same keying as the internal log:
+    the :class:`~repro.core.counters.VnSpace` value and the access's
+    start address.
+
+    Checks performed per access (accesses without a VN are skipped —
+    they belong to scheme-managed baselines):
+
+    * **writes** — the VN must be strictly greater than the last write
+      VN for every overlapping range in the same space;
+    * **reads** — the VN must equal the VN of the most recent write
+      covering the range (or the preloaded value).
+    """
+    report = ValidationReport()
+    #: (space, start, end) -> vn, kept as a flat list per space for
+    #: overlap queries (traces have few distinct ranges per space).
+    log: dict[int, list[tuple[int, int, int]]] = {}
+    if preloaded:
+        for (space, address), vn in preloaded.items():
+            log.setdefault(space, []).append((address, address + 1, vn))
+
+    def overlapping(space: int, start: int, end: int):
+        return [
+            entry for entry in log.get(space, [])
+            if entry[0] < end and start < entry[1]
+        ]
+
+    for phase in phases:
+        for access in phase.accesses:
+            if access.vn is None:
+                continue
+            report.accesses_checked += 1
+            space = int(space_for(access.data_class))
+            start, end = access.address, access.end
+            hits = overlapping(space, start, end)
+            if access.is_write:
+                report.writes_seen += 1
+                stale = [h for h in hits if h[2] >= access.vn]
+                if stale:
+                    report.violations.append(TraceViolation(
+                        phase.name, access,
+                        f"write VN {access.vn:#x} does not exceed prior "
+                        f"VN {max(h[2] for h in stale):#x} on an overlapping range",
+                    ))
+                # Replace overlapped entries with the new write.
+                entries = [h for h in log.get(space, []) if not (
+                    h[0] < end and start < h[1]
+                )]
+                entries.append((start, end, access.vn))
+                log[space] = entries
+            else:
+                if not hits:
+                    report.violations.append(TraceViolation(
+                        phase.name, access,
+                        "read of a range never written (seed `preloaded` "
+                        "for host-initialized data)",
+                    ))
+                else:
+                    wrong = [h for h in hits if h[2] != access.vn]
+                    if wrong:
+                        report.violations.append(TraceViolation(
+                            phase.name, access,
+                            f"read VN {access.vn:#x} != last write VN "
+                            f"{wrong[0][2]:#x}",
+                        ))
+            if len(report.violations) >= max_violations:
+                return report
+    return report

@@ -1,0 +1,246 @@
+"""On-chip version-number generation — the heart of MGX (§III-C, §IV-C, §V-B).
+
+Instead of storing one VN per 64-byte block in DRAM (and protecting the
+stored VNs with a Merkle tree), MGX regenerates VNs from a few words of
+kernel state held on the trusted control processor.  Each accelerator
+study in the paper gets its own small state machine:
+
+* :class:`DnnVnState` — per-tensor feature VNs (``VN_F``), one weight VN
+  (``VN_W``), per-tensor gradient VNs (``VN_G``).  Handles tiling (multiple
+  writes per layer), residual fan-out and training.
+* :class:`IterationVnState` — GraphBLAS accelerators: one ``Iter`` counter;
+  reads of the rank vector use ``Iter - 1``, writes of the updated rank use
+  ``Iter``; the adjacency matrix keeps a constant VN.
+* :class:`BatchVnState` — Darwin genome alignment: ``CTR_genome ‖ CTR_query``.
+* :class:`FrameVnState` — H.264 decoding: ``CTR_IN ‖ frame_number``.
+
+Every generator reports its ``state_bytes`` — the on-chip SRAM cost the
+paper argues is tiny (1 KB for a 127-layer DNN, 8 B for PageRank).
+
+The generators enforce the single security obligation MGX places on the
+kernel: *a VN value is used at most once for a write to a given location*
+(§III-D).  Write-side methods only move counters forward; the functional
+engine additionally carries a :class:`UniquenessGuard` that detects any
+violation at block granularity.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.common.errors import ConfigError, FreshnessError
+from repro.core.counters import VN_PAYLOAD_BITS, VnSpace, pack_fields, tag_vn
+
+
+class DnnVnState:
+    """VN bookkeeping for a DNN kernel (inference and training).
+
+    Feature-map writes follow the paper's rule: *increment the maximum
+    VN_F used so far and assign it to the tensor being written*.  With one
+    write per layer this degenerates to "VN_F = layer number"; with tiling
+    it yields the ``n + Σ t_k`` values of Fig. 7/8.  Weights share a single
+    ``VN_W`` incremented on each update step; gradients mirror features in
+    their own space.
+    """
+
+    def __init__(self) -> None:
+        self._feature_vn: dict[str, int] = {}
+        self._gradient_vn: dict[str, int] = {}
+        self._max_feature_vn = 0
+        self._max_gradient_vn = 0
+        self._weight_vn = 1  # weights were loaded once before execution
+
+    # -- features ---------------------------------------------------------
+    def write_features(self, tensor: str) -> int:
+        """VN for writing (a tile of) ``tensor``; bumps the global max."""
+        self._max_feature_vn += 1
+        self._feature_vn[tensor] = self._max_feature_vn
+        return tag_vn(VnSpace.FEATURE, self._max_feature_vn)
+
+    def read_features(self, tensor: str) -> int:
+        """VN for reading ``tensor`` — the VN of its most recent write."""
+        try:
+            return tag_vn(VnSpace.FEATURE, self._feature_vn[tensor])
+        except KeyError:
+            raise ConfigError(f"feature tensor {tensor!r} was never written") from None
+
+    def has_features(self, tensor: str) -> bool:
+        return tensor in self._feature_vn
+
+    def ingest_features(self, tensor: str) -> int:
+        """Register an externally-provided input (user data) as written."""
+        return self.write_features(tensor)
+
+    def drop_features(self, tensor: str) -> None:
+        """Forget a consumed tensor (the §IV-C state-size optimization)."""
+        self._feature_vn.pop(tensor, None)
+
+    # -- weights ----------------------------------------------------------
+    def read_weights(self) -> int:
+        return tag_vn(VnSpace.WEIGHT, self._weight_vn)
+
+    def update_weights(self) -> int:
+        """VN for the weight write of one optimizer step."""
+        self._weight_vn += 1
+        return tag_vn(VnSpace.WEIGHT, self._weight_vn)
+
+    # -- gradients ---------------------------------------------------------
+    def write_gradients(self, tensor: str) -> int:
+        self._max_gradient_vn += 1
+        self._gradient_vn[tensor] = self._max_gradient_vn
+        return tag_vn(VnSpace.GRADIENT, self._max_gradient_vn)
+
+    def read_gradients(self, tensor: str) -> int:
+        try:
+            return tag_vn(VnSpace.GRADIENT, self._gradient_vn[tensor])
+        except KeyError:
+            raise ConfigError(f"gradient tensor {tensor!r} was never written") from None
+
+    def drop_gradients(self, tensor: str) -> None:
+        self._gradient_vn.pop(tensor, None)
+
+    # -- accounting ---------------------------------------------------------
+    @property
+    def state_bytes(self) -> int:
+        """On-chip SRAM holding the VN table (8 B per live entry + 2 maxima
+        + VN_W), matching the paper's "127-layer DNN uses 1 KB" estimate."""
+        entries = len(self._feature_vn) + len(self._gradient_vn) + 3
+        return entries * 8
+
+
+class IterationVnState:
+    """VN state for a GraphBLAS accelerator: a single iteration counter.
+
+    All three data structures are covered (§V-B): the adjacency matrix is
+    read-only with a constant VN; the rank vector is read with
+    ``Iter - 1``; the updated rank vector is written with ``Iter``.
+    SpMSpV reads the current-attribute vector with the same scheme — only
+    its MAC granularity differs, not the VN.
+    """
+
+    def __init__(self, adjacency_vn: int = 1) -> None:
+        if adjacency_vn <= 0:
+            raise ConfigError("adjacency VN must be positive (0 is 'never written')")
+        self._adjacency_vn = adjacency_vn
+        self._iteration = 1
+
+    @property
+    def iteration(self) -> int:
+        return self._iteration
+
+    def advance_iteration(self) -> None:
+        self._iteration += 1
+
+    def adjacency_vn(self) -> int:
+        return tag_vn(VnSpace.OTHER, self._adjacency_vn)
+
+    def read_vector_vn(self) -> int:
+        """VN for reading the current attribute (rank) vector."""
+        return tag_vn(VnSpace.OTHER, (1 << 32) | (self._iteration - 1))
+
+    def write_vector_vn(self) -> int:
+        """VN for writing the updated attribute vector."""
+        return tag_vn(VnSpace.OTHER, (1 << 32) | self._iteration)
+
+    @property
+    def state_bytes(self) -> int:
+        """One 64-bit counter (§V-B: "only 64-bit additional on-chip state")."""
+        return 8
+
+
+class BatchVnState:
+    """Darwin's VN state: CTR_genome ‖ CTR_query (§VII-A).
+
+    The reference, seed-pointer and position tables are written once per
+    assembly (VN = CTR_genome ‖ 0); query sequences and traceback output
+    use CTR_genome ‖ CTR_query, incremented per query batch.
+    """
+
+    _FIELD_BITS = VN_PAYLOAD_BITS // 2
+
+    def __init__(self) -> None:
+        self._ctr_genome = 1
+        self._ctr_query = 0
+
+    def new_genome(self) -> None:
+        self._ctr_genome += 1
+        self._ctr_query = 0
+
+    def new_query_batch(self) -> None:
+        self._ctr_query += 1
+
+    def reference_vn(self) -> int:
+        payload = pack_fields((self._ctr_genome, self._FIELD_BITS), (0, self._FIELD_BITS))
+        return tag_vn(VnSpace.OTHER, payload)
+
+    def query_vn(self) -> int:
+        if self._ctr_query == 0:
+            raise FreshnessError("no query batch loaded yet")
+        payload = pack_fields(
+            (self._ctr_genome, self._FIELD_BITS), (self._ctr_query, self._FIELD_BITS)
+        )
+        return tag_vn(VnSpace.OTHER, payload)
+
+    @property
+    def state_bytes(self) -> int:
+        return 16
+
+
+class FrameVnState:
+    """H.264 decoder VN state: CTR_IN ‖ frame_number (§VII-A).
+
+    ``frame_number`` is the *display* index of the frame being written;
+    the inter-prediction unit derives read VNs for reference frames from
+    the current frame number (F−1, F−2, F+1 …), so no table is needed.
+    """
+
+    _FIELD_BITS = VN_PAYLOAD_BITS // 2
+
+    def __init__(self) -> None:
+        self._ctr_in = 1
+
+    def new_bitstream(self) -> None:
+        self._ctr_in += 1
+
+    def frame_vn(self, frame_number: int) -> int:
+        if frame_number < 0:
+            raise ConfigError(f"frame number must be non-negative, got {frame_number}")
+        payload = pack_fields(
+            (self._ctr_in, self._FIELD_BITS), (frame_number, self._FIELD_BITS)
+        )
+        return tag_vn(VnSpace.OTHER, payload)
+
+    @property
+    def state_bytes(self) -> int:
+        return 8
+
+
+@dataclass
+class UniquenessGuard:
+    """Detects (location, VN) reuse across writes — the CTR-mode invariant.
+
+    The functional engine registers every write at MAC-granule resolution.
+    Reuse of a VN for the same granule raises :class:`FreshnessError`
+    *before* any ciphertext is produced, modelling a memory-protection
+    unit that refuses an unsafe command from a buggy kernel.
+    """
+
+    _last_vn: dict[int, int] = field(default_factory=dict)
+    #: Full history used by tests to distinguish replay from corruption.
+    _history: dict[int, list[int]] = field(default_factory=dict)
+
+    def register_write(self, granule_address: int, vn: int) -> None:
+        last = self._last_vn.get(granule_address)
+        if last is not None and vn <= last:
+            raise FreshnessError(
+                f"VN {vn:#x} already used (last {last:#x}) for granule "
+                f"{granule_address:#x}; CTR-mode counter reuse forbidden"
+            )
+        self._last_vn[granule_address] = vn
+        self._history.setdefault(granule_address, []).append(vn)
+
+    def current_vn(self, granule_address: int) -> int | None:
+        return self._last_vn.get(granule_address)
+
+    def was_ever_used(self, granule_address: int, vn: int) -> bool:
+        return vn in self._history.get(granule_address, ())

@@ -1,0 +1,76 @@
+"""Vectorized AES for bulk counter-mode keystream generation.
+
+The scalar implementation in :mod:`repro.crypto.aes` is the reference;
+this module evaluates the same cipher over an ``(N, 16)`` batch of blocks
+with numpy table lookups, making the *functional* protection engine fast
+enough to encrypt megabytes in tests and examples.  Equivalence with the
+scalar cipher is asserted property-style in the test-suite.
+
+Only encryption is provided — counter mode never runs the inverse cipher.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.common.errors import ConfigError
+from repro.crypto.aes import SBOX, _expand_key, _gf_mul, _ROUNDS
+
+_SBOX_NP = np.frombuffer(SBOX, dtype=np.uint8)
+
+# GF(2^8) multiply-by-2 and multiply-by-3 lookup tables for MixColumns.
+_MUL2 = np.array([_gf_mul(x, 2) for x in range(256)], dtype=np.uint8)
+_MUL3 = np.array([_gf_mul(x, 3) for x in range(256)], dtype=np.uint8)
+
+# ShiftRows permutation for the column-major state layout (state[4c + r]).
+_SHIFT = np.array([0, 5, 10, 15, 4, 9, 14, 3, 8, 13, 2, 7, 12, 1, 6, 11], dtype=np.intp)
+
+# MixColumns source indices: for each output byte, the four state bytes of
+# its column in rotated order, so the transform is pure gathers + XORs.
+_COL = np.arange(16).reshape(4, 4)  # _COL[c] = indices of column c
+
+
+class AesBatch:
+    """AES encryption over batches of 16-byte blocks."""
+
+    def __init__(self, key: bytes) -> None:
+        if len(key) not in _ROUNDS:
+            raise ConfigError(f"AES key must be 16/24/32 bytes, got {len(key)}")
+        self.rounds = _ROUNDS[len(key)]
+        self._round_keys = [
+            np.array(rk, dtype=np.uint8) for rk in _expand_key(bytes(key))
+        ]
+
+    @staticmethod
+    def _mix_columns(state: np.ndarray) -> np.ndarray:
+        out = np.empty_like(state)
+        for c in range(4):
+            a0 = state[:, 4 * c + 0]
+            a1 = state[:, 4 * c + 1]
+            a2 = state[:, 4 * c + 2]
+            a3 = state[:, 4 * c + 3]
+            out[:, 4 * c + 0] = _MUL2[a0] ^ _MUL3[a1] ^ a2 ^ a3
+            out[:, 4 * c + 1] = a0 ^ _MUL2[a1] ^ _MUL3[a2] ^ a3
+            out[:, 4 * c + 2] = a0 ^ a1 ^ _MUL2[a2] ^ _MUL3[a3]
+            out[:, 4 * c + 3] = _MUL3[a0] ^ a1 ^ a2 ^ _MUL2[a3]
+        return out
+
+    def encrypt_blocks(self, blocks: np.ndarray) -> np.ndarray:
+        """Encrypt an ``(N, 16)`` uint8 array of blocks."""
+        if blocks.ndim != 2 or blocks.shape[1] != 16 or blocks.dtype != np.uint8:
+            raise ConfigError("blocks must be an (N, 16) uint8 array")
+        state = blocks ^ self._round_keys[0]
+        for r in range(1, self.rounds):
+            state = _SBOX_NP[state]
+            state = state[:, _SHIFT]
+            state = self._mix_columns(state)
+            state ^= self._round_keys[r]
+        state = _SBOX_NP[state]
+        state = state[:, _SHIFT]
+        state ^= self._round_keys[self.rounds]
+        return state
+
+
+def ctr_keystream(key: bytes, counter_blocks: np.ndarray) -> np.ndarray:
+    """Keystream bytes for an ``(N, 16)`` array of counter blocks."""
+    return AesBatch(key).encrypt_blocks(counter_blocks)

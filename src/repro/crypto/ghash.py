@@ -1,0 +1,59 @@
+"""GHASH: the universal hash over GF(2^128) used by AES-GCM.
+
+The paper's case study (§VI-C) adds AES-GCM cores for both memory
+encryption and integrity verification.  GHASH is the authentication half
+of GCM: a polynomial evaluation over GF(2^128) keyed by ``H = AES_K(0)``.
+
+The field is GF(2^128) with the GCM reduction polynomial
+``x^128 + x^7 + x^2 + x + 1`` and GCM's reflected bit order: bit 0 of byte
+0 is the coefficient of x^0.  We implement the standard right-shift
+multiplication algorithm from NIST SP 800-38D.
+"""
+
+from __future__ import annotations
+
+from repro.common.errors import ConfigError
+
+# GCM's "R" constant: the reduction polynomial's low terms, reflected.
+_R = 0xE1000000000000000000000000000000
+
+
+def gf128_mul(x: int, y: int) -> int:
+    """Multiply two field elements in GCM bit order (MSB-first integers)."""
+    z = 0
+    v = x
+    for i in range(127, -1, -1):
+        if (y >> i) & 1:
+            z ^= v
+        if v & 1:
+            v = (v >> 1) ^ _R
+        else:
+            v >>= 1
+    return z
+
+
+class Ghash:
+    """Incremental GHASH computation keyed by subkey ``H``.
+
+    ``digest(data)`` processes the data in 16-byte blocks (zero padded)
+    followed by a length block, matching GCM's handling of a message with
+    no AAD.
+    """
+
+    def __init__(self, h_subkey: bytes) -> None:
+        if len(h_subkey) != 16:
+            raise ConfigError(f"GHASH subkey must be 16 bytes, got {len(h_subkey)}")
+        self._h = int.from_bytes(h_subkey, "big")
+
+    def digest(self, data: bytes) -> bytes:
+        """GHASH of ``data`` (treated as ciphertext, no AAD)."""
+        y = 0
+        for offset in range(0, len(data), 16):
+            chunk = data[offset : offset + 16]
+            if len(chunk) < 16:
+                chunk = chunk + bytes(16 - len(chunk))
+            y = gf128_mul(y ^ int.from_bytes(chunk, "big"), self._h)
+        # Length block: 64-bit AAD bit length (0) || 64-bit data bit length.
+        length_block = (len(data) * 8).to_bytes(16, "big")
+        y = gf128_mul(y ^ int.from_bytes(length_block, "big"), self._h)
+        return y.to_bytes(16, "big")

@@ -1,0 +1,65 @@
+"""Session key management for the secure accelerator (§II).
+
+A secure-accelerator session starts with the device clearing internal
+state and deriving fresh symmetric keys for memory encryption and
+integrity verification.  The real device holds a manufacturer-embedded
+private key (SK_Accel) and runs a DHE key exchange with the user; here we
+model the outcome of that protocol — a :class:`SessionKeys` bundle derived
+deterministically from a root secret and a session nonce via HKDF-like
+expansion — which is all the memory-protection engines need.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import hmac
+from dataclasses import dataclass
+
+from repro.common.errors import ConfigError
+
+
+def _hkdf_expand(secret: bytes, info: bytes, length: int) -> bytes:
+    """Single-extract HKDF expansion (RFC 5869 with salt = zeros)."""
+    prk = hmac.new(bytes(32), secret, hashlib.sha256).digest()
+    out = b""
+    block = b""
+    counter = 1
+    while len(out) < length:
+        block = hmac.new(prk, block + info + bytes([counter]), hashlib.sha256).digest()
+        out += block
+        counter += 1
+    return out[:length]
+
+
+@dataclass(frozen=True)
+class SessionKeys:
+    """Per-session symmetric keys for the memory protection unit."""
+
+    encryption_key: bytes
+    integrity_key: bytes
+    session_id: int
+
+    @classmethod
+    def derive(cls, root_secret: bytes, session_nonce: bytes, session_id: int = 0) -> "SessionKeys":
+        """Derive the encryption and integrity keys for one session.
+
+        Separate labels guarantee the two keys are independent even though
+        they share a root secret, mirroring the paper's "pair of new
+        symmetric keys for encryption and integrity verification".
+        """
+        if not root_secret or not session_nonce:
+            raise ConfigError("root secret and session nonce must be non-empty")
+        material = _hkdf_expand(root_secret + session_nonce, b"mgx-session", 32)
+        return cls(
+            encryption_key=_hkdf_expand(material, b"mgx-enc", 16),
+            integrity_key=_hkdf_expand(material, b"mgx-mac", 16),
+            session_id=session_id,
+        )
+
+    def rotate(self) -> "SessionKeys":
+        """Fresh keys for re-encryption after a VN overflow (§IV-C)."""
+        return SessionKeys.derive(
+            self.encryption_key + self.integrity_key,
+            self.session_id.to_bytes(8, "big"),
+            self.session_id + 1,
+        )

@@ -1,0 +1,86 @@
+"""Message authentication codes for integrity verification.
+
+Both the baseline and MGX compute ``MAC = H_K(V || PA || VN)`` over the
+*ciphertext* V, the physical address PA and the version number VN
+(§III-A).  Two interchangeable engines are provided:
+
+* :class:`GcmMac` — GHASH-then-encrypt construction mirroring the AES-GCM
+  cores the paper proposes for hardware (§VI-C).  The GHASH of the
+  ciphertext is encrypted with a per-(address, VN) counter block, making
+  the tag depend on all three inputs.
+* :class:`HmacSha256Mac` — a software-friendly engine (stdlib ``hmac``)
+  used where test speed matters; identical interface and truncation.
+
+Tags are truncated to ``tag_bits`` (56 in the Intel-MEE baseline, 64 in
+MGX) exactly as the hardware stores truncated MACs.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import hmac
+from typing import Protocol
+
+from repro.common.errors import ConfigError
+from repro.crypto.aes import AES
+from repro.crypto.ctr import xor_bytes
+from repro.crypto.ghash import Ghash
+
+
+class MacEngine(Protocol):
+    """Interface shared by the MAC constructions."""
+
+    tag_bytes: int
+
+    def tag(self, ciphertext: bytes, address: int, version: int) -> bytes:
+        """Compute the truncated tag binding data, address and VN."""
+        ...
+
+
+def _check_tag_bits(tag_bits: int) -> int:
+    if tag_bits % 8 != 0 or not 32 <= tag_bits <= 128:
+        raise ConfigError(f"tag_bits must be a multiple of 8 in [32,128], got {tag_bits}")
+    return tag_bits // 8
+
+
+class GcmMac:
+    """GCM-style MAC: ``E_K(J(addr, vn)) XOR GHASH_H(ciphertext)``.
+
+    ``H = AES_K(0^128)`` as in GCM; the pre-counter block J encodes the
+    address and version number, so a relocated or replayed block produces
+    a different tag.
+    """
+
+    def __init__(self, key: bytes, tag_bits: int = 64) -> None:
+        self.tag_bytes = _check_tag_bits(tag_bits)
+        self._aes = AES(key)
+        self._ghash = Ghash(self._aes.encrypt_block(bytes(16)))
+
+    def tag(self, ciphertext: bytes, address: int, version: int) -> bytes:
+        digest = self._ghash.digest(ciphertext)
+        j0 = ((address & ((1 << 64) - 1)) << 64 | (version & ((1 << 64) - 1))).to_bytes(16, "big")
+        full = xor_bytes(self._aes.encrypt_block(j0), digest)
+        return full[: self.tag_bytes]
+
+
+class HmacSha256Mac:
+    """HMAC-SHA256 based MAC with the same (data, addr, vn) binding."""
+
+    def __init__(self, key: bytes, tag_bits: int = 64) -> None:
+        if not key:
+            raise ConfigError("HMAC key must be non-empty")
+        self.tag_bytes = _check_tag_bits(tag_bits)
+        self._key = bytes(key)
+
+    def tag(self, ciphertext: bytes, address: int, version: int) -> bytes:
+        msg = (
+            ciphertext
+            + (address & ((1 << 64) - 1)).to_bytes(8, "big")
+            + (version & ((1 << 64) - 1)).to_bytes(8, "big")
+        )
+        return hmac.new(self._key, msg, hashlib.sha256).digest()[: self.tag_bytes]
+
+
+def constant_time_equal(a: bytes, b: bytes) -> bool:
+    """Constant-time comparison for tag checks."""
+    return hmac.compare_digest(a, b)

@@ -1,0 +1,104 @@
+"""DNN accelerator substrate: model zoo, systolic timing, trace generation.
+
+Plays the role of SCALE-Sim in the paper's toolflow (Fig. 11a): the
+published benchmark networks are lowered to GEMMs, timed on a
+weight-stationary systolic array, tiled against the machine's SRAMs, and
+emitted as phases of compute + tagged DRAM block transfers with the VNs
+an MGX control processor would generate.
+"""
+
+from repro.dnn.accelerator import CLOUD, CONFIGS, EDGE, DnnAcceleratorConfig
+from repro.dnn.chaidnn import (
+    ChaiInstruction,
+    ChaiMicrocontroller,
+    ChaiOp,
+    compile_model,
+    retrofit_budget,
+)
+from repro.dnn.layers import (
+    ConcatLayer,
+    ConvLayer,
+    DeconvLayer,
+    DenseLayer,
+    DnnModel,
+    EltwiseAddLayer,
+    EmbeddingLayer,
+    GemmShape,
+    Layer,
+    MatmulLayer,
+    PoolLayer,
+)
+from repro.dnn.models import (
+    INFERENCE_MODELS,
+    TRAINING_MODELS,
+    alexnet,
+    bert_base,
+    build_model,
+    dlrm,
+    googlenet,
+    mobilenet_v1,
+    resnet50,
+    segnet_toy,
+    vgg16,
+)
+from repro.dnn.reference import conv2d_direct, conv2d_gemm, im2col
+from repro.dnn.pruning import (
+    CscFeatures,
+    CsrFeatures,
+    PrunedTileWriter,
+    RlcFeatures,
+    dynamic_channel_gate,
+    static_filter_prune,
+)
+from repro.dnn.systolic import Dataflow, SystolicArray
+from repro.dnn.tiling import TilingDecision, plan_gemm
+from repro.dnn.tracegen import DnnTrace, DnnTraceGenerator
+
+__all__ = [
+    "CLOUD",
+    "CONFIGS",
+    "EDGE",
+    "DnnAcceleratorConfig",
+    "ChaiInstruction",
+    "ChaiMicrocontroller",
+    "ChaiOp",
+    "compile_model",
+    "retrofit_budget",
+    "ConcatLayer",
+    "ConvLayer",
+    "DeconvLayer",
+    "DenseLayer",
+    "DnnModel",
+    "EltwiseAddLayer",
+    "EmbeddingLayer",
+    "GemmShape",
+    "Layer",
+    "MatmulLayer",
+    "PoolLayer",
+    "INFERENCE_MODELS",
+    "TRAINING_MODELS",
+    "alexnet",
+    "bert_base",
+    "build_model",
+    "dlrm",
+    "googlenet",
+    "mobilenet_v1",
+    "resnet50",
+    "segnet_toy",
+    "vgg16",
+    "conv2d_direct",
+    "conv2d_gemm",
+    "im2col",
+    "CscFeatures",
+    "CsrFeatures",
+    "PrunedTileWriter",
+    "RlcFeatures",
+    "dynamic_channel_gate",
+    "static_filter_prune",
+    "Dataflow",
+    "SystolicArray",
+    "TilingDecision",
+    "plan_gemm",
+    "DnnTrace",
+    "DnnTraceGenerator",
+]

@@ -1,0 +1,67 @@
+"""DNN accelerator configurations: the paper's Cloud and Edge machines.
+
+Cloud models Google TPU-v1 (64 K PEs, 24 MB on-chip, 700 MHz, four 64-bit
+DDR4-2400 channels); Edge models the Samsung mobile NPU (1 K PEs, 4.5 MB,
+900 MHz, one channel) — §VI-A.  The protected memory is 16 GB.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.common.errors import ConfigError
+from repro.common.units import GIB, MHZ, MIB
+from repro.dnn.systolic import Dataflow, SystolicArray
+from repro.dram.model import DramConfig
+
+
+@dataclass(frozen=True)
+class DnnAcceleratorConfig:
+    """Array geometry, SRAM partitioning and memory system of one machine."""
+
+    name: str
+    array: SystolicArray
+    ifmap_sram: int
+    filter_sram: int
+    ofmap_sram: int
+    dram: DramConfig = field(default_factory=DramConfig)
+    protected_bytes: int = 16 * GIB
+
+    def __post_init__(self) -> None:
+        if min(self.ifmap_sram, self.filter_sram, self.ofmap_sram) <= 0:
+            raise ConfigError("SRAM partitions must be positive")
+
+    @property
+    def onchip_sram(self) -> int:
+        return self.ifmap_sram + self.filter_sram + self.ofmap_sram
+
+    @property
+    def peak_macs_per_second(self) -> float:
+        return self.array.pes * self.array.freq_hz
+
+
+#: TPU-v1-like cloud configuration (§VI-A): 256×256 PEs @ 700 MHz, 24 MB
+#: SRAM, four DDR4-2400 channels.
+CLOUD = DnnAcceleratorConfig(
+    name="Cloud",
+    array=SystolicArray(rows=256, cols=256, freq_hz=700 * MHZ,
+                        dataflow=Dataflow.WEIGHT_STATIONARY),
+    ifmap_sram=8 * MIB,
+    filter_sram=8 * MIB,
+    ofmap_sram=8 * MIB,
+    dram=DramConfig(channels=4),
+)
+
+#: Samsung-NPU-like edge configuration: 32×32 PEs @ 900 MHz, 4.5 MB SRAM,
+#: one DDR4-2400 channel.
+EDGE = DnnAcceleratorConfig(
+    name="Edge",
+    array=SystolicArray(rows=32, cols=32, freq_hz=900 * MHZ,
+                        dataflow=Dataflow.WEIGHT_STATIONARY),
+    ifmap_sram=int(1.5 * MIB),
+    filter_sram=2 * MIB,
+    ofmap_sram=1 * MIB,
+    dram=DramConfig(channels=1),
+)
+
+CONFIGS = {"Cloud": CLOUD, "Edge": EDGE}

@@ -1,0 +1,188 @@
+"""CHaiDNN retrofit case study (§VI-C).
+
+CHaiDNN is Xilinx's HLS DNN accelerator with a three-operation interface
+— Convolution, Deconvolution, Pooling — plus fused activations, so
+"a deep neural network like AlexNet can be expressed in less than 20
+instructions".  The paper retrofits MGX with:
+
+* a microcontroller that treats each instruction as a layer, assigns one
+  VN to all output features of that instruction, and keeps the VN table
+  in its SRAM (plus two counters: weights and inputs), and
+* AES-GCM cores sized to the accelerator's memory bandwidth.
+
+This module compiles our model zoo down to the CHaiDNN instruction set,
+models the microcontroller's VN table, and estimates the retrofit's
+hardware budget.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.common.errors import ConfigError
+from repro.core.counters import VnSpace, tag_vn
+from repro.dnn.layers import (
+    ConcatLayer,
+    ConvLayer,
+    DeconvLayer,
+    DenseLayer,
+    DnnModel,
+    EltwiseAddLayer,
+    EmbeddingLayer,
+    MatmulLayer,
+    PoolLayer,
+)
+
+
+class ChaiOp(enum.Enum):
+    """CHaiDNN's high-level instruction set."""
+
+    CONVOLUTION = "Convolution"
+    DECONVOLUTION = "Deconvolution"
+    POOLING = "Pooling"
+
+
+@dataclass(frozen=True)
+class ChaiInstruction:
+    """One accelerator instruction: an op plus its tensor footprint."""
+
+    index: int
+    op: ChaiOp
+    source_layer: str
+    weight_bytes: int
+    input_bytes: int
+    output_bytes: int
+
+
+def compile_model(model: DnnModel) -> list[ChaiInstruction]:
+    """Lower a layer graph to CHaiDNN instructions.
+
+    Convolutions and dense layers (1×1 convolutions over a flattened
+    input, the standard CHaiDNN trick) become ``Convolution``; pooling
+    becomes ``Pooling``; element-wise adds and concats fuse into the
+    preceding instruction (CHaiDNN merges activations and simple
+    element-wise ops to avoid DRAM round trips).  Unsupported layers
+    (embeddings, raw matmuls) are rejected — CHaiDNN is a CNN engine.
+    """
+    instructions: list[ChaiInstruction] = []
+    for layer in model.layers:
+        if isinstance(layer, (EmbeddingLayer, MatmulLayer)):
+            raise ConfigError(
+                f"layer {layer.name!r}: {type(layer).__name__} is not "
+                "expressible in CHaiDNN's instruction set"
+            )
+        if isinstance(layer, (EltwiseAddLayer, ConcatLayer)):
+            continue  # fused with the producer instruction
+        if isinstance(layer, (ConvLayer, DenseLayer)):
+            op = ChaiOp.CONVOLUTION
+        elif isinstance(layer, DeconvLayer):
+            op = ChaiOp.DECONVOLUTION
+        elif isinstance(layer, PoolLayer):
+            op = ChaiOp.POOLING
+        else:
+            raise ConfigError(f"layer {layer.name!r}: unsupported kind")
+        instructions.append(
+            ChaiInstruction(
+                index=len(instructions),
+                op=op,
+                source_layer=layer.name,
+                weight_bytes=layer.weight_bytes,
+                input_bytes=layer.ifmap_bytes,
+                output_bytes=layer.ofmap_bytes,
+            )
+        )
+    return instructions
+
+
+class ChaiMicrocontroller:
+    """The §VI-C microcontroller: per-instruction VN table in SRAM.
+
+    Each instruction's output features share one VN; two counters cover
+    the weights and the external inputs.  ``vn_for_output`` is called
+    when an instruction executes (write side); ``vn_for_input`` regenerates
+    the producer's VN on the read side.
+    """
+
+    def __init__(self, instructions: list[ChaiInstruction]) -> None:
+        if not instructions:
+            raise ConfigError("empty instruction stream")
+        self.instructions = instructions
+        self._table: dict[int, int] = {}
+        self._max_vn = 0
+        self._weight_counter = 1
+        self._input_counter = 1
+        #: instruction index by producing layer name, for input lookup
+        self._producer = {inst.source_layer: inst.index for inst in instructions}
+
+    # -- execution-time VN management ------------------------------------
+    def vn_for_output(self, instruction_index: int) -> int:
+        if not 0 <= instruction_index < len(self.instructions):
+            raise ConfigError(f"instruction {instruction_index} out of range")
+        self._max_vn += 1
+        self._table[instruction_index] = self._max_vn
+        return tag_vn(VnSpace.FEATURE, self._max_vn)
+
+    def vn_for_input(self, producer_layer: str) -> int:
+        if producer_layer == "input":
+            return tag_vn(VnSpace.OTHER, self._input_counter)
+        index = self._producer.get(producer_layer)
+        if index is None or index not in self._table:
+            raise ConfigError(f"no VN recorded for producer {producer_layer!r}")
+        return tag_vn(VnSpace.FEATURE, self._table[index])
+
+    def vn_for_weights(self) -> int:
+        return tag_vn(VnSpace.WEIGHT, self._weight_counter)
+
+    def new_input(self) -> None:
+        self._input_counter += 1
+
+    def update_weights(self) -> None:
+        self._weight_counter += 1
+
+    # -- hardware budget ---------------------------------------------------
+    @property
+    def vn_table_bytes(self) -> int:
+        """8 B per instruction plus the two counters (§VI-C VN table)."""
+        return len(self.instructions) * 8 + 16
+
+    def run_network(self) -> dict[str, int]:
+        """Assign VNs for one full inference pass; returns layer → VN."""
+        assigned = {}
+        for inst in self.instructions:
+            assigned[inst.source_layer] = self.vn_for_output(inst.index)
+        return assigned
+
+
+@dataclass(frozen=True)
+class RetrofitBudget:
+    """Hardware added to CHaiDNN for MGX protection."""
+
+    aes_gcm_cores: int
+    vn_table_bytes: int
+    instruction_count: int
+    #: fraction of the accelerator's LUT budget the retrofit costs,
+    #: using the multi-gigabit GCM core figure from [31] (§VI-C).
+    relative_area_estimate: float
+
+
+def retrofit_budget(model: DnnModel, peak_bandwidth_gbs: float = 19.2,
+                    gcm_core_gbs: float = 4.0) -> RetrofitBudget:
+    """Estimate the MGX retrofit for running ``model`` on CHaiDNN.
+
+    One AES-GCM core sustains ~4 GB/s [31]; cores are provisioned to
+    cover the DDR bandwidth.  The paper's conclusion — "the overhead of
+    adding microcontroller and AES-GCM cores is expected to be modest" —
+    corresponds to the small relative-area figure here.
+    """
+    instructions = compile_model(model)
+    controller = ChaiMicrocontroller(instructions)
+    cores = max(1, int(-(-peak_bandwidth_gbs // gcm_core_gbs)))
+    # A GCM core is ≈ 10 K LUTs [31]; CHaiDNN-class designs use ≈ 200 K.
+    area = (cores * 10_000 + 5_000) / 200_000
+    return RetrofitBudget(
+        aes_gcm_cores=cores,
+        vn_table_bytes=controller.vn_table_bytes,
+        instruction_count=len(instructions),
+        relative_area_estimate=area,
+    )

@@ -1,0 +1,394 @@
+"""DNN layer shape records and their lowering to GEMMs.
+
+The accelerator model needs three things from every layer: how many bytes
+of weights / input features / output features it moves, how it lowers to
+a matrix multiplication for the systolic-array timing model, and which
+tensors it consumes (for VN bookkeeping of residual fan-in).  Layers here
+are *shape* records — no numerics — because the evaluation is trace
+driven.  Functional DNN math lives with the pruning study
+(:mod:`repro.dnn.pruning`), which operates on real arrays.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.common.errors import ConfigError
+
+
+@dataclass(frozen=True)
+class GemmShape:
+    """An M×K @ K×N matrix multiply (the systolic array's native job)."""
+
+    m: int
+    k: int
+    n: int
+
+    def __post_init__(self) -> None:
+        if min(self.m, self.k, self.n) <= 0:
+            raise ConfigError(f"GEMM dims must be positive, got {self}")
+
+    @property
+    def macs(self) -> int:
+        return self.m * self.k * self.n
+
+
+@dataclass(frozen=True)
+class Layer:
+    """Base layer: a named node of the model DAG.
+
+    ``inputs`` names the feature tensors this layer reads (outputs of
+    earlier layers, or ``"input"``); the layer's own output tensor is its
+    ``name``.  ``dtype_bytes`` is the element size the accelerator moves;
+    the default (2, bf16) keeps the Cloud/Edge machines balanced between
+    compute and bandwidth as the paper's setup prescribes (§VI-A).
+    """
+
+    name: str
+    inputs: tuple[str, ...]
+    dtype_bytes: int = 2
+
+    # -- byte volumes (overridden per layer kind) ---------------------------
+    @property
+    def weight_bytes(self) -> int:
+        return 0
+
+    @property
+    def ifmap_bytes(self) -> int:
+        raise NotImplementedError
+
+    @property
+    def ofmap_bytes(self) -> int:
+        raise NotImplementedError
+
+    def gemms(self) -> list[GemmShape]:
+        """GEMMs executed on the array for the forward pass (may be [])."""
+        return []
+
+    @property
+    def backward_gemms(self) -> list[GemmShape]:
+        """GEMMs for the backward pass (dX and dW), empty if not trainable."""
+        return []
+
+
+@dataclass(frozen=True)
+class ConvLayer(Layer):
+    """2-D convolution, lowered to GEMM by im2col.
+
+    ``out_h/out_w`` derive from input geometry, kernel, stride, padding.
+    """
+
+    in_channels: int = 1
+    out_channels: int = 1
+    kernel: int = 3
+    stride: int = 1
+    padding: int = 0
+    in_h: int = 1
+    in_w: int = 1
+    groups: int = 1
+
+    def __post_init__(self) -> None:
+        if self.in_channels % self.groups or self.out_channels % self.groups:
+            raise ConfigError(f"{self.name}: channels not divisible by groups")
+        if self.out_h <= 0 or self.out_w <= 0:
+            raise ConfigError(f"{self.name}: non-positive output size")
+
+    @property
+    def out_h(self) -> int:
+        return (self.in_h + 2 * self.padding - self.kernel) // self.stride + 1
+
+    @property
+    def out_w(self) -> int:
+        return (self.in_w + 2 * self.padding - self.kernel) // self.stride + 1
+
+    @property
+    def weight_bytes(self) -> int:
+        per_group = (self.in_channels // self.groups) * self.kernel * self.kernel
+        return self.out_channels * per_group * self.dtype_bytes
+
+    @property
+    def ifmap_bytes(self) -> int:
+        return self.in_channels * self.in_h * self.in_w * self.dtype_bytes
+
+    @property
+    def ofmap_bytes(self) -> int:
+        return self.out_channels * self.out_h * self.out_w * self.dtype_bytes
+
+    def gemms(self) -> list[GemmShape]:
+        k = (self.in_channels // self.groups) * self.kernel * self.kernel
+        per_group = GemmShape(
+            m=self.out_h * self.out_w, k=k, n=self.out_channels // self.groups
+        )
+        return [per_group] * self.groups
+
+    @property
+    def backward_gemms(self) -> list[GemmShape]:
+        # dX: (out spatial × out_c) @ (out_c × k) per group; dW: (k × spatial)
+        # @ (spatial × out_c).  Same MAC volume as two forward GEMMs.
+        forward = self.gemms()
+        return [GemmShape(g.m, g.n, g.k) for g in forward] + [
+            GemmShape(g.k, g.m, g.n) for g in forward
+        ]
+
+
+@dataclass(frozen=True)
+class DeconvLayer(Layer):
+    """Transposed (fractionally-strided) convolution — upsampling layers.
+
+    CHaiDNN exposes Deconvolution as a first-class operation (§VI-C);
+    segmentation-style networks interleave it with convolutions.  The
+    GEMM lowering mirrors the gradient-of-conv view: per input pixel, a
+    (k·k·out_c)-wide column is produced and scattered.
+    """
+
+    in_channels: int = 1
+    out_channels: int = 1
+    kernel: int = 2
+    stride: int = 2
+    padding: int = 0
+    in_h: int = 1
+    in_w: int = 1
+
+    def __post_init__(self) -> None:
+        if self.out_h <= 0 or self.out_w <= 0:
+            raise ConfigError(f"{self.name}: non-positive output size")
+
+    @property
+    def out_h(self) -> int:
+        return (self.in_h - 1) * self.stride - 2 * self.padding + self.kernel
+
+    @property
+    def out_w(self) -> int:
+        return (self.in_w - 1) * self.stride - 2 * self.padding + self.kernel
+
+    @property
+    def weight_bytes(self) -> int:
+        return self.in_channels * self.out_channels * self.kernel * self.kernel * (
+            self.dtype_bytes
+        )
+
+    @property
+    def ifmap_bytes(self) -> int:
+        return self.in_channels * self.in_h * self.in_w * self.dtype_bytes
+
+    @property
+    def ofmap_bytes(self) -> int:
+        return self.out_channels * self.out_h * self.out_w * self.dtype_bytes
+
+    def gemms(self) -> list[GemmShape]:
+        return [
+            GemmShape(
+                m=self.in_h * self.in_w,
+                k=self.in_channels,
+                n=self.out_channels * self.kernel * self.kernel,
+            )
+        ]
+
+    @property
+    def backward_gemms(self) -> list[GemmShape]:
+        forward = self.gemms()
+        return [GemmShape(g.m, g.n, g.k) for g in forward] + [
+            GemmShape(g.k, g.m, g.n) for g in forward
+        ]
+
+
+@dataclass(frozen=True)
+class DenseLayer(Layer):
+    """Fully-connected layer: (batch·seq) × in_features × out_features."""
+
+    in_features: int = 1
+    out_features: int = 1
+    rows: int = 1  # batch × sequence positions sharing the weights
+
+    @property
+    def weight_bytes(self) -> int:
+        return self.in_features * self.out_features * self.dtype_bytes
+
+    @property
+    def ifmap_bytes(self) -> int:
+        return self.rows * self.in_features * self.dtype_bytes
+
+    @property
+    def ofmap_bytes(self) -> int:
+        return self.rows * self.out_features * self.dtype_bytes
+
+    def gemms(self) -> list[GemmShape]:
+        return [GemmShape(m=self.rows, k=self.in_features, n=self.out_features)]
+
+    @property
+    def backward_gemms(self) -> list[GemmShape]:
+        return [
+            GemmShape(self.rows, self.out_features, self.in_features),
+            GemmShape(self.in_features, self.rows, self.out_features),
+        ]
+
+
+@dataclass(frozen=True)
+class MatmulLayer(Layer):
+    """Activation × activation matmul (attention scores / context).
+
+    No weights; both operands are feature tensors.
+    """
+
+    m: int = 1
+    k: int = 1
+    n: int = 1
+    batch: int = 1  # e.g. attention heads
+
+    @property
+    def ifmap_bytes(self) -> int:
+        return self.batch * (self.m * self.k + self.k * self.n) * self.dtype_bytes
+
+    @property
+    def ofmap_bytes(self) -> int:
+        return self.batch * self.m * self.n * self.dtype_bytes
+
+    def gemms(self) -> list[GemmShape]:
+        return [GemmShape(self.m, self.k, self.n)] * self.batch
+
+    @property
+    def backward_gemms(self) -> list[GemmShape]:
+        return [GemmShape(self.m, self.n, self.k)] * self.batch + [
+            GemmShape(self.k, self.m, self.n)
+        ] * self.batch
+
+
+@dataclass(frozen=True)
+class PoolLayer(Layer):
+    """Pooling: pure data movement, no GEMM, shrinks the feature map."""
+
+    channels: int = 1
+    in_h: int = 1
+    in_w: int = 1
+    kernel: int = 2
+    stride: int = 2
+
+    @property
+    def out_h(self) -> int:
+        return (self.in_h - self.kernel) // self.stride + 1
+
+    @property
+    def out_w(self) -> int:
+        return (self.in_w - self.kernel) // self.stride + 1
+
+    @property
+    def ifmap_bytes(self) -> int:
+        return self.channels * self.in_h * self.in_w * self.dtype_bytes
+
+    @property
+    def ofmap_bytes(self) -> int:
+        return self.channels * self.out_h * self.out_w * self.dtype_bytes
+
+
+@dataclass(frozen=True)
+class EltwiseAddLayer(Layer):
+    """Residual addition: reads two feature tensors, writes their sum."""
+
+    elements: int = 1
+
+    @property
+    def ifmap_bytes(self) -> int:
+        return 2 * self.elements * self.dtype_bytes
+
+    @property
+    def ofmap_bytes(self) -> int:
+        return self.elements * self.dtype_bytes
+
+
+@dataclass(frozen=True)
+class ConcatLayer(Layer):
+    """Channel concatenation (GoogLeNet inception join): pure movement."""
+
+    elements: int = 1
+
+    @property
+    def ifmap_bytes(self) -> int:
+        return self.elements * self.dtype_bytes
+
+    @property
+    def ofmap_bytes(self) -> int:
+        return self.elements * self.dtype_bytes
+
+
+@dataclass(frozen=True)
+class EmbeddingLayer(Layer):
+    """Embedding-table gather (DLRM): scattered row reads.
+
+    ``tables`` independent tables of ``rows`` rows × ``dim`` elements;
+    each sample gathers ``lookups_per_table`` rows from each table.
+    """
+
+    tables: int = 1
+    rows: int = 1
+    dim: int = 1
+    lookups_per_table: int = 1
+    batch: int = 1
+    element_bytes: int = 4
+    #: Gathered rows usually feed the interaction on-chip; set True to
+    #: spill them to DRAM instead (costing a write and a later read).
+    spill_output: bool = False
+
+    @property
+    def row_bytes(self) -> int:
+        return self.dim * self.element_bytes
+
+    @property
+    def table_bytes(self) -> int:
+        return self.rows * self.row_bytes
+
+    @property
+    def total_table_bytes(self) -> int:
+        return self.tables * self.table_bytes
+
+    @property
+    def total_lookups(self) -> int:
+        return self.batch * self.tables * self.lookups_per_table
+
+    @property
+    def ifmap_bytes(self) -> int:
+        """Bytes gathered from the tables for one batch."""
+        return self.total_lookups * self.row_bytes
+
+    @property
+    def ofmap_bytes(self) -> int:
+        if not self.spill_output:
+            return 0
+        return self.batch * self.tables * self.lookups_per_table * self.row_bytes
+
+
+#: Layers whose outputs must be saved during training for the backward
+#: pass (everything that produces features consumed by a GEMM).
+TRAINABLE_KINDS = (ConvLayer, DenseLayer, MatmulLayer)
+
+
+@dataclass
+class DnnModel:
+    """An ordered DAG of layers with a distinguished external input."""
+
+    name: str
+    layers: list[Layer] = field(default_factory=list)
+    input_bytes: int = 0
+
+    def add(self, layer: Layer) -> Layer:
+        if any(l.name == layer.name for l in self.layers):
+            raise ConfigError(f"duplicate layer name {layer.name!r} in {self.name}")
+        self.layers.append(layer)
+        return layer
+
+    def layer(self, name: str) -> Layer:
+        for candidate in self.layers:
+            if candidate.name == name:
+                return candidate
+        raise ConfigError(f"no layer named {name!r} in {self.name}")
+
+    @property
+    def total_weight_bytes(self) -> int:
+        return sum(l.weight_bytes for l in self.layers)
+
+    @property
+    def total_macs(self) -> int:
+        return sum(g.macs for l in self.layers for g in l.gemms())
+
+    def consumers(self, tensor: str) -> list[Layer]:
+        """Layers that read ``tensor`` (for VN lifetime management)."""
+        return [l for l in self.layers if tensor in l.inputs]

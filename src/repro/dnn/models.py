@@ -1,0 +1,364 @@
+"""Model zoo: the six benchmark networks of the paper's DNN evaluation.
+
+AlexNet, VGG16, GoogLeNet, ResNet-50 (image classification), BERT-base
+(language pretraining) and DLRM (personalized recommendation), §VI-A.
+Each builder returns a :class:`~repro.dnn.layers.DnnModel` whose layer
+graph carries the real published shapes, so the trace generator's traffic
+and the systolic model's cycle counts reflect the actual networks.
+
+Pooling/activation layers that accelerators fuse into the producing layer
+are omitted unless they change DRAM-resident feature sizes (pooling does,
+ReLU does not — §VI-C notes activations are merged to avoid DRAM traffic).
+"""
+
+from __future__ import annotations
+
+from repro.dnn.layers import (
+    ConcatLayer,
+    ConvLayer,
+    DeconvLayer,
+    DenseLayer,
+    DnnModel,
+    EltwiseAddLayer,
+    EmbeddingLayer,
+    MatmulLayer,
+    PoolLayer,
+)
+
+
+def _conv(model: DnnModel, name: str, src: str, in_c: int, out_c: int, k: int,
+          stride: int, pad: int, h: int, w: int, groups: int = 1) -> tuple[str, int, int]:
+    layer = ConvLayer(
+        name=name, inputs=(src,), in_channels=in_c, out_channels=out_c,
+        kernel=k, stride=stride, padding=pad, in_h=h, in_w=w, groups=groups,
+    )
+    model.add(layer)
+    return name, layer.out_h, layer.out_w
+
+
+def _pool(model: DnnModel, name: str, src: str, channels: int, h: int, w: int,
+          k: int, stride: int) -> tuple[str, int, int]:
+    layer = PoolLayer(
+        name=name, inputs=(src,), channels=channels, in_h=h, in_w=w,
+        kernel=k, stride=stride,
+    )
+    model.add(layer)
+    return name, layer.out_h, layer.out_w
+
+
+def alexnet() -> DnnModel:
+    """AlexNet (single-tower variant), 227×227×3 input."""
+    m = DnnModel("AlexNet", input_bytes=3 * 227 * 227)
+    t, h, w = _conv(m, "conv1", "input", 3, 96, 11, 4, 0, 227, 227)
+    t, h, w = _pool(m, "pool1", t, 96, h, w, 3, 2)
+    t, h, w = _conv(m, "conv2", t, 96, 256, 5, 1, 2, h, w)
+    t, h, w = _pool(m, "pool2", t, 256, h, w, 3, 2)
+    t, h, w = _conv(m, "conv3", t, 256, 384, 3, 1, 1, h, w)
+    t, h, w = _conv(m, "conv4", t, 384, 384, 3, 1, 1, h, w)
+    t, h, w = _conv(m, "conv5", t, 384, 256, 3, 1, 1, h, w)
+    t, h, w = _pool(m, "pool5", t, 256, h, w, 3, 2)
+    m.add(DenseLayer(name="fc6", inputs=(t,), in_features=256 * h * w, out_features=4096))
+    m.add(DenseLayer(name="fc7", inputs=("fc6",), in_features=4096, out_features=4096))
+    m.add(DenseLayer(name="fc8", inputs=("fc7",), in_features=4096, out_features=1000))
+    return m
+
+
+_VGG_PLAN = [
+    (64, 2), (128, 2), (256, 3), (512, 3), (512, 3),
+]
+
+
+def vgg16() -> DnnModel:
+    """VGG-16, 224×224×3 input: 13 conv + 3 dense layers."""
+    m = DnnModel("VGG", input_bytes=3 * 224 * 224)
+    t, h, w = "input", 224, 224
+    in_c = 3
+    index = 0
+    for block, (out_c, repeats) in enumerate(_VGG_PLAN, start=1):
+        for r in range(repeats):
+            index += 1
+            t, h, w = _conv(m, f"conv{block}_{r + 1}", t, in_c, out_c, 3, 1, 1, h, w)
+            in_c = out_c
+        t, h, w = _pool(m, f"pool{block}", t, out_c, h, w, 2, 2)
+    m.add(DenseLayer(name="fc1", inputs=(t,), in_features=512 * h * w, out_features=4096))
+    m.add(DenseLayer(name="fc2", inputs=("fc1",), in_features=4096, out_features=4096))
+    m.add(DenseLayer(name="fc3", inputs=("fc2",), in_features=4096, out_features=1000))
+    return m
+
+
+# GoogLeNet inception parameters: (1x1, 3x3red, 3x3, 5x5red, 5x5, pool_proj)
+_INCEPTION = {
+    "3a": (64, 96, 128, 16, 32, 32),
+    "3b": (128, 128, 192, 32, 96, 64),
+    "4a": (192, 96, 208, 16, 48, 64),
+    "4b": (160, 112, 224, 24, 64, 64),
+    "4c": (128, 128, 256, 24, 64, 64),
+    "4d": (112, 144, 288, 32, 64, 64),
+    "4e": (256, 160, 320, 32, 128, 128),
+    "5a": (256, 160, 320, 32, 128, 128),
+    "5b": (384, 192, 384, 48, 128, 128),
+}
+
+
+def _inception(m: DnnModel, tag: str, src: str, in_c: int, h: int, w: int) -> tuple[str, int]:
+    c1, r3, c3, r5, c5, pp = _INCEPTION[tag]
+    _conv(m, f"inc{tag}_1x1", src, in_c, c1, 1, 1, 0, h, w)
+    _conv(m, f"inc{tag}_3x3r", src, in_c, r3, 1, 1, 0, h, w)
+    _conv(m, f"inc{tag}_3x3", f"inc{tag}_3x3r", r3, c3, 3, 1, 1, h, w)
+    _conv(m, f"inc{tag}_5x5r", src, in_c, r5, 1, 1, 0, h, w)
+    _conv(m, f"inc{tag}_5x5", f"inc{tag}_5x5r", r5, c5, 5, 1, 2, h, w)
+    _conv(m, f"inc{tag}_pp", src, in_c, pp, 1, 1, 0, h, w)
+    out_c = c1 + c3 + c5 + pp
+    m.add(
+        ConcatLayer(
+            name=f"inc{tag}_out",
+            inputs=(f"inc{tag}_1x1", f"inc{tag}_3x3", f"inc{tag}_5x5", f"inc{tag}_pp"),
+            elements=out_c * h * w,
+        )
+    )
+    return f"inc{tag}_out", out_c
+
+
+def googlenet() -> DnnModel:
+    """GoogLeNet (Inception v1), 224×224×3 input."""
+    m = DnnModel("GoogleNet", input_bytes=3 * 224 * 224)
+    t, h, w = _conv(m, "conv1", "input", 3, 64, 7, 2, 3, 224, 224)
+    t, h, w = _pool(m, "pool1", t, 64, h, w, 3, 2)
+    t, h, w = _conv(m, "conv2r", t, 64, 64, 1, 1, 0, h, w)
+    t, h, w = _conv(m, "conv2", t, 64, 192, 3, 1, 1, h, w)
+    t, h, w = _pool(m, "pool2", t, 192, h, w, 3, 2)
+    c = 192
+    t, c = _inception(m, "3a", t, c, h, w)
+    t, c = _inception(m, "3b", t, c, h, w)
+    t, h, w = _pool(m, "pool3", t, c, h, w, 3, 2)
+    for tag in ("4a", "4b", "4c", "4d", "4e"):
+        t, c = _inception(m, tag, t, c, h, w)
+    t, h, w = _pool(m, "pool4", t, c, h, w, 3, 2)
+    for tag in ("5a", "5b"):
+        t, c = _inception(m, tag, t, c, h, w)
+    t, h, w = _pool(m, "pool5", t, c, h, w, 7, 1)
+    m.add(DenseLayer(name="fc", inputs=(t,), in_features=c, out_features=1000))
+    return m
+
+
+# ResNet-50 stage plan: (blocks, mid_channels, out_channels, first_stride)
+_RESNET50_PLAN = [
+    (3, 64, 256, 1),
+    (4, 128, 512, 2),
+    (6, 256, 1024, 2),
+    (3, 512, 2048, 2),
+]
+
+
+def resnet50() -> DnnModel:
+    """ResNet-50, 224×224×3 input, bottleneck residual blocks."""
+    m = DnnModel("ResNet", input_bytes=3 * 224 * 224)
+    t, h, w = _conv(m, "conv1", "input", 3, 64, 7, 2, 3, 224, 224)
+    t, h, w = _pool(m, "pool1", t, 64, h, w, 3, 2)
+    in_c = 64
+    for stage, (blocks, mid_c, out_c, first_stride) in enumerate(_RESNET50_PLAN, start=2):
+        for b in range(blocks):
+            stride = first_stride if b == 0 else 1
+            tag = f"s{stage}b{b + 1}"
+            skip_src = t
+            t1, h1, w1 = _conv(m, f"{tag}_c1", t, in_c, mid_c, 1, stride, 0, h, w)
+            t2, h2, w2 = _conv(m, f"{tag}_c2", t1, mid_c, mid_c, 3, 1, 1, h1, w1)
+            t3, h3, w3 = _conv(m, f"{tag}_c3", t2, mid_c, out_c, 1, 1, 0, h2, w2)
+            if b == 0:
+                skip_src, _, _ = _conv(
+                    m, f"{tag}_proj", skip_src, in_c, out_c, 1, stride, 0, h, w
+                )
+            m.add(
+                EltwiseAddLayer(
+                    name=f"{tag}_add", inputs=(t3, skip_src), elements=out_c * h3 * w3
+                )
+            )
+            t, h, w = f"{tag}_add", h3, w3
+            in_c = out_c
+    t, h, w = _pool(m, "gap", t, in_c, h, w, h, 1)
+    m.add(DenseLayer(name="fc", inputs=(t,), in_features=in_c, out_features=1000))
+    return m
+
+
+def bert_base(seq_len: int = 512, hidden: int = 768, layers: int = 12,
+              heads: int = 12, ffn_mult: int = 4) -> DnnModel:
+    """BERT-base encoder stack as dense GEMMs (Transformer encoder, §VI-A)."""
+    m = DnnModel("BERT", input_bytes=seq_len * hidden)
+    head_dim = hidden // heads
+    t = "input"
+    for i in range(layers):
+        tag = f"l{i}"
+        for proj in ("q", "k", "v"):
+            m.add(
+                DenseLayer(
+                    name=f"{tag}_{proj}", inputs=(t,), in_features=hidden,
+                    out_features=hidden, rows=seq_len,
+                )
+            )
+        m.add(
+            MatmulLayer(
+                name=f"{tag}_scores", inputs=(f"{tag}_q", f"{tag}_k"),
+                m=seq_len, k=head_dim, n=seq_len, batch=heads,
+            )
+        )
+        m.add(
+            MatmulLayer(
+                name=f"{tag}_ctx", inputs=(f"{tag}_scores", f"{tag}_v"),
+                m=seq_len, k=seq_len, n=head_dim, batch=heads,
+            )
+        )
+        m.add(
+            DenseLayer(
+                name=f"{tag}_out", inputs=(f"{tag}_ctx",), in_features=hidden,
+                out_features=hidden, rows=seq_len,
+            )
+        )
+        m.add(
+            EltwiseAddLayer(
+                name=f"{tag}_res1", inputs=(f"{tag}_out", t), elements=seq_len * hidden
+            )
+        )
+        m.add(
+            DenseLayer(
+                name=f"{tag}_ffn1", inputs=(f"{tag}_res1",), in_features=hidden,
+                out_features=hidden * ffn_mult, rows=seq_len,
+            )
+        )
+        m.add(
+            DenseLayer(
+                name=f"{tag}_ffn2", inputs=(f"{tag}_ffn1",),
+                in_features=hidden * ffn_mult, out_features=hidden, rows=seq_len,
+            )
+        )
+        m.add(
+            EltwiseAddLayer(
+                name=f"{tag}_res2", inputs=(f"{tag}_ffn2", f"{tag}_res1"),
+                elements=seq_len * hidden,
+            )
+        )
+        t = f"{tag}_res2"
+    return m
+
+
+def dlrm(batch: int = 256, tables: int = 26, rows_per_table: int = 400_000,
+         embedding_dim: int = 128, lookups_per_table: int = 2) -> DnnModel:
+    """DLRM: embedding gathers + bottom/top MLPs (§VI-A).
+
+    The table geometry is scaled down from production sizes (documented in
+    DESIGN.md); what matters for the protection study is that gathers are
+    scattered row-granularity reads while the MLPs stream — which this
+    preserves.  128 fp32 dims → 512-byte rows.
+    """
+    m = DnnModel("DLRM", input_bytes=batch * 13 * 4)
+    m.add(
+        DenseLayer(name="bot1", inputs=("input",), in_features=13, out_features=512,
+                   rows=batch, dtype_bytes=4)
+    )
+    m.add(
+        DenseLayer(name="bot2", inputs=("bot1",), in_features=512, out_features=256,
+                   rows=batch, dtype_bytes=4)
+    )
+    m.add(
+        DenseLayer(name="bot3", inputs=("bot2",), in_features=256,
+                   out_features=embedding_dim, rows=batch, dtype_bytes=4)
+    )
+    m.add(
+        EmbeddingLayer(
+            name="emb", inputs=("input",), tables=tables, rows=rows_per_table,
+            dim=embedding_dim, lookups_per_table=lookups_per_table, batch=batch,
+            dtype_bytes=4,
+        )
+    )
+    # Pairwise feature interaction: dot products of (tables + 1) vectors.
+    # Its operands (the gathered rows and bot3's output) are consumed
+    # directly from on-chip buffers — no DRAM reads — so ``inputs`` is
+    # empty; only the interaction output is spilled for the top MLP.
+    interact_features = (tables + 1) * tables // 2 + embedding_dim
+    m.add(
+        MatmulLayer(
+            name="interact", inputs=(), m=tables + 1,
+            k=embedding_dim, n=tables + 1, batch=batch, dtype_bytes=4,
+        )
+    )
+    m.add(
+        DenseLayer(name="top1", inputs=("interact",), in_features=interact_features,
+                   out_features=512, rows=batch, dtype_bytes=4)
+    )
+    m.add(
+        DenseLayer(name="top2", inputs=("top1",), in_features=512, out_features=256,
+                   rows=batch, dtype_bytes=4)
+    )
+    m.add(
+        DenseLayer(name="top3", inputs=("top2",), in_features=256, out_features=1,
+                   rows=batch, dtype_bytes=4)
+    )
+    return m
+
+
+# MobileNet-v1 plan: (kind, out_channels, stride) after the stem.
+_MOBILENET_PLAN = [
+    (64, 1), (128, 2), (128, 1), (256, 2), (256, 1), (512, 2),
+    (512, 1), (512, 1), (512, 1), (512, 1), (512, 1), (1024, 2), (1024, 1),
+]
+
+
+def mobilenet_v1() -> DnnModel:
+    """MobileNet-v1: depthwise-separable convolutions (beyond the paper's
+    benchmark set; exercises the grouped-convolution path end to end)."""
+    m = DnnModel("MobileNet", input_bytes=3 * 224 * 224)
+    t, h, w = _conv(m, "stem", "input", 3, 32, 3, 2, 1, 224, 224)
+    in_c = 32
+    for i, (out_c, stride) in enumerate(_MOBILENET_PLAN, start=1):
+        t, h, w = _conv(m, f"dw{i}", t, in_c, in_c, 3, stride, 1, h, w,
+                        groups=in_c)
+        t, h, w = _conv(m, f"pw{i}", t, in_c, out_c, 1, 1, 0, h, w)
+        in_c = out_c
+    t, h, w = _pool(m, "gap", t, in_c, h, w, h, 1)
+    m.add(DenseLayer(name="fc", inputs=(t,), in_features=in_c, out_features=1000))
+    return m
+
+
+def segnet_toy(classes: int = 21) -> DnnModel:
+    """A small encoder-decoder segmentation network (extension model).
+
+    Exercises the Deconvolution path end to end — the third CHaiDNN
+    operation (§VI-C) — with a realistic upsample-by-2 decoder.
+    """
+    m = DnnModel("SegNet", input_bytes=3 * 224 * 224)
+    t, h, w = _conv(m, "enc1", "input", 3, 32, 3, 2, 1, 224, 224)
+    t, h, w = _conv(m, "enc2", t, 32, 64, 3, 2, 1, h, w)
+    t, h, w = _conv(m, "enc3", t, 64, 128, 3, 2, 1, h, w)
+    for i, (in_c, out_c) in enumerate(((128, 64), (64, 32), (32, 16)), start=1):
+        layer = DeconvLayer(
+            name=f"dec{i}", inputs=(t,), in_channels=in_c, out_channels=out_c,
+            kernel=2, stride=2, in_h=h, in_w=w,
+        )
+        m.add(layer)
+        t, h, w = f"dec{i}", layer.out_h, layer.out_w
+    _conv(m, "head", t, 16, classes, 1, 1, 0, h, w)
+    return m
+
+
+#: Inference benchmark suite of Fig. 12(a)/13(a).
+INFERENCE_MODELS = ("VGG", "AlexNet", "GoogleNet", "ResNet", "BERT", "DLRM")
+#: Training benchmark suite of Fig. 12(b)/13(b) (no DLRM, as in the paper).
+TRAINING_MODELS = ("VGG", "AlexNet", "GoogleNet", "ResNet", "BERT")
+
+_BUILDERS = {
+    "AlexNet": alexnet,
+    "VGG": vgg16,
+    "GoogleNet": googlenet,
+    "ResNet": resnet50,
+    "BERT": bert_base,
+    "DLRM": dlrm,
+    "MobileNet": mobilenet_v1,
+    "SegNet": segnet_toy,
+}
+
+
+def build_model(name: str) -> DnnModel:
+    """Build a benchmark model by its paper name."""
+    try:
+        return _BUILDERS[name]()
+    except KeyError:
+        raise ValueError(f"unknown model {name!r}; known: {sorted(_BUILDERS)}") from None

@@ -1,0 +1,224 @@
+"""Static and dynamic pruning under MGX (§VII-B, Fig. 20).
+
+The worry the paper addresses: dynamic pruning makes the set of memory
+accesses input-dependent — does on-chip VN generation still work?  The
+answer (and what this module demonstrates on real arrays): *skipping*
+accesses never breaks CTR-mode safety.  All tiles of a layer's output
+share one VN_F; only unpruned tiles are written, and later reads of those
+tiles use the same shared VN_F.  A VN that is skipped is simply never
+consumed.
+
+Provided here:
+
+* compression formats used by sparse accelerators — CSR, CSC and
+  run-length compression (RLC) of feature maps — with exact round-trips;
+* a dynamic channel-gating policy (threshold on channel saliency, similar
+  to [48]) and a static magnitude filter pruner;
+* :class:`PrunedTileWriter` — the Fig. 20 write/read pattern against the
+  functional MGX engine: one shared VN, a subset of tile slots touched.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.common.errors import ConfigError
+from repro.core.functional import MgxFunctionalEngine
+
+# ---------------------------------------------------------------------------
+# Compression formats (pixel-level sparsity)
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class CsrFeatures:
+    """CSR compression of a 2-D feature map (rows × cols)."""
+
+    shape: tuple[int, int]
+    indptr: np.ndarray
+    indices: np.ndarray
+    values: np.ndarray
+
+    @classmethod
+    def compress(cls, dense: np.ndarray) -> "CsrFeatures":
+        if dense.ndim != 2:
+            raise ConfigError(f"CSR expects a 2-D map, got shape {dense.shape}")
+        mask = dense != 0
+        counts = mask.sum(axis=1)
+        indptr = np.zeros(dense.shape[0] + 1, dtype=np.int64)
+        np.cumsum(counts, out=indptr[1:])
+        rows, cols = np.nonzero(mask)
+        return cls(dense.shape, indptr, cols.astype(np.int64), dense[rows, cols])
+
+    def decompress(self) -> np.ndarray:
+        out = np.zeros(self.shape, dtype=self.values.dtype)
+        for r in range(self.shape[0]):
+            cols = self.indices[self.indptr[r] : self.indptr[r + 1]]
+            out[r, cols] = self.values[self.indptr[r] : self.indptr[r + 1]]
+        return out
+
+    @property
+    def nbytes(self) -> int:
+        return self.indptr.nbytes + self.indices.nbytes + self.values.nbytes
+
+
+@dataclass(frozen=True)
+class CscFeatures:
+    """CSC compression (EIE-style, column-major)."""
+
+    shape: tuple[int, int]
+    indptr: np.ndarray
+    indices: np.ndarray
+    values: np.ndarray
+
+    @classmethod
+    def compress(cls, dense: np.ndarray) -> "CscFeatures":
+        csr = CsrFeatures.compress(np.ascontiguousarray(dense.T))
+        return cls(dense.shape, csr.indptr, csr.indices, csr.values)
+
+    def decompress(self) -> np.ndarray:
+        transposed = CsrFeatures(
+            (self.shape[1], self.shape[0]), self.indptr, self.indices, self.values
+        ).decompress()
+        return np.ascontiguousarray(transposed.T)
+
+    @property
+    def nbytes(self) -> int:
+        return self.indptr.nbytes + self.indices.nbytes + self.values.nbytes
+
+
+@dataclass(frozen=True)
+class RlcFeatures:
+    """Run-length compression of the zero runs (Cnvlutin-style).
+
+    Encoded as (zero_run_length, value) pairs over the flattened map.
+    """
+
+    shape: tuple[int, ...]
+    runs: np.ndarray    # zero-run length preceding each stored value
+    values: np.ndarray
+    trailing_zeros: int
+
+    _MAX_RUN = 255
+
+    @classmethod
+    def compress(cls, dense: np.ndarray) -> "RlcFeatures":
+        flat = dense.reshape(-1)
+        runs: list[int] = []
+        values: list = []
+        current_run = 0
+        for value in flat:
+            if value == 0 and current_run < cls._MAX_RUN:
+                current_run += 1
+                continue
+            runs.append(current_run)
+            values.append(value)
+            current_run = 0
+        return cls(
+            dense.shape,
+            np.asarray(runs, dtype=np.int64),
+            np.asarray(values, dtype=flat.dtype),
+            trailing_zeros=current_run,
+        )
+
+    def decompress(self) -> np.ndarray:
+        out: list = []
+        for run, value in zip(self.runs, self.values):
+            out.extend([0] * int(run))
+            out.append(value)
+        out.extend([0] * self.trailing_zeros)
+        return np.asarray(out, dtype=self.values.dtype).reshape(self.shape)
+
+    @property
+    def nbytes(self) -> int:
+        return len(self.values) * (1 + self.values.dtype.itemsize) + 1
+
+
+# ---------------------------------------------------------------------------
+# Pruning policies
+# ---------------------------------------------------------------------------
+
+
+def static_filter_prune(weights: np.ndarray, keep_ratio: float) -> np.ndarray:
+    """Magnitude-based filter pruning: zero the smallest-L1 output filters.
+
+    ``weights`` has shape (out_channels, ...); returns a pruned copy.
+    Statically pruned networks are "simply a different network" to the
+    secure accelerator (§VII-B).
+    """
+    if not 0.0 < keep_ratio <= 1.0:
+        raise ConfigError(f"keep_ratio must be in (0, 1], got {keep_ratio}")
+    saliency = np.abs(weights).reshape(weights.shape[0], -1).sum(axis=1)
+    keep = max(1, int(round(keep_ratio * weights.shape[0])))
+    threshold_index = np.argsort(saliency)[: weights.shape[0] - keep]
+    pruned = weights.copy()
+    pruned[threshold_index] = 0
+    return pruned
+
+
+def dynamic_channel_gate(features: np.ndarray, keep_ratio: float) -> np.ndarray:
+    """Input-dependent channel gating: keep the most salient channels.
+
+    ``features`` has shape (channels, h, w).  Returns the boolean keep
+    mask — which channels this *particular input* writes to DRAM.
+    """
+    if features.ndim != 3:
+        raise ConfigError(f"expected (c, h, w) features, got {features.shape}")
+    if not 0.0 < keep_ratio <= 1.0:
+        raise ConfigError(f"keep_ratio must be in (0, 1], got {keep_ratio}")
+    saliency = np.abs(features).reshape(features.shape[0], -1).mean(axis=1)
+    keep = max(1, int(round(keep_ratio * features.shape[0])))
+    mask = np.zeros(features.shape[0], dtype=bool)
+    mask[np.argsort(saliency)[::-1][:keep]] = True
+    return mask
+
+
+# ---------------------------------------------------------------------------
+# Fig. 20: shared-VN tile writes through the functional MGX engine
+# ---------------------------------------------------------------------------
+
+
+class PrunedTileWriter:
+    """Writes/reads a layer's output tiles with one shared VN_F (Fig. 20).
+
+    The layer output is an array of fixed-size tiles at consecutive
+    granule-aligned slots.  ``write_tiles`` stores only the unpruned
+    subset under a single VN; ``read_tiles`` gathers the same subset with
+    the same VN.  Pruned slots are never touched — their (address, VN)
+    counter values are simply skipped, which is safe because CTR mode
+    only forbids *reuse*, not gaps.
+    """
+
+    def __init__(self, engine: MgxFunctionalEngine, base_address: int,
+                 tile_bytes: int, n_tiles: int) -> None:
+        if tile_bytes % engine.mac_granularity != 0:
+            raise ConfigError(
+                "tile size must be a multiple of the engine's MAC granularity"
+            )
+        self.engine = engine
+        self.base_address = base_address
+        self.tile_bytes = tile_bytes
+        self.n_tiles = n_tiles
+
+    def _slot(self, index: int) -> int:
+        if not 0 <= index < self.n_tiles:
+            raise ConfigError(f"tile index {index} out of range")
+        return self.base_address + index * self.tile_bytes
+
+    def write_tiles(self, tiles: dict[int, bytes], vn: int) -> None:
+        """Store the unpruned tiles (index → payload) under one shared VN."""
+        for index, payload in tiles.items():
+            if len(payload) != self.tile_bytes:
+                raise ConfigError(
+                    f"tile {index} has {len(payload)} bytes, expected {self.tile_bytes}"
+                )
+            self.engine.write(self._slot(index), payload, vn)
+
+    def read_tiles(self, indices: list[int], vn: int) -> dict[int, bytes]:
+        """Read back a subset of the unpruned tiles with the shared VN."""
+        return {
+            index: self.engine.read(self._slot(index), self.tile_bytes, vn)
+            for index in indices
+        }

@@ -1,0 +1,75 @@
+"""Numerical reference kernels validating the GEMM lowerings.
+
+The trace model *asserts* that a convolution is an
+``(out_h·out_w) × (in_c·k·k) × out_c`` GEMM; this module proves it on
+real arrays: a direct (nested-loop) convolution and an im2col-then-matmul
+convolution must agree exactly, and the im2col matrix shapes must match
+:class:`~repro.dnn.layers.GemmShape`.  The tests tie the two together so
+the timing model's shape algebra is backed by numerics, not convention.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.common.errors import ConfigError
+
+
+def _out_dim(size: int, kernel: int, stride: int, padding: int) -> int:
+    out = (size + 2 * padding - kernel) // stride + 1
+    if out <= 0:
+        raise ConfigError("non-positive output dimension")
+    return out
+
+
+def im2col(x: np.ndarray, kernel: int, stride: int, padding: int) -> np.ndarray:
+    """Lower a (c, h, w) feature map to the (out_h·out_w, c·k·k) matrix."""
+    if x.ndim != 3:
+        raise ConfigError(f"expected (c, h, w) input, got shape {x.shape}")
+    c, h, w = x.shape
+    out_h = _out_dim(h, kernel, stride, padding)
+    out_w = _out_dim(w, kernel, stride, padding)
+    padded = np.pad(x, ((0, 0), (padding, padding), (padding, padding)))
+    columns = np.empty((out_h * out_w, c * kernel * kernel), dtype=x.dtype)
+    row = 0
+    for oy in range(out_h):
+        for ox in range(out_w):
+            patch = padded[
+                :, oy * stride : oy * stride + kernel, ox * stride : ox * stride + kernel
+            ]
+            columns[row] = patch.reshape(-1)
+            row += 1
+    return columns
+
+
+def conv2d_direct(x: np.ndarray, weights: np.ndarray, stride: int = 1,
+                  padding: int = 0) -> np.ndarray:
+    """Nested-loop convolution: x (c,h,w) ⊛ weights (out_c,c,k,k)."""
+    if weights.ndim != 4 or weights.shape[1] != x.shape[0]:
+        raise ConfigError("weights must be (out_c, in_c, k, k) matching x")
+    out_c, c, kernel, _ = weights.shape
+    out_h = _out_dim(x.shape[1], kernel, stride, padding)
+    out_w = _out_dim(x.shape[2], kernel, stride, padding)
+    padded = np.pad(x, ((0, 0), (padding, padding), (padding, padding)))
+    out = np.zeros((out_c, out_h, out_w), dtype=np.result_type(x, weights))
+    for oc in range(out_c):
+        for oy in range(out_h):
+            for ox in range(out_w):
+                patch = padded[
+                    :, oy * stride : oy * stride + kernel,
+                    ox * stride : ox * stride + kernel,
+                ]
+                out[oc, oy, ox] = np.sum(patch * weights[oc])
+    return out
+
+
+def conv2d_gemm(x: np.ndarray, weights: np.ndarray, stride: int = 1,
+                padding: int = 0) -> np.ndarray:
+    """The accelerator's view: im2col then one GEMM, reshaped back."""
+    out_c, c, kernel, _ = weights.shape
+    out_h = _out_dim(x.shape[1], kernel, stride, padding)
+    out_w = _out_dim(x.shape[2], kernel, stride, padding)
+    columns = im2col(x, kernel, stride, padding)          # (M, K)
+    weight_matrix = weights.reshape(out_c, -1).T           # (K, N)
+    product = columns @ weight_matrix                      # (M, N)
+    return product.T.reshape(out_c, out_h, out_w)

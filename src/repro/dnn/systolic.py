@@ -1,0 +1,75 @@
+"""Systolic-array timing model (SCALE-Sim analytical mode).
+
+SCALE-Sim [Samajdar et al.] evaluates an R×C MAC array executing a GEMM
+under a chosen dataflow by counting *folds*: the GEMM is partitioned into
+array-sized chunks, each of which streams through the array with a fixed
+fill/drain overhead.  Its analytical mode (which we implement) produces
+the same cycle counts as its cycle-accurate mode for dense GEMMs.
+
+Weight-stationary (the TPU-v1 dataflow, our default):
+    the K×N weight panel is cut into ⌈K/R⌉·⌈N/C⌉ folds; each fold loads
+    R rows of weights (R cycles), then streams the M activations through
+    (M + R + C − 2 cycles of fill + compute + drain).
+
+Output-stationary:
+    the M×N output is cut into ⌈M/R⌉·⌈N/C⌉ folds; each fold accumulates
+    over K (K + R + C − 2 cycles) with no weight preload.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.common.errors import ConfigError
+from repro.common.units import ceil_div
+from repro.dnn.layers import GemmShape
+
+
+class Dataflow(enum.Enum):
+    WEIGHT_STATIONARY = "ws"
+    OUTPUT_STATIONARY = "os"
+
+
+@dataclass(frozen=True)
+class SystolicArray:
+    """Geometry and clock of the MAC array."""
+
+    rows: int
+    cols: int
+    freq_hz: float
+    dataflow: Dataflow = Dataflow.WEIGHT_STATIONARY
+
+    def __post_init__(self) -> None:
+        if self.rows <= 0 or self.cols <= 0:
+            raise ConfigError("array dims must be positive")
+        if self.freq_hz <= 0:
+            raise ConfigError("array frequency must be positive")
+
+    @property
+    def pes(self) -> int:
+        return self.rows * self.cols
+
+    # ------------------------------------------------------------------
+    def gemm_cycles(self, gemm: GemmShape) -> int:
+        """Cycles to execute one GEMM on the array."""
+        if self.dataflow is Dataflow.WEIGHT_STATIONARY:
+            folds = ceil_div(gemm.k, self.rows) * ceil_div(gemm.n, self.cols)
+            per_fold = self.rows + (gemm.m + self.rows + self.cols - 2)
+        else:
+            folds = ceil_div(gemm.m, self.rows) * ceil_div(gemm.n, self.cols)
+            per_fold = gemm.k + self.rows + self.cols - 2
+        return folds * per_fold
+
+    def gemm_utilization(self, gemm: GemmShape) -> float:
+        """Achieved MACs per PE-cycle (1.0 = perfectly packed)."""
+        cycles = self.gemm_cycles(gemm)
+        return gemm.macs / (cycles * self.pes) if cycles else 0.0
+
+    def movement_cycles(self, nbytes: int, lanes_bytes_per_cycle: int = 256) -> int:
+        """Cycles for a non-GEMM data-movement op (pool/concat/eltwise).
+
+        Vector units move ``lanes_bytes_per_cycle`` per cycle — generous,
+        because these ops are always DRAM-bound in practice.
+        """
+        return ceil_div(nbytes, lanes_bytes_per_cycle)

@@ -1,0 +1,84 @@
+"""SRAM tiling decisions: how often each operand crosses the DRAM pin.
+
+Given a GEMM and the accelerator's buffer sizes, the scheduler decides a
+loop order.  The decision determines three integers the trace generator
+needs:
+
+* ``ifmap_passes``  — how many times the full input feature map streams
+  from DRAM (re-streamed once per weight tile when neither operand fits),
+* ``weight_passes`` — how many times the weights stream (reloaded per
+  output chunk when the compiler prefers that over spilling),
+* ``ofmap_passes``  — how many times the output is *written* (> 1 means
+  partial sums spill to DRAM and are read back, the Fig. 7 case where
+  MGX increments VN_F within a layer).
+
+The spill-vs-reload choice mirrors what a DNN compiler does: partial-sum
+spilling costs ``(k_folds − 1) · 2 · ofmap``, weight reloading costs
+``(m_chunks − 1) · weights`` — take the cheaper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.common.errors import ConfigError
+from repro.common.units import ceil_div
+from repro.dnn.layers import GemmShape
+from repro.dnn.systolic import SystolicArray
+
+#: Partial sums accumulate in 32-bit regardless of the streaming dtype.
+ACCUMULATOR_BYTES = 4
+
+
+@dataclass(frozen=True)
+class TilingDecision:
+    """Operand DRAM pass counts chosen by the scheduler."""
+
+    ifmap_passes: int
+    weight_passes: int
+    ofmap_passes: int
+
+    def __post_init__(self) -> None:
+        if min(self.ifmap_passes, self.weight_passes, self.ofmap_passes) < 1:
+            raise ConfigError(f"pass counts must be >= 1, got {self}")
+
+
+def plan_gemm(
+    gemm: GemmShape,
+    array: SystolicArray,
+    ifmap_sram: int,
+    filter_sram: int,
+    ofmap_sram: int,
+    dtype_bytes: int = 1,
+) -> TilingDecision:
+    """Choose DRAM pass counts for one GEMM (see module docstring)."""
+    weight_bytes = gemm.k * gemm.n * dtype_bytes
+    ifmap_bytes = gemm.m * gemm.k * dtype_bytes
+    ofmap_bytes = gemm.m * gemm.n * dtype_bytes
+
+    weight_tiles = max(1, ceil_div(weight_bytes, filter_sram))
+    if ifmap_bytes <= ifmap_sram or weight_tiles == 1:
+        ifmap_passes = 1
+    else:
+        ifmap_passes = weight_tiles
+
+    # Partial-sum working set under weight-stationary K-outer streaming:
+    # all M rows of one column tile stay live across the K folds.
+    col_tile = min(gemm.n, array.cols)
+    k_folds = ceil_div(gemm.k, array.rows)
+    working_set = gemm.m * col_tile * ACCUMULATOR_BYTES
+    weight_passes = 1
+    ofmap_passes = 1
+    if k_folds > 1 and working_set > ofmap_sram:
+        m_chunks = ceil_div(working_set, ofmap_sram)
+        reload_cost = (m_chunks - 1) * weight_bytes
+        spill_cost = (k_folds - 1) * 2 * ofmap_bytes
+        if reload_cost <= spill_cost:
+            weight_passes = m_chunks
+        else:
+            ofmap_passes = k_folds
+    return TilingDecision(
+        ifmap_passes=ifmap_passes,
+        weight_passes=weight_passes,
+        ofmap_passes=ofmap_passes,
+    )

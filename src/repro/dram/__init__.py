@@ -1,0 +1,23 @@
+"""DRAM substrate: DDR4 timing, address mapping, detailed + fast models."""
+
+from repro.dram.address_map import AddressMap, DramCoord
+from repro.dram.bank import BankState
+from repro.dram.controller import ChannelController, DetailedDram, DramRequest
+from repro.dram.model import DramConfig, DramModel, TrafficProfile
+from repro.dram.timing import DDR4_2400, DDR4_3200, DramTiming, timing_for
+
+__all__ = [
+    "AddressMap",
+    "DramCoord",
+    "BankState",
+    "ChannelController",
+    "DetailedDram",
+    "DramRequest",
+    "DramConfig",
+    "DramModel",
+    "TrafficProfile",
+    "DDR4_2400",
+    "DDR4_3200",
+    "DramTiming",
+    "timing_for",
+]

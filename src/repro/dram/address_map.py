@@ -1,0 +1,78 @@
+"""Physical-address to DRAM-coordinate mapping.
+
+The interleaving order determines how much channel/bank parallelism a
+streaming accelerator extracts.  We use the common
+``row | rank | bank | column-high | channel | block-offset`` layout
+(channel bits just above the 64-byte block offset) so consecutive blocks
+round-robin across channels, then walk a row — the mapping Ramulator
+calls ``RoBaRaCoCh`` and the right default for bandwidth-bound
+accelerators.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.common.errors import ConfigError
+from repro.common.units import is_pow2, log2_int
+
+
+@dataclass(frozen=True)
+class DramCoord:
+    """Decoded location of one 64-byte block."""
+
+    channel: int
+    rank: int
+    bank: int
+    row: int
+    column: int
+
+
+@dataclass(frozen=True)
+class AddressMap:
+    """Bit-slicing decoder for a channel/rank/bank/row/column geometry."""
+
+    channels: int
+    ranks: int
+    banks: int
+    row_bytes: int
+    block_bytes: int = 64
+
+    def __post_init__(self) -> None:
+        for label, value in (
+            ("channels", self.channels),
+            ("ranks", self.ranks),
+            ("banks", self.banks),
+            ("row_bytes", self.row_bytes),
+            ("block_bytes", self.block_bytes),
+        ):
+            if not is_pow2(value):
+                raise ConfigError(f"{label} must be a power of two, got {value}")
+        if self.row_bytes < self.block_bytes:
+            raise ConfigError("row must be at least one block")
+
+    @property
+    def blocks_per_row(self) -> int:
+        return self.row_bytes // self.block_bytes
+
+    def decode(self, address: int) -> DramCoord:
+        """Decode a byte address into channel/rank/bank/row/column."""
+        block = address >> log2_int(self.block_bytes)
+        channel = block % self.channels
+        block //= self.channels
+        column = block % self.blocks_per_row
+        block //= self.blocks_per_row
+        bank = block % self.banks
+        block //= self.banks
+        rank = block % self.ranks
+        row = block // self.ranks
+        return DramCoord(channel=channel, rank=rank, bank=bank, row=row, column=column)
+
+    def encode(self, coord: DramCoord) -> int:
+        """Inverse of :meth:`decode` (used by the mapping round-trip tests)."""
+        block = coord.row
+        block = block * self.ranks + coord.rank
+        block = block * self.banks + coord.bank
+        block = block * self.blocks_per_row + coord.column
+        block = block * self.channels + coord.channel
+        return block << log2_int(self.block_bytes)

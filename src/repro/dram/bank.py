@@ -1,0 +1,55 @@
+"""Per-bank DRAM state machine.
+
+Each bank tracks its open row and the earliest cycle at which the next
+activate / column command may issue, enforcing tRCD, tRP, tRAS and tRC.
+The controller layers channel-wide constraints (data bus, tRRD, tFAW,
+refresh) on top.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.dram.timing import DramTiming
+
+
+@dataclass
+class BankState:
+    """Mutable timing state of one DRAM bank."""
+
+    timing: DramTiming
+    open_row: int | None = None
+    #: Earliest cycle a new activate may issue (tRC from the previous one).
+    next_activate: int = 0
+    #: Earliest cycle a precharge may issue (tRAS from the activate).
+    next_precharge: int = 0
+    #: Earliest cycle a column command may issue (tRCD from the activate).
+    next_column: int = 0
+    #: Counters for row-buffer statistics.
+    hits: int = field(default=0)
+    misses: int = field(default=0)
+
+    def access(self, row: int, at: int) -> tuple[int, bool]:
+        """Issue a column access to ``row`` no earlier than cycle ``at``.
+
+        Returns ``(column_command_cycle, was_row_hit)`` and updates the
+        bank state.  A row miss performs precharge + activate first.
+        """
+        t = self.timing
+        hit = self.open_row == row
+        if hit:
+            self.hits += 1
+            issue = max(at, self.next_column)
+        else:
+            self.misses += 1
+            # Precharge (if a row is open), then activate the target row.
+            pre = max(at, self.next_precharge) if self.open_row is not None else max(at, 0)
+            act = max(pre + (t.rp if self.open_row is not None else 0), self.next_activate)
+            self.open_row = row
+            self.next_activate = act + t.rc
+            self.next_precharge = act + t.ras
+            self.next_column = act + t.rcd
+            issue = self.next_column
+        # Consecutive column commands to the same open row respect tCCD.
+        self.next_column = issue + t.ccd
+        return issue, hit

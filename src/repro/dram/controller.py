@@ -1,0 +1,137 @@
+"""Detailed per-request DRAM channel model.
+
+Approximates an FR-FCFS open-page controller in two passes per channel:
+
+1. **Bank pass** — requests visit their bank in arrival order; the
+   per-bank :class:`BankState` enforces tRCD/tRP/tRAS/tRC/tCCD and yields
+   each request's earliest column-command cycle.
+2. **Channel pass** — requests are granted the shared data bus in
+   ready-time order (this is the FR-FCFS-like reordering: a request
+   stalled on its bank does not block ready requests to other banks);
+   activate pacing (tRRD, tFAW) and the burst occupancy are applied here.
+
+Pacing delays discovered in pass 2 are not fed back into pass-1 bank
+state — a second-order effect for the saturated streams modelled here.
+Refresh is applied as a utilization derating at the end.
+
+This model validates the analytic bandwidth constants used by the fast
+path in :mod:`repro.dram.model` (see ``tests/test_dram.py``) and serves
+small latency-sensitive experiments.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+
+from repro.common.errors import ConfigError
+from repro.common.stats import StatsGroup
+from repro.dram.address_map import AddressMap
+from repro.dram.bank import BankState
+from repro.dram.timing import DramTiming
+
+
+@dataclass(frozen=True)
+class DramRequest:
+    """One block-granularity transfer (reads and writes cost the bus alike)."""
+
+    address: int
+    is_write: bool = False
+
+    def __post_init__(self) -> None:
+        if self.address < 0:
+            raise ConfigError(f"address must be non-negative, got {self.address}")
+
+
+@dataclass
+class _PendingAccess:
+    """Pass-1 output: a request annotated with its bank-ready timing."""
+
+    order: int
+    issue: int
+    is_miss: bool
+    is_write: bool
+
+
+class ChannelController:
+    """Two-pass timing model for one DRAM channel."""
+
+    def __init__(self, timing: DramTiming, ranks: int, banks: int) -> None:
+        self.timing = timing
+        self.banks_per_rank = banks
+        self._banks = [BankState(timing) for _ in range(ranks * banks)]
+        self._pending: list[_PendingAccess] = []
+        self.finish = 0
+        self.stats = StatsGroup("channel")
+
+    def enqueue(self, rank: int, bank: int, row: int, is_write: bool, order: int) -> None:
+        """Pass 1: resolve bank timing for one request."""
+        state = self._banks[rank * self.banks_per_rank + bank]
+        was_miss = state.open_row != row
+        issue, hit = state.access(row, at=0)
+        self._pending.append(
+            _PendingAccess(order=order, issue=issue, is_miss=was_miss, is_write=is_write)
+        )
+        self.stats.add("requests")
+        self.stats.add("row_hits" if hit else "row_misses")
+        self.stats.add("write_requests" if is_write else "read_requests")
+
+    def drain(self) -> int:
+        """Pass 2: grant the bus in ready order with activate pacing."""
+        timing = self.timing
+        bus_free = 0
+        prev_activate = -(10**9)
+        activate_window: deque[int] = deque(maxlen=4)
+        # Ready-order grant, arrival order as tie-break (FR-FCFS flavour).
+        for access in sorted(self._pending, key=lambda a: (a.issue, a.order)):
+            issue = access.issue
+            if access.is_miss:
+                activate = issue - timing.rcd
+                paced = max(activate, prev_activate + timing.rrd)
+                if len(activate_window) == 4:
+                    paced = max(paced, activate_window[0] + timing.faw)
+                issue += paced - activate
+                prev_activate = paced
+                activate_window.append(paced)
+            latency = max(1, timing.cl - 2) if access.is_write else timing.cl
+            data_start = max(issue + latency, bus_free)
+            bus_free = data_start + timing.burst_cycles
+            self.finish = max(self.finish, bus_free)
+        self._pending.clear()
+        return self.finish
+
+
+class DetailedDram:
+    """Multi-channel detailed model consuming :class:`DramRequest` streams."""
+
+    def __init__(self, timing: DramTiming, address_map: AddressMap) -> None:
+        self.timing = timing
+        self.address_map = address_map
+        self.channels = [
+            ChannelController(timing, address_map.ranks, address_map.banks)
+            for _ in range(address_map.channels)
+        ]
+        self.stats = StatsGroup("dram")
+
+    def service(self, requests: list[DramRequest]) -> int:
+        """Service all requests (available at cycle 0); return finish cycle.
+
+        The finish cycle is derated by the refresh duty factor, modelling
+        periodic tRFC windows stealing bandwidth from a saturated bus.
+        """
+        for order, request in enumerate(requests):
+            coord = self.address_map.decode(request.address)
+            channel = self.channels[coord.channel]
+            channel.enqueue(coord.rank, coord.bank, coord.row, request.is_write, order)
+        raw_finish = max((c.drain() for c in self.channels), default=0)
+        self._collect_stats()
+        return int(round(raw_finish / self.timing.refresh_efficiency))
+
+    def _collect_stats(self) -> None:
+        self.stats.reset()
+        for channel in self.channels:
+            self.stats.merge(channel.stats)
+
+    @property
+    def row_hit_rate(self) -> float:
+        return self.stats.ratio("row_hits", "requests")

@@ -1,0 +1,93 @@
+"""DDR4 timing parameters.
+
+The paper simulates memory with Ramulator's DDR4-2400 model.  We carry
+the handful of timing constraints that dominate bandwidth behaviour for
+the streaming/strided traffic these accelerators generate.  All values
+are in memory-controller clock cycles; for DDR4-2400 the controller clock
+is 1200 MHz (two data transfers per cycle on the 64-bit bus, hence
+16 bytes per controller cycle at the pin).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.common.errors import ConfigError
+from repro.common.units import MHZ
+
+
+@dataclass(frozen=True)
+class DramTiming:
+    """Timing constraints for one speed grade (controller-clock cycles)."""
+
+    name: str
+    clock_hz: float  # controller clock (half the transfer rate)
+    cl: int          # CAS latency (read column access)
+    rcd: int         # RAS-to-CAS delay (activate -> column)
+    rp: int          # precharge
+    ras: int         # activate -> precharge minimum
+    wr: int          # write recovery
+    ccd: int         # column-to-column (burst gap lower bound)
+    rrd: int         # activate-to-activate, different banks
+    faw: int         # four-activate window
+    rfc: int         # refresh cycle time
+    refi: int        # refresh interval
+    burst_cycles: int = 4  # BL8 on a x64 channel: 8 half-cycle beats = 4 cycles
+
+    @property
+    def rc(self) -> int:
+        """Row cycle: minimum time between activates to the same bank."""
+        return self.ras + self.rp
+
+    @property
+    def bytes_per_cycle(self) -> int:
+        """Peak data-bus bytes per controller cycle (both edges, 8-byte bus)."""
+        return 16
+
+    @property
+    def refresh_efficiency(self) -> float:
+        """Fraction of time the rank is not blocked by refresh."""
+        return 1.0 - self.rfc / self.refi
+
+
+#: JEDEC DDR4-2400R (17-17-17) — the grade used throughout the paper.
+DDR4_2400 = DramTiming(
+    name="DDR4-2400",
+    clock_hz=1200 * MHZ,
+    cl=17,
+    rcd=17,
+    rp=17,
+    ras=39,
+    wr=18,
+    ccd=6,
+    rrd=6,
+    faw=26,
+    rfc=420,   # 350 ns at 1200 MHz (8 Gb device)
+    refi=9360,  # 7.8 us at 1200 MHz
+)
+
+#: JEDEC DDR4-3200AA (22-22-22), for sensitivity studies.
+DDR4_3200 = DramTiming(
+    name="DDR4-3200",
+    clock_hz=1600 * MHZ,
+    cl=22,
+    rcd=22,
+    rp=22,
+    ras=52,
+    wr=24,
+    ccd=8,
+    rrd=8,
+    faw=34,
+    rfc=560,
+    refi=12480,
+)
+
+_GRADES = {t.name: t for t in (DDR4_2400, DDR4_3200)}
+
+
+def timing_for(name: str) -> DramTiming:
+    """Look up a speed grade by JEDEC-style name."""
+    try:
+        return _GRADES[name]
+    except KeyError:
+        raise ConfigError(f"unknown DRAM grade {name!r}; known: {sorted(_GRADES)}") from None

@@ -1,0 +1,25 @@
+"""Experiments reproducing every table and figure of the paper's evaluation.
+
+Run one::
+
+    from repro.experiments import run_experiment
+    print(run_experiment("fig13").to_text())
+
+or everything (writes EXPERIMENTS.md-style text)::
+
+    python -m repro.experiments
+"""
+
+from repro.experiments.base import ExperimentResult
+
+__all__ = ["ExperimentResult", "EXPERIMENTS", "run_all", "run_experiment"]
+
+
+def __getattr__(name):
+    # Deferred to avoid importing every experiment module (and its
+    # workload deps) on package import.
+    if name in ("EXPERIMENTS", "run_all", "run_experiment"):
+        from repro.experiments import registry
+
+        return getattr(registry, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -1,0 +1,71 @@
+"""CLI: run all experiments and print (or save) the report.
+
+Usage::
+
+    python -m repro.experiments                  # paper figures, full size
+    python -m repro.experiments --quick          # reduced workloads
+    python -m repro.experiments --only fig13     # a single experiment
+    python -m repro.experiments --set ablations  # design-choice sweeps
+    python -m repro.experiments --set extras     # beyond-the-figures studies
+    python -m repro.experiments -o EXPERIMENTS_RUN.txt
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.experiments.ablations import ABLATIONS, run_ablation
+from repro.experiments.extras import EXTRAS, run_extra
+from repro.experiments.registry import EXPERIMENTS, run_experiment
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true", help="reduced workloads")
+    parser.add_argument("--only", choices=sorted(EXPERIMENTS), help="single experiment")
+    parser.add_argument("--set", dest="which", default="figures",
+                        choices=("figures", "ablations", "extras", "all"),
+                        help="which experiment family to run")
+    parser.add_argument("-o", "--output", help="write the report to this file")
+    args = parser.parse_args(argv)
+
+    runners: list[tuple[str, object]] = []
+    if args.only:
+        runners = [(args.only, lambda q, e=args.only: run_experiment(e, quick=q))]
+    else:
+        if args.which in ("figures", "all"):
+            runners += [
+                (eid, lambda q, e=eid: run_experiment(e, quick=q))
+                for eid in EXPERIMENTS
+            ]
+        if args.which in ("ablations", "all"):
+            runners += [
+                (f"ablation:{name}", lambda q, n=name: run_ablation(n, quick=q))
+                for name in ABLATIONS
+            ]
+        if args.which in ("extras", "all"):
+            runners += [
+                (f"extra:{name}", lambda q, n=name: run_extra(n, quick=q))
+                for name in EXTRAS
+            ]
+
+    sections = []
+    for eid, runner in runners:
+        start = time.time()
+        result = runner(args.quick)
+        elapsed = time.time() - start
+        sections.append(result.to_text() + f"\n\n[{eid} completed in {elapsed:.1f}s]")
+        print(f"{eid}: done in {elapsed:.1f}s", file=sys.stderr)
+    report = ("\n\n" + "=" * 72 + "\n\n").join(sections)
+    if args.output:
+        with open(args.output, "w") as f:
+            f.write(report + "\n")
+    else:
+        print(report)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

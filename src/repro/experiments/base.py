@@ -1,0 +1,94 @@
+"""Common result structures for the paper-figure experiments.
+
+Every experiment module exposes ``run(quick=False) -> ExperimentResult``.
+``quick`` trades workload size for speed (used by the test-suite and as
+the per-iteration body of the benchmarks); the default reproduces the
+full figure.  Results carry the paper's reference values alongside the
+measured ones so EXPERIMENTS.md can be regenerated mechanically.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class ExperimentResult:
+    """A reproduced table/figure: labelled rows of named values."""
+
+    experiment_id: str
+    title: str
+    columns: list[str]
+    rows: list[dict] = field(default_factory=list)
+    #: Summary scalars (averages etc.), paired measured-vs-paper.
+    summary: dict[str, float] = field(default_factory=dict)
+    #: The paper's reported values for the summary keys, where stated.
+    paper: dict[str, float] = field(default_factory=dict)
+    notes: str = ""
+
+    def add_row(self, **values) -> None:
+        self.rows.append(values)
+
+    def column(self, name: str) -> list:
+        return [row.get(name) for row in self.rows]
+
+    def mean(self, name: str) -> float:
+        values = [v for v in self.column(name) if isinstance(v, (int, float))]
+        if not values:
+            return 0.0
+        return sum(values) / len(values)
+
+    # ------------------------------------------------------------------
+    def to_text(self) -> str:
+        """Render as an aligned plain-text table for reports."""
+        header = list(self.columns)
+        body = [
+            [self._fmt(row.get(col)) for col in header] for row in self.rows
+        ]
+        widths = [
+            max(len(header[i]), *(len(r[i]) for r in body)) if body else len(header[i])
+            for i in range(len(header))
+        ]
+        lines = [self.title, "=" * len(self.title)]
+        lines.append("  ".join(h.ljust(widths[i]) for i, h in enumerate(header)))
+        lines.append("  ".join("-" * widths[i] for i in range(len(header))))
+        for r in body:
+            lines.append("  ".join(r[i].ljust(widths[i]) for i in range(len(header))))
+        if self.summary:
+            lines.append("")
+            for key, value in self.summary.items():
+                paper = self.paper.get(key)
+                suffix = f"  (paper: {self._fmt(paper)})" if paper is not None else ""
+                lines.append(f"{key}: {self._fmt(value)}{suffix}")
+        if self.notes:
+            lines.append("")
+            lines.append(self.notes)
+        return "\n".join(lines)
+
+    def to_markdown(self) -> str:
+        """Render as a GitHub-flavoured markdown table."""
+        lines = [f"### {self.title}", ""]
+        lines.append("| " + " | ".join(self.columns) + " |")
+        lines.append("|" + "|".join("---" for _ in self.columns) + "|")
+        for row in self.rows:
+            lines.append(
+                "| " + " | ".join(self._fmt(row.get(c)) for c in self.columns) + " |"
+            )
+        if self.summary:
+            lines.append("")
+            for key, value in self.summary.items():
+                paper = self.paper.get(key)
+                suffix = f" (paper: {self._fmt(paper)})" if paper is not None else ""
+                lines.append(f"- **{key}**: {self._fmt(value)}{suffix}")
+        if self.notes:
+            lines.append("")
+            lines.append(f"> {self.notes}")
+        return "\n".join(lines)
+
+    @staticmethod
+    def _fmt(value) -> str:
+        if value is None:
+            return "-"
+        if isinstance(value, float):
+            return f"{value:.3f}"
+        return str(value)

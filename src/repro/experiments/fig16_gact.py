@@ -1,0 +1,78 @@
+"""Figure 16: GACT (Darwin) normalized execution time per workload.
+
+Nine workloads — chromosomes 1, X, Y × sequencers PacBio, ONT2D, ONT1D —
+under BP and MGX_VN (Darwin cannot use coarse MACs, §VII-A).  The tile
+load per read is *measured* by running the functional pipeline: D-SOFT
+filters candidates over the synthetic reference, and the candidate count
+feeds the timing model.
+
+Paper reference: BP 14% average (traffic +34%); MGX_VN 4% (traffic
++12.5%).
+"""
+
+from __future__ import annotations
+
+from repro.experiments.base import ExperimentResult
+from repro.genome.darwin import DarwinConfig, simulate_gact_workload
+from repro.genome.dsoft import DsoftConfig, SeedIndex, dsoft_filter
+from repro.genome.sequences import CHROMOSOMES, SEQUENCERS, make_reference, simulate_reads
+
+_QUICK_WORKLOADS = (("chrY", "PacBio"), ("chrY", "ONT1D"))
+
+
+def _measured_tile_factor(chromosome: str, sequencer: str, n_probe_reads: int) -> float:
+    """Average D-SOFT candidates per read from the functional pipeline."""
+    reference = make_reference(chromosome)
+    index = SeedIndex(reference, DsoftConfig().seed_length)
+    profile = SEQUENCERS[sequencer]
+    reads = simulate_reads(reference, profile, n_probe_reads, seed=11)
+    candidates = [len(dsoft_filter(index, read.bases)) for read in reads]
+    return max(1.0, sum(candidates) / len(candidates))
+
+
+def run(quick: bool = False) -> ExperimentResult:
+    result = ExperimentResult(
+        experiment_id="fig16",
+        title="Fig. 16 — GACT normalized execution time (BP vs MGX_VN)",
+        columns=["workload", "BP", "MGX_VN", "traffic_BP", "traffic_MGX_VN",
+                 "tiles_per_read"],
+        notes="tiles_per_read factor measured via the functional D-SOFT filter.",
+    )
+    if quick:
+        workloads = _QUICK_WORKLOADS
+        n_reads, probe_reads = 50, 2
+    else:
+        workloads = tuple(
+            (chromosome, sequencer)
+            for chromosome in CHROMOSOMES
+            for sequencer in SEQUENCERS
+        )
+        n_reads, probe_reads = 500, 4
+
+    bp_values, vn_values = [], []
+    for chromosome, sequencer in workloads:
+        factor = _measured_tile_factor(chromosome, sequencer, probe_reads)
+        config = DarwinConfig(tiles_per_read_factor=factor)
+        res = simulate_gact_workload(n_reads, sequencer, config,
+                                     schemes=("NP", "BP", "MGX_VN"))
+        base = res["NP"]
+        bp = res["BP"].total_cycles / base.total_cycles
+        vn = res["MGX_VN"].total_cycles / base.total_cycles
+        result.add_row(
+            workload=f"{chromosome}-{sequencer}",
+            BP=bp,
+            MGX_VN=vn,
+            traffic_BP=res["BP"].total_bytes / base.total_bytes,
+            traffic_MGX_VN=res["MGX_VN"].total_bytes / base.total_bytes,
+            tiles_per_read=factor,
+        )
+        bp_values.append(bp)
+        vn_values.append(vn)
+
+    result.summary["avg_BP"] = sum(bp_values) / len(bp_values)
+    result.summary["avg_MGX_VN"] = sum(vn_values) / len(vn_values)
+    result.summary["avg_traffic_BP"] = result.mean("traffic_BP")
+    result.summary["avg_traffic_MGX_VN"] = result.mean("traffic_MGX_VN")
+    result.paper.update(avg_BP=1.14, avg_MGX_VN=1.04,
+                        avg_traffic_BP=1.34, avg_traffic_MGX_VN=1.125)
+    return result

@@ -1,0 +1,77 @@
+"""Figure 19: H.264 decoder memory access pattern under MGX.
+
+Reproduces the functional claim of §VII-A: with VN = CTR_IN ‖ F, the
+decoder's writes to the three frame buffers are non-overlapping (each
+location written once per frame), reference reads are dynamic and
+irregular, and everything decrypts correctly — verified end-to-end with
+the real crypto engine on a scaled-down frame size.
+
+The rows *are* the figure: one per buffer access, in decode order, with
+the VN used; the summary records the invariant checks.
+"""
+
+from __future__ import annotations
+
+from repro.common.units import KIB
+from repro.core.functional import MgxFunctionalEngine
+from repro.crypto.keys import SessionKeys
+from repro.experiments.base import ExperimentResult
+from repro.mem.backing import BackingStore
+from repro.video.decoder import DecoderConfig, H264Decoder
+from repro.video.gop import GopStructure
+
+
+def run(quick: bool = False) -> ExperimentResult:
+    n_frames = 8 if quick else 24
+    gop = GopStructure("IBPB", n_frames)
+    decoder = H264Decoder(gop, DecoderConfig())
+    trace = decoder.decode_trace()
+
+    result = ExperimentResult(
+        experiment_id="fig19",
+        title="Fig. 19 — H.264 decoder access pattern (writes non-overlapping)",
+        columns=["step", "frame", "type", "buffer", "kind", "vn"],
+    )
+    for record in trace.records:
+        result.add_row(
+            step=record.step,
+            frame=record.display_number,
+            type=record.frame_type,
+            buffer=record.buffer_index,
+            kind=record.kind,
+            vn=f"{record.vn:#x}",
+        )
+
+    # Invariant 1: one write per (buffer, step) — non-overlapping writes.
+    writes = trace.writes_per_buffer_step()
+    write_once = all(count == 1 for count in writes.values())
+    # Invariant 2: VNs strictly increase per buffer across writes.
+    per_buffer: dict[int, list[int]] = {}
+    for record in trace.records:
+        if record.kind == "write":
+            per_buffer.setdefault(record.buffer_index, []).append(record.vn)
+    vn_monotonic = all(
+        all(a < b for a, b in zip(vns, vns[1:])) for vns in per_buffer.values()
+    )
+    # Invariant 3: functional decode round-trips through real AES-CTR+MAC.
+    keys = SessionKeys.derive(b"fig19-root", b"fig19-session")
+    store = BackingStore(1 << 20)
+    engine = MgxFunctionalEngine(keys, store, data_bytes=64 * KIB,
+                                 mac_granularity=512)
+    functional_ok = H264Decoder(
+        GopStructure("IBPB", min(n_frames, 16)), DecoderConfig()
+    ).functional_decode(engine)
+
+    result.summary["write_once_per_frame"] = float(write_once)
+    result.summary["vn_monotonic_per_buffer"] = float(vn_monotonic)
+    result.summary["functional_roundtrip"] = float(functional_ok)
+    result.paper.update(
+        write_once_per_frame=1.0, vn_monotonic_per_buffer=1.0,
+        functional_roundtrip=1.0,
+    )
+    result.notes = (
+        "The paper verifies these properties by RTL simulation of an "
+        "open-source decoder; here the same invariants are checked on the "
+        "frame-level model, plus a real encrypt/decrypt round-trip."
+    )
+    return result

@@ -1,0 +1,41 @@
+"""Experiment registry: one entry per reproduced table/figure."""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.experiments import (
+    fig03_traffic_breakdown,
+    fig12_dnn_traffic,
+    fig13_dnn_perf,
+    fig14_graph,
+    fig16_gact,
+    fig19_h264_pattern,
+    tables,
+)
+from repro.experiments.base import ExperimentResult
+
+#: experiment id → run(quick=False) callable
+EXPERIMENTS: dict[str, Callable[..., ExperimentResult]] = {
+    "fig03": fig03_traffic_breakdown.run,
+    "fig12": fig12_dnn_traffic.run,
+    "fig13": fig13_dnn_perf.run,
+    "fig14": fig14_graph.run,
+    "fig16": fig16_gact.run,
+    "fig19": fig19_h264_pattern.run,
+    "headline": tables.run,
+}
+
+
+def run_experiment(experiment_id: str, quick: bool = False) -> ExperimentResult:
+    try:
+        runner = EXPERIMENTS[experiment_id]
+    except KeyError:
+        raise KeyError(
+            f"unknown experiment {experiment_id!r}; known: {sorted(EXPERIMENTS)}"
+        ) from None
+    return runner(quick=quick)
+
+
+def run_all(quick: bool = False) -> dict[str, ExperimentResult]:
+    return {eid: run_experiment(eid, quick=quick) for eid in EXPERIMENTS}

@@ -1,0 +1,47 @@
+"""Genome alignment substrate: Darwin (D-SOFT + GACT) case study (§VII-A)."""
+
+from repro.genome.darwin import (
+    DarwinConfig,
+    DarwinResult,
+    darwin_vn_state,
+    simulate_gact_workload,
+)
+from repro.genome.dsoft import Candidate, DsoftConfig, SeedIndex, dsoft_filter
+from repro.genome.gact import GactConfig, GactTimingModel, TileAlignment, align_tile
+from repro.genome.sequences import (
+    CHROMOSOMES,
+    ONT1D,
+    ONT2D,
+    PACBIO,
+    SEQUENCERS,
+    ErrorProfile,
+    SimulatedRead,
+    make_reference,
+    reference_length,
+    simulate_reads,
+)
+
+__all__ = [
+    "DarwinConfig",
+    "DarwinResult",
+    "darwin_vn_state",
+    "simulate_gact_workload",
+    "Candidate",
+    "DsoftConfig",
+    "SeedIndex",
+    "dsoft_filter",
+    "GactConfig",
+    "GactTimingModel",
+    "TileAlignment",
+    "align_tile",
+    "CHROMOSOMES",
+    "ONT1D",
+    "ONT2D",
+    "PACBIO",
+    "SEQUENCERS",
+    "ErrorProfile",
+    "SimulatedRead",
+    "make_reference",
+    "reference_length",
+    "simulate_reads",
+]

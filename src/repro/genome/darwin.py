@@ -1,0 +1,158 @@
+"""Darwin accelerator model: GACT arrays + memory protection (Fig. 15/16).
+
+64 GACT arrays process candidate tiles independently; each tile loads a
+reference chunk (random offset — the candidate position), a query chunk,
+and writes traceback pointers sequentially (§VII-A).  VNs come from
+:class:`~repro.core.vngen.BatchVnState` (CTR_genome ‖ CTR_query), so MGX
+needs no off-chip VNs; because the chunk offsets are effectively random
+and tile sizes variable, Darwin uses *fine-grained* MACs — this is the
+MGX_VN operating point, exactly what the paper evaluates for GACT.
+
+Timing model: Darwin is compute-bound (§VII-A), so bandwidth rarely
+limits it; what protection costs is the *serialized verification
+latency* of each tile's chunk loads — a dependent metadata fetch chain
+(VN line, then tree nodes, then the MAC) that cannot overlap the
+alignment because the tile cannot start on unverified data.  NP hides
+its plain loads behind double buffering; protected schemes expose their
+chain.  This mirrors the paper's observation that GACT overheads are
+smaller than DNN/graph but not zero.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.common.errors import ConfigError
+from repro.common.units import GIB, MHZ, ceil_div
+from repro.core.vngen import BatchVnState
+from repro.dram.model import DramConfig, DramModel, TrafficProfile
+from repro.genome.gact import GactConfig, GactTimingModel
+from repro.genome.sequences import SEQUENCERS, ErrorProfile
+
+#: Dependent DRAM round trips serialized per tile before alignment may
+#: start (and after it, for the protected traceback write's tail):
+#: BP walks VN line → 4 deep-tree levels per chunk (candidate offsets are
+#: random across gigabytes, so upper tree levels miss, as in DLRM);
+#: MGX-style schemes only fetch the fine-grained MAC line per chunk +
+#: one for the traceback read-modify-write tail.
+_VERIFY_CHAIN = {"NP": 0.0, "MGX_VN": 3.0, "MGX": 3.0, "BP": 10.0, "MGX_MAC": 6.0}
+
+
+@dataclass(frozen=True)
+class DarwinConfig:
+    """64 GACT arrays of 64 PEs at 800 MHz, four DDR4-2400 channels."""
+
+    arrays: int = 64
+    pes_per_array: int = 64
+    freq_hz: float = 800 * MHZ
+    gact: GactConfig = GactConfig()
+    dram: DramConfig = field(default_factory=lambda: DramConfig(channels=4))
+    protected_bytes: int = 16 * GIB
+    #: Average candidate tiles D-SOFT emits per read (measured from the
+    #: functional pipeline; overridable per workload).
+    tiles_per_read_factor: float = 1.25
+
+
+@dataclass
+class DarwinResult:
+    """Per-scheme outcome of one GACT workload."""
+
+    scheme: str
+    total_cycles: float
+    data_bytes: int
+    metadata_bytes: int
+
+    @property
+    def total_bytes(self) -> int:
+        return self.data_bytes + self.metadata_bytes
+
+
+def _metadata_bytes_per_tile(scheme: str, read_bytes: int, write_bytes: int) -> int:
+    """Fine-grained MAC metadata per tile; BP-style schemes add VNs+tree.
+
+    Darwin cannot use coarse MACs (random offsets, variable tiles), so
+    every scheme here runs 64-B MAC granularity (§VII-A): one 64-B MAC
+    line per chunk — which is the paper's +12.5% MGX_VN traffic point.
+    Stored-VN schemes add a VN line per chunk plus an amortized ~1.7
+    tree nodes (the paper's +34% BP traffic point).
+    """
+    if scheme in ("NP",):
+        return 0
+    # One MAC line per 512 bytes of chunk payload (8 packed 64-bit MACs).
+    mac_lines = ceil_div(read_bytes, 1024) * 2 + ceil_div(write_bytes, 512)
+    mac = mac_lines * 64
+    if scheme in ("MGX", "MGX_VN"):
+        return mac
+    vn = mac_lines * 64
+    tree = int(mac_lines * 0.75) * 64
+    return mac + vn + tree
+
+
+def simulate_gact_workload(
+    n_reads: int,
+    profile: ErrorProfile | str,
+    config: DarwinConfig | None = None,
+    schemes: tuple[str, ...] = ("NP", "BP", "MGX_VN"),
+) -> dict[str, DarwinResult]:
+    """Cycle estimate for aligning ``n_reads`` under each scheme.
+
+    Error profiles lengthen alignments (insertions stretch the query), so
+    tile counts grow with the error rate — ONT1D reads need more tiles
+    than PacBio, reproducing Fig. 16's per-workload spread.
+    """
+    if isinstance(profile, str):
+        profile = SEQUENCERS[profile]
+    config = config or DarwinConfig()
+    if n_reads <= 0:
+        raise ConfigError("n_reads must be positive")
+
+    timing = GactTimingModel(pes=config.pes_per_array, config=config.gact)
+    # Insertions lengthen the query that must be tiled across.
+    effective_length = int(profile.read_length * (1 + profile.insertion))
+    tiles_per_read = timing.tiles_for_read(effective_length)
+    total_tiles = int(n_reads * tiles_per_read * config.tiles_per_read_factor)
+
+    dram = DramModel(config.dram)
+    clock_ratio = config.freq_hz / config.dram.timing.clock_hz
+    # One dependent DRAM round trip (precharge + activate + CAS + burst +
+    # controller/queueing), in accelerator cycles.
+    t = config.dram.timing
+    round_trip = (t.rp + t.rcd + t.cl + t.burst_cycles + 20) * clock_ratio
+
+    compute = timing.tile_compute_cycles()
+    read_bytes = timing.tile_read_bytes()
+    # Indels lengthen the traceback path, so noisier sequencers write more
+    # pointers per tile — the per-workload spread of Fig. 16.
+    write_bytes = int(timing.tile_write_bytes() * (1 + profile.total_error))
+
+    results: dict[str, DarwinResult] = {}
+    for scheme in schemes:
+        if scheme not in _VERIFY_CHAIN:
+            raise ConfigError(f"unknown scheme {scheme!r}")
+        metadata = _metadata_bytes_per_tile(scheme, read_bytes, write_bytes)
+        # Chunk loads are 512-byte bursts: row-activate cost amortizes, so
+        # the data side streams; the isolated metadata lines are scattered.
+        profile_bytes = TrafficProfile(
+            sequential_bytes=(read_bytes + write_bytes) * total_tiles,
+            scattered_bytes=metadata * total_tiles,
+        )
+        # Bandwidth-side time, shared by all arrays.
+        mem_cycles = dram.cycles_for(profile_bytes) * clock_ratio
+        # Compute-side time: arrays process tiles in parallel; each tile
+        # additionally serializes its verification chain.
+        per_tile = compute + _VERIFY_CHAIN[scheme] * round_trip
+        compute_cycles = total_tiles * per_tile / config.arrays
+        results[scheme] = DarwinResult(
+            scheme=scheme,
+            total_cycles=max(compute_cycles, mem_cycles),
+            data_bytes=(read_bytes + write_bytes) * total_tiles,
+            metadata_bytes=metadata * total_tiles,
+        )
+    return results
+
+
+def darwin_vn_state() -> BatchVnState:
+    """The on-chip VN state Darwin needs: CTR_genome ‖ CTR_query (16 B)."""
+    state = BatchVnState()
+    state.new_query_batch()
+    return state

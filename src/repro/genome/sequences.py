@@ -1,0 +1,116 @@
+"""Synthetic genome references and long-read simulation.
+
+Stands in for GRCh38 chromosomes 1/X/Y and the PacBio/ONT read sets of
+the paper's GACT evaluation (Fig. 16).  References are uniform-random
+nucleotide strings at 1/1024 of the true chromosome lengths; reads are
+sampled substrings with per-sequencer error injection (substitutions,
+insertions, deletions) at published error-rate profiles.  GACT's memory
+behaviour depends only on read length and error statistics — which decide
+how many tiles alignment takes — not on biological content.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.common.errors import ConfigError
+
+_BASES = np.frombuffer(b"ACGT", dtype=np.uint8)
+
+#: GRCh38 chromosome lengths (bases), scaled by CHROMOSOME_SCALE below.
+_CHROMOSOME_BASES = {"chr1": 248_956_422, "chrX": 156_040_895, "chrY": 57_227_415}
+CHROMOSOME_SCALE = 1024
+
+CHROMOSOMES = tuple(_CHROMOSOME_BASES)
+
+
+@dataclass(frozen=True)
+class ErrorProfile:
+    """Per-sequencer error rates (fractions of read bases)."""
+
+    name: str
+    substitution: float
+    insertion: float
+    deletion: float
+    read_length: int
+
+    @property
+    def total_error(self) -> float:
+        return self.substitution + self.insertion + self.deletion
+
+
+#: Error profiles following the Darwin evaluation's sequencer models [32].
+PACBIO = ErrorProfile("PacBio", substitution=0.01, insertion=0.09, deletion=0.04,
+                      read_length=1024)
+ONT2D = ErrorProfile("ONT2D", substitution=0.03, insertion=0.04, deletion=0.05,
+                     read_length=1024)
+ONT1D = ErrorProfile("ONT1D", substitution=0.12, insertion=0.05, deletion=0.08,
+                     read_length=1024)
+
+SEQUENCERS = {p.name: p for p in (PACBIO, ONT2D, ONT1D)}
+
+
+def reference_length(chromosome: str) -> int:
+    try:
+        return _CHROMOSOME_BASES[chromosome] // CHROMOSOME_SCALE
+    except KeyError:
+        raise ConfigError(
+            f"unknown chromosome {chromosome!r}; known: {sorted(_CHROMOSOME_BASES)}"
+        ) from None
+
+
+def make_reference(chromosome: str, seed: int = 38) -> np.ndarray:
+    """Synthetic reference for a chromosome (uint8 ASCII bases)."""
+    rng = np.random.default_rng((seed, hash(chromosome) & 0xFFFF))
+    return _BASES[rng.integers(0, 4, size=reference_length(chromosome))]
+
+
+@dataclass(frozen=True)
+class SimulatedRead:
+    """One simulated long read and its true origin."""
+
+    bases: np.ndarray
+    origin: int
+    sequencer: str
+
+
+def simulate_reads(reference: np.ndarray, profile: ErrorProfile, n_reads: int,
+                   seed: int = 7) -> list[SimulatedRead]:
+    """Sample reads from ``reference`` with the profile's error process."""
+    if n_reads <= 0:
+        raise ConfigError(f"n_reads must be positive, got {n_reads}")
+    if len(reference) <= profile.read_length:
+        raise ConfigError("reference shorter than the read length")
+    rng = np.random.default_rng(seed)
+    reads = []
+    for _ in range(n_reads):
+        origin = int(rng.integers(0, len(reference) - profile.read_length))
+        fragment = reference[origin : origin + profile.read_length]
+        reads.append(
+            SimulatedRead(
+                bases=_inject_errors(fragment, profile, rng),
+                origin=origin,
+                sequencer=profile.name,
+            )
+        )
+    return reads
+
+
+def _inject_errors(fragment: np.ndarray, profile: ErrorProfile,
+                   rng: np.random.Generator) -> np.ndarray:
+    out: list[int] = []
+    for base in fragment:
+        r = rng.random()
+        if r < profile.deletion:
+            continue
+        if r < profile.deletion + profile.insertion:
+            out.append(int(_BASES[rng.integers(0, 4)]))
+            out.append(int(base))
+        elif r < profile.total_error:
+            choices = _BASES[_BASES != base]
+            out.append(int(choices[rng.integers(0, 3)]))
+        else:
+            out.append(int(base))
+    return np.asarray(out, dtype=np.uint8)

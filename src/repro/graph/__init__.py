@@ -1,0 +1,50 @@
+"""Graph processing substrate: CSR, semirings, algorithms, GraphLily model."""
+
+from repro.graph.algorithms import (
+    BfsResult,
+    PageRankResult,
+    SsspResult,
+    bfs,
+    pagerank,
+    sssp,
+)
+from repro.graph.csr import CsrMatrix
+from repro.graph.generators import (
+    BENCHMARK_SIZES,
+    GRAPH_BENCHMARKS,
+    GraphSpec,
+    benchmark_spec,
+    build_benchmark_graph,
+    rmat_edges,
+    uniform_random_graph,
+)
+from repro.graph.graphlily import GraphAcceleratorConfig, GraphTrace, GraphTraceGenerator
+from repro.graph.semiring import ARITHMETIC, BOOLEAN, SEMIRINGS, TROPICAL, Semiring
+from repro.graph.spmv import spmspv, spmv
+
+__all__ = [
+    "BfsResult",
+    "PageRankResult",
+    "SsspResult",
+    "bfs",
+    "pagerank",
+    "sssp",
+    "CsrMatrix",
+    "BENCHMARK_SIZES",
+    "GRAPH_BENCHMARKS",
+    "GraphSpec",
+    "benchmark_spec",
+    "build_benchmark_graph",
+    "rmat_edges",
+    "uniform_random_graph",
+    "GraphAcceleratorConfig",
+    "GraphTrace",
+    "GraphTraceGenerator",
+    "ARITHMETIC",
+    "BOOLEAN",
+    "SEMIRINGS",
+    "TROPICAL",
+    "Semiring",
+    "spmspv",
+    "spmv",
+]

@@ -1,0 +1,96 @@
+"""Compressed sparse row (CSR) adjacency storage.
+
+GraphBLAS-style accelerators store the graph as a sparse adjacency
+matrix; CSR is the format GraphLily streams (§V-A).  The matrix rows are
+*destination* vertices and columns are *source* vertices (pull-style
+SpMV: ``rank' = A · rank``), matching Fig. 9.
+
+Backed by numpy arrays; values are optional (BFS only needs structure).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.common.errors import ConfigError
+
+
+class CsrMatrix:
+    """A square sparse matrix in CSR form."""
+
+    def __init__(self, n: int, indptr: np.ndarray, indices: np.ndarray,
+                 values: np.ndarray | None = None) -> None:
+        indptr = np.asarray(indptr, dtype=np.int64)
+        indices = np.asarray(indices, dtype=np.int64)
+        if indptr.shape != (n + 1,):
+            raise ConfigError(f"indptr must have shape ({n + 1},), got {indptr.shape}")
+        if indptr[0] != 0 or indptr[-1] != len(indices):
+            raise ConfigError("indptr must start at 0 and end at nnz")
+        if np.any(np.diff(indptr) < 0):
+            raise ConfigError("indptr must be non-decreasing")
+        if len(indices) and (indices.min() < 0 or indices.max() >= n):
+            raise ConfigError("column indices out of range")
+        self.n = n
+        self.indptr = indptr
+        self.indices = indices
+        if values is None:
+            values = np.ones(len(indices), dtype=np.float64)
+        values = np.asarray(values, dtype=np.float64)
+        if values.shape != indices.shape:
+            raise ConfigError("values must match indices in length")
+        self.values = values
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_edges(cls, n: int, edges: np.ndarray,
+                   values: np.ndarray | None = None) -> "CsrMatrix":
+        """Build from an (m, 2) array of (row, col) pairs; duplicates kept."""
+        edges = np.asarray(edges, dtype=np.int64)
+        if edges.ndim != 2 or edges.shape[1] != 2:
+            raise ConfigError(f"edges must be (m, 2), got {edges.shape}")
+        order = np.lexsort((edges[:, 1], edges[:, 0]))
+        edges = edges[order]
+        vals = None
+        if values is not None:
+            vals = np.asarray(values, dtype=np.float64)[order]
+        counts = np.bincount(edges[:, 0], minlength=n)
+        indptr = np.zeros(n + 1, dtype=np.int64)
+        np.cumsum(counts, out=indptr[1:])
+        return cls(n, indptr, edges[:, 1], vals)
+
+    @property
+    def nnz(self) -> int:
+        return len(self.indices)
+
+    def row(self, i: int) -> np.ndarray:
+        """Column indices of row ``i``."""
+        return self.indices[self.indptr[i] : self.indptr[i + 1]]
+
+    def row_values(self, i: int) -> np.ndarray:
+        return self.values[self.indptr[i] : self.indptr[i + 1]]
+
+    def out_degrees(self) -> np.ndarray:
+        """Out-degree per *column* (source) vertex — what PageRank divides by."""
+        return np.bincount(self.indices, minlength=self.n).astype(np.int64)
+
+    def transpose(self) -> "CsrMatrix":
+        """CSR of the transposed matrix (push ↔ pull duality)."""
+        edges = np.empty((self.nnz, 2), dtype=np.int64)
+        rows = np.repeat(np.arange(self.n, dtype=np.int64), np.diff(self.indptr))
+        edges[:, 0] = self.indices
+        edges[:, 1] = rows
+        return CsrMatrix.from_edges(self.n, edges, self.values)
+
+    def row_slice_bytes(self, first_row: int, last_row: int,
+                        index_bytes: int = 4, value_bytes: int = 4) -> int:
+        """Bytes of CSR payload for the row range [first, last] inclusive.
+
+        The accelerator streams (index, value) pairs plus the row-pointer
+        slice; this drives the per-tile DRAM traffic of the trace model.
+        """
+        entries = int(self.indptr[last_row + 1] - self.indptr[first_row])
+        pointer_bytes = (last_row - first_row + 2) * index_bytes
+        return entries * (index_bytes + value_bytes) + pointer_bytes
+
+    def __repr__(self) -> str:
+        return f"CsrMatrix(n={self.n}, nnz={self.nnz})"

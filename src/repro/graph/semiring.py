@@ -1,0 +1,63 @@
+"""GraphBLAS semirings (§V-A).
+
+A semiring (D, ⊗, ⊕, I⊗, I⊕) turns one SpMV kernel into many graph
+algorithms: PageRank uses (ℝ, ×, +, 1, 0), BFS uses (Bool, &, |, 1, 0)
+and SSSP uses (ℝ∪∞, +, min, 0, ∞).  The accelerator model only cares
+that the operation *is* an SpMV over some semiring — the memory access
+pattern is identical — while the functional algorithms in
+:mod:`repro.graph.algorithms` use these operators for real computation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class Semiring:
+    """Scalar semiring with vectorized reduce/combine for SpMV."""
+
+    name: str
+    multiply: Callable[[np.ndarray, np.ndarray], np.ndarray]
+    add_reduce: Callable[[np.ndarray], float]
+    multiply_identity: float
+    add_identity: float
+
+    def spmv_row(self, values: np.ndarray, gathered: np.ndarray) -> float:
+        """⊕-reduce of ⊗-combined (edge value, vertex attribute) pairs."""
+        if len(values) == 0:
+            return self.add_identity
+        return self.add_reduce(self.multiply(values, gathered))
+
+
+#: PageRank: (ℝ, ×, +, 1, 0)
+ARITHMETIC = Semiring(
+    name="arithmetic",
+    multiply=np.multiply,
+    add_reduce=np.sum,
+    multiply_identity=1.0,
+    add_identity=0.0,
+)
+
+#: BFS: (Boolean, &, |, 1, 0) — attributes are 0/1 floats.
+BOOLEAN = Semiring(
+    name="boolean",
+    multiply=lambda a, b: np.logical_and(a != 0, b != 0).astype(np.float64),
+    add_reduce=lambda x: float(np.any(x != 0)),
+    multiply_identity=1.0,
+    add_identity=0.0,
+)
+
+#: SSSP: (ℝ ∪ ∞, +, min, 0, ∞)
+TROPICAL = Semiring(
+    name="tropical",
+    multiply=np.add,
+    add_reduce=np.min,
+    multiply_identity=0.0,
+    add_identity=np.inf,
+)
+
+SEMIRINGS = {s.name: s for s in (ARITHMETIC, BOOLEAN, TROPICAL)}

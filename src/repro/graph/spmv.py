@@ -1,0 +1,46 @@
+"""Functional SpMV / SpMSpV over a semiring.
+
+``spmv`` is the dense-vector kernel PageRank uses; ``spmspv`` is the
+sparse-vector variant (§V-B) whose only behavioural difference — the
+one that matters to MGX — is that it gathers attribute values at random
+rather than streaming them, changing the MAC granularity the protection
+scheme can use for that vector.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.common.errors import ConfigError
+from repro.graph.csr import CsrMatrix
+from repro.graph.semiring import Semiring
+
+
+def spmv(matrix: CsrMatrix, vector: np.ndarray, semiring: Semiring) -> np.ndarray:
+    """Dense-vector SpMV: out[i] = ⊕_j A[i,j] ⊗ vector[j]."""
+    if vector.shape != (matrix.n,):
+        raise ConfigError(f"vector shape {vector.shape} != ({matrix.n},)")
+    out = np.full(matrix.n, semiring.add_identity, dtype=np.float64)
+    for i in range(matrix.n):
+        cols = matrix.row(i)
+        if len(cols):
+            out[i] = semiring.spmv_row(matrix.row_values(i), vector[cols])
+    return out
+
+
+def spmspv(matrix: CsrMatrix, indices: np.ndarray, values: np.ndarray,
+           semiring: Semiring) -> tuple[np.ndarray, np.ndarray]:
+    """Sparse-vector SpMV: the input vector is (indices, values) pairs.
+
+    Returns the output as (indices, values) of non-identity entries.
+    Semantically equal to densifying and calling :func:`spmv` (asserted
+    property-style in the tests); implemented column-wise as a push-style
+    accelerator would.
+    """
+    if indices.shape != values.shape:
+        raise ConfigError("indices and values must have equal shapes")
+    dense = np.full(matrix.n, semiring.add_identity, dtype=np.float64)
+    dense[indices] = values
+    result = spmv(matrix, dense, semiring)
+    nonidentity = np.nonzero(result != semiring.add_identity)[0]
+    return nonidentity, result[nonidentity]

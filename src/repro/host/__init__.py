@@ -1,0 +1,24 @@
+"""Host-side workflow: DHE key exchange, attestation, secure channel (§II)."""
+
+from repro.host.attestation import (
+    AttestationQuote,
+    ManufacturerCa,
+    measurement,
+    sign_quote,
+)
+from repro.host.channel import SecureChannel
+from repro.host.dh import MODP_2048_G, MODP_2048_P, DhParty
+from repro.host.session import SecureAcceleratorDevice, UserSession
+
+__all__ = [
+    "AttestationQuote",
+    "ManufacturerCa",
+    "measurement",
+    "sign_quote",
+    "SecureChannel",
+    "MODP_2048_G",
+    "MODP_2048_P",
+    "DhParty",
+    "SecureAcceleratorDevice",
+    "UserSession",
+]

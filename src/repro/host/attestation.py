@@ -1,0 +1,101 @@
+"""Remote attestation of the secure accelerator (§II).
+
+The device holds a manufacturer-embedded private key (SK_Accel); a user
+obtains the matching verification capability through a certificate
+authority (PKI "as in Intel SGX or TPMs").  An attestation quote binds:
+
+* the device identity,
+* the firmware/configuration hash,
+* the hash of the application kernel to be executed,
+* the user's freshness nonce and the DH public values of the session,
+
+so a user who verifies the quote knows *which* kernel will run on *which*
+device with *these* session keys.  Signatures are modelled as HMAC under
+SK_Accel with the CA re-deriving the key from the device identity — the
+deployment-grade swap to asymmetric signatures changes no interfaces.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import hmac
+from dataclasses import dataclass
+
+from repro.common.errors import SecurityError
+
+
+def measurement(data: bytes) -> bytes:
+    """SHA-256 measurement used for firmware and kernel hashes."""
+    return hashlib.sha256(data).digest()
+
+
+@dataclass(frozen=True)
+class AttestationQuote:
+    """A signed statement of the device's identity and loaded code."""
+
+    device_id: bytes
+    firmware_hash: bytes
+    kernel_hash: bytes
+    user_nonce: bytes
+    dh_transcript_hash: bytes
+    signature: bytes
+
+    def body(self) -> bytes:
+        return b"|".join(
+            (
+                self.device_id,
+                self.firmware_hash,
+                self.kernel_hash,
+                self.user_nonce,
+                self.dh_transcript_hash,
+            )
+        )
+
+
+class ManufacturerCa:
+    """Stand-in certificate authority: provisions and verifies device keys."""
+
+    def __init__(self, root_secret: bytes) -> None:
+        self._root = bytes(root_secret)
+
+    def device_key(self, device_id: bytes) -> bytes:
+        """SK_Accel for a device (embedded at manufacturing time)."""
+        return hmac.new(self._root, b"device|" + device_id, hashlib.sha256).digest()
+
+    def verify(self, quote: AttestationQuote) -> None:
+        """Raises :class:`SecurityError` unless the quote is genuine."""
+        expected = hmac.new(
+            self.device_key(quote.device_id), quote.body(), hashlib.sha256
+        ).digest()
+        if not hmac.compare_digest(expected, quote.signature):
+            raise SecurityError(
+                "attestation verification failed: forged quote or unknown device"
+            )
+
+
+def sign_quote(
+    sk_accel: bytes,
+    device_id: bytes,
+    firmware_hash: bytes,
+    kernel_hash: bytes,
+    user_nonce: bytes,
+    dh_transcript_hash: bytes,
+) -> AttestationQuote:
+    """Produce the device-side quote."""
+    quote = AttestationQuote(
+        device_id=device_id,
+        firmware_hash=firmware_hash,
+        kernel_hash=kernel_hash,
+        user_nonce=user_nonce,
+        dh_transcript_hash=dh_transcript_hash,
+        signature=b"",
+    )
+    signature = hmac.new(sk_accel, quote.body(), hashlib.sha256).digest()
+    return AttestationQuote(
+        device_id=device_id,
+        firmware_hash=firmware_hash,
+        kernel_hash=kernel_hash,
+        user_nonce=user_nonce,
+        dh_transcript_hash=dh_transcript_hash,
+        signature=signature,
+    )

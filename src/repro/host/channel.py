@@ -1,0 +1,58 @@
+"""Encrypted, authenticated, replay-protected host↔accelerator channel.
+
+After the DHE exchange both sides hold a channel key; messages flow as
+AES-GCM records with direction-separated, monotonically increasing
+sequence numbers in the IV — the "secure (encrypted and authenticated)
+communication channel" of §II that user data and kernels traverse.
+"""
+
+from __future__ import annotations
+
+from repro.common.errors import ConfigError, ReplayError
+from repro.crypto.gcm import AesGcm
+
+
+class SecureChannel:
+    """One endpoint of the record channel.
+
+    ``direction`` 0 is host→device traffic, 1 is device→host; each
+    endpoint sends with its own direction and receives the other's.
+    """
+
+    def __init__(self, channel_key: bytes, direction: int) -> None:
+        if direction not in (0, 1):
+            raise ConfigError("direction must be 0 or 1")
+        self._gcm = AesGcm(channel_key)
+        self._direction = direction
+        self._send_seq = 0
+        self._recv_seq = 0
+
+    def _iv(self, direction: int, sequence: int) -> bytes:
+        return direction.to_bytes(4, "big") + sequence.to_bytes(8, "big")
+
+    def send(self, plaintext: bytes, aad: bytes = b"") -> tuple[int, bytes, bytes]:
+        """Returns the record (sequence, ciphertext, tag)."""
+        sequence = self._send_seq
+        self._send_seq += 1
+        ciphertext, tag = self._gcm.encrypt(
+            self._iv(self._direction, sequence), plaintext, aad
+        )
+        return sequence, ciphertext, tag
+
+    def receive(self, sequence: int, ciphertext: bytes, tag: bytes,
+                aad: bytes = b"") -> bytes:
+        """Verify ordering and authenticity; decrypt.
+
+        Out-of-order or repeated sequence numbers raise
+        :class:`ReplayError` before any crypto runs.
+        """
+        if sequence != self._recv_seq:
+            raise ReplayError(
+                f"channel record out of order: got seq {sequence}, "
+                f"expected {self._recv_seq}"
+            )
+        plaintext = self._gcm.decrypt(
+            self._iv(1 - self._direction, sequence), ciphertext, tag, aad
+        )
+        self._recv_seq += 1
+        return plaintext

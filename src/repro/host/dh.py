@@ -1,0 +1,55 @@
+"""Finite-field Diffie-Hellman for the accelerator key exchange (§II).
+
+The paper's secure accelerator "needs to support a secure key-exchange
+protocol (DHE)" to establish session keys with a remote user or TEE.
+This is a real DH over the RFC 3526 2048-bit MODP group (group 14) —
+small code, actual security properties — used by
+:mod:`repro.host.session` to derive the memory-protection session keys.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+import numpy as np
+
+from repro.common.errors import ConfigError
+
+#: RFC 3526, group 14: 2048-bit MODP prime with generator 2.
+MODP_2048_P = int(
+    "FFFFFFFFFFFFFFFFC90FDAA22168C234C4C6628B80DC1CD1"
+    "29024E088A67CC74020BBEA63B139B22514A08798E3404DD"
+    "EF9519B3CD3A431B302B0A6DF25F14374FE1356D6D51C245"
+    "E485B576625E7EC6F44C42E9A637ED6B0BFF5CB6F406B7ED"
+    "EE386BFB5A899FA5AE9F24117C4B1FE649286651ECE45B3D"
+    "C2007CB8A163BF0598DA48361C55D39A69163FA8FD24CF5F"
+    "83655D23DCA3AD961C62F356208552BB9ED529077096966D"
+    "670C354E4ABC9804F1746C08CA18217C32905E462E36CE3B"
+    "E39E772C180E86039B2783A2EC07A28FB5C55DF06F4C52C9"
+    "DE2BCBF6955817183995497CEA956AE515D2261898FA0510"
+    "15728E5A8AACAA68FFFFFFFFFFFFFFFF",
+    16,
+)
+MODP_2048_G = 2
+
+
+class DhParty:
+    """One side of an ephemeral Diffie-Hellman exchange."""
+
+    def __init__(self, seed: int | bytes) -> None:
+        # Deterministic private keys keep the tests reproducible; a real
+        # device uses its TRNG here.
+        if isinstance(seed, bytes):
+            seed = int.from_bytes(hashlib.sha256(seed).digest(), "big")
+        rng = np.random.default_rng(seed % (2**63))
+        self._private = int.from_bytes(rng.bytes(32), "big") | 1
+        if not 1 < self._private < MODP_2048_P - 1:
+            raise ConfigError("degenerate private key")
+        self.public = pow(MODP_2048_G, self._private, MODP_2048_P)
+
+    def shared_secret(self, peer_public: int) -> bytes:
+        """The agreed secret, hashed to 32 bytes for key derivation."""
+        if not 1 < peer_public < MODP_2048_P - 1:
+            raise ConfigError("peer public value out of range")
+        secret = pow(peer_public, self._private, MODP_2048_P)
+        return hashlib.sha256(secret.to_bytes(256, "big")).digest()

@@ -1,0 +1,147 @@
+"""The full §II provisioning workflow, end to end.
+
+1. The user sends a session request with a fresh nonce and a DH public
+   value.
+2. The device completes the DH exchange, clears its state, derives the
+   session keys (channel key + the memory-protection key pair), and
+   returns an attestation quote binding device, firmware, kernel hash,
+   nonce and DH transcript.
+3. The user verifies the quote against the manufacturer CA, derives the
+   same keys, and ships the kernel and input data over the secure
+   channel.
+4. The device decrypts them with the channel key and re-encrypts them
+   into protected DRAM with the memory-encryption key, ready to execute.
+
+Everything here is functional: the DH is real, the GCM records are real,
+and the protected memory is a :class:`MgxFunctionalEngine` over a
+:class:`BackingStore` an attacker can reach.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+
+from repro.common.errors import ConfigError, SecurityError
+from repro.common.units import round_up
+from repro.core.functional import MgxFunctionalEngine
+from repro.core.vngen import DnnVnState
+from repro.crypto.keys import SessionKeys, _hkdf_expand
+from repro.host.attestation import AttestationQuote, ManufacturerCa, measurement, sign_quote
+from repro.host.channel import SecureChannel
+from repro.host.dh import DhParty
+from repro.mem.backing import BackingStore
+
+
+@dataclass
+class SecureAcceleratorDevice:
+    """The device side: identity, firmware, protected memory."""
+
+    device_id: bytes
+    firmware: bytes
+    ca: ManufacturerCa
+    protected_bytes: int = 1 << 20
+    mac_granularity: int = 512
+    store: BackingStore = field(default=None)  # type: ignore[assignment]
+
+    def __post_init__(self) -> None:
+        self._sk_accel = self.ca.device_key(self.device_id)
+        if self.store is None:
+            self.store = BackingStore(2 * self.protected_bytes)
+        self.engine: MgxFunctionalEngine | None = None
+        self.vn_state: DnnVnState | None = None
+        self._channel: SecureChannel | None = None
+        self._loaded: dict[str, tuple[int, int]] = {}
+        self._cursor = 0
+
+    # -- step 2: session establishment + attestation -----------------------
+    def open_session(self, user_nonce: bytes, user_dh_public: int,
+                     kernel_hash: bytes) -> tuple[int, AttestationQuote]:
+        device_dh = DhParty(self._sk_accel + user_nonce)
+        shared = device_dh.shared_secret(user_dh_public)
+        transcript = hashlib.sha256(
+            user_dh_public.to_bytes(256, "big") + device_dh.public.to_bytes(256, "big")
+        ).digest()
+        self._install_keys(shared, transcript)
+        quote = sign_quote(
+            self._sk_accel,
+            self.device_id,
+            measurement(self.firmware),
+            kernel_hash,
+            user_nonce,
+            transcript,
+        )
+        return device_dh.public, quote
+
+    def _install_keys(self, shared: bytes, transcript: bytes) -> None:
+        # Fresh internal state for the new session (§II: "clear its
+        # internal state, set a pair of new symmetric keys ...").
+        keys = SessionKeys.derive(shared, transcript)
+        channel_key = _hkdf_expand(shared + transcript, b"mgx-channel", 16)
+        self.engine = MgxFunctionalEngine(
+            keys, self.store, data_bytes=self.protected_bytes,
+            mac_granularity=self.mac_granularity,
+        )
+        self.vn_state = DnnVnState()
+        self._channel = SecureChannel(channel_key, direction=1)
+        self._loaded.clear()
+        self._cursor = 0
+
+    # -- step 4: receive data into protected memory -------------------------
+    def receive_payload(self, name: str, record: tuple[int, bytes, bytes]) -> None:
+        """Decrypt a channel record and place it in protected DRAM."""
+        if self.engine is None or self._channel is None or self.vn_state is None:
+            raise ConfigError("no open session")
+        sequence, ciphertext, tag = record
+        plaintext = self._channel.receive(sequence, ciphertext, tag,
+                                          aad=name.encode())
+        padded = round_up(max(1, len(plaintext)), self.mac_granularity)
+        address = self._cursor
+        self._cursor += padded
+        vn = self.vn_state.ingest_features(name)
+        self.engine.write(address, plaintext.ljust(padded, b"\x00"), vn)
+        self._loaded[name] = (address, len(plaintext))
+
+    def read_protected(self, name: str) -> bytes:
+        """What the kernel sees when it loads the tensor on-chip."""
+        if self.engine is None or self.vn_state is None:
+            raise ConfigError("no open session")
+        address, length = self._loaded[name]
+        padded = round_up(max(1, length), self.mac_granularity)
+        return self.engine.read(address, padded, self.vn_state.read_features(name))[:length]
+
+
+@dataclass
+class UserSession:
+    """The user side: verifies attestation, drives the channel."""
+
+    ca: ManufacturerCa
+    expected_firmware: bytes
+    kernel: bytes
+    nonce: bytes = b"user-nonce-0001"
+
+    def connect(self, device: SecureAcceleratorDevice) -> None:
+        user_dh = DhParty(self.nonce + b"user-entropy")
+        device_public, quote = device.open_session(
+            self.nonce, user_dh.public, measurement(self.kernel)
+        )
+        # Verify the quote: genuine device, expected firmware, our kernel,
+        # our nonce, and the DH transcript we actually ran.
+        self.ca.verify(quote)
+        transcript = hashlib.sha256(
+            user_dh.public.to_bytes(256, "big") + device_public.to_bytes(256, "big")
+        ).digest()
+        if quote.firmware_hash != measurement(self.expected_firmware):
+            raise SecurityError("attested firmware does not match expectation")
+        if quote.kernel_hash != measurement(self.kernel):
+            raise SecurityError("attested kernel does not match what we sent")
+        if quote.user_nonce != self.nonce:
+            raise SecurityError("stale attestation (nonce mismatch)")
+        if quote.dh_transcript_hash != transcript:
+            raise SecurityError("attestation does not cover this key exchange")
+        shared = user_dh.shared_secret(device_public)
+        channel_key = _hkdf_expand(shared + transcript, b"mgx-channel", 16)
+        self._channel = SecureChannel(channel_key, direction=0)
+
+    def send(self, name: str, payload: bytes) -> tuple[int, bytes, bytes]:
+        return self._channel.send(payload, aad=name.encode())

@@ -1,0 +1,7 @@
+"""Untrusted off-chip memory model: backing store, layout, attacker API."""
+
+from repro.mem.attacker import Attacker, Snapshot
+from repro.mem.backing import BackingStore
+from repro.mem.layout import AddressSpace, Region
+
+__all__ = ["Attacker", "Snapshot", "BackingStore", "AddressSpace", "Region"]

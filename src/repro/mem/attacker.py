@@ -1,0 +1,71 @@
+"""Adversary model: arbitrary manipulation of untrusted DRAM contents.
+
+The paper's threat model (§II) gives the attacker full access to the
+off-chip memory: they can read ciphertext, flip bits, move blocks around,
+and — the attack that motivates Merkle trees — *replay* stale
+(data, VN, MAC) triples captured earlier.  This module packages those
+manipulations so the security test-suite can state each attack in one
+line and assert that the protection engine detects it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.common.errors import ConfigError
+from repro.mem.backing import BackingStore
+
+
+@dataclass(frozen=True)
+class Snapshot:
+    """A captured range of untrusted memory for later replay."""
+
+    address: int
+    data: bytes
+
+
+class Attacker:
+    """Convenience wrapper mutating a :class:`BackingStore` out-of-band."""
+
+    def __init__(self, store: BackingStore) -> None:
+        self._store = store
+
+    # -- passive ----------------------------------------------------------
+    def observe(self, address: int, length: int) -> bytes:
+        """Read ciphertext (always allowed; confidentiality relies on AES)."""
+        return self._store.read(address, length)
+
+    def snapshot(self, address: int, length: int) -> Snapshot:
+        """Capture a region for a later replay attack."""
+        return Snapshot(address=address, data=self._store.read(address, length))
+
+    # -- active -----------------------------------------------------------
+    def flip_bit(self, address: int, bit: int = 0) -> None:
+        """Flip one bit of one byte: the minimal corruption attack."""
+        if not 0 <= bit < 8:
+            raise ConfigError(f"bit index must be in [0,8), got {bit}")
+        byte = self._store.read(address, 1)[0]
+        self._store.write(address, bytes([byte ^ (1 << bit)]))
+
+    def overwrite(self, address: int, data: bytes) -> None:
+        """Replace a range with attacker-chosen bytes (substitution attack)."""
+        self._store.write(address, data)
+
+    def replay(self, snapshot: Snapshot) -> None:
+        """Restore a stale snapshot in place (replay attack)."""
+        self._store.write(snapshot.address, snapshot.data)
+
+    def relocate(self, src: int, dst: int, length: int) -> None:
+        """Copy a valid block to a different address (relocation attack)."""
+        self._store.write(dst, self._store.read(src, length))
+
+    def swap(self, addr_a: int, addr_b: int, length: int) -> None:
+        """Exchange two equal-sized blocks (a two-sided relocation)."""
+        a = self._store.read(addr_a, length)
+        b = self._store.read(addr_b, length)
+        self._store.write(addr_a, b)
+        self._store.write(addr_b, a)
+
+    def zero(self, address: int, length: int) -> None:
+        """Blank a range (e.g. wiping MACs to probe failure handling)."""
+        self._store.write(address, bytes(length))

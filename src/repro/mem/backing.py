@@ -1,0 +1,65 @@
+"""Byte-addressable model of the untrusted off-chip DRAM contents.
+
+The functional protection engine reads and writes ciphertext and MACs
+through this store; the attacker API (:mod:`repro.mem.attacker`) mutates
+it behind the engine's back, which is exactly the adversary position in
+the paper's threat model (§II): full read/write access to everything in
+DRAM, no visibility into on-chip state.
+
+The store is sparse (dict of fixed-size pages) so a 16-GB protected
+address space costs memory only for what is touched.
+"""
+
+from __future__ import annotations
+
+from repro.common.errors import AddressError, ConfigError
+
+_PAGE_SIZE = 4096
+
+
+class BackingStore:
+    """Sparse byte store covering ``size`` bytes of physical address space."""
+
+    def __init__(self, size: int) -> None:
+        if size <= 0:
+            raise ConfigError(f"backing store size must be positive, got {size}")
+        self.size = size
+        self._pages: dict[int, bytearray] = {}
+
+    def _check_range(self, address: int, length: int) -> None:
+        if address < 0 or length < 0 or address + length > self.size:
+            raise AddressError(
+                f"access [{address:#x}, {address + length:#x}) outside store of size {self.size:#x}"
+            )
+
+    def read(self, address: int, length: int) -> bytes:
+        """Read ``length`` bytes; untouched bytes read as zero."""
+        self._check_range(address, length)
+        out = bytearray(length)
+        pos = 0
+        while pos < length:
+            page_no, offset = divmod(address + pos, _PAGE_SIZE)
+            chunk = min(length - pos, _PAGE_SIZE - offset)
+            page = self._pages.get(page_no)
+            if page is not None:
+                out[pos : pos + chunk] = page[offset : offset + chunk]
+            pos += chunk
+        return bytes(out)
+
+    def write(self, address: int, data: bytes) -> None:
+        """Write ``data`` starting at ``address``."""
+        self._check_range(address, len(data))
+        pos = 0
+        while pos < len(data):
+            page_no, offset = divmod(address + pos, _PAGE_SIZE)
+            chunk = min(len(data) - pos, _PAGE_SIZE - offset)
+            page = self._pages.get(page_no)
+            if page is None:
+                page = bytearray(_PAGE_SIZE)
+                self._pages[page_no] = page
+            page[offset : offset + chunk] = data[pos : pos + chunk]
+            pos += chunk
+
+    def touched_bytes(self) -> int:
+        """Number of bytes in allocated pages (memory footprint proxy)."""
+        return len(self._pages) * _PAGE_SIZE

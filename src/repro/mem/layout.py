@@ -1,0 +1,98 @@
+"""Physical address-space layout for an accelerator session.
+
+Accelerator kernels are statically compiled: the DNN compiler (or graph
+runtime) performs static memory allocation, so every tensor / data
+structure lives at a known physical offset for the lifetime of the kernel
+(§IV-B step 1).  :class:`AddressSpace` models that static allocation — a
+simple bump allocator handing out aligned, named regions — and is shared
+by the trace generators (which emit accesses into regions) and the
+protection engines (which map addresses back to regions for per-region
+MAC granularity and VN lookup).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.common.errors import AddressError, ConfigError
+from repro.common.units import round_up
+
+
+@dataclass(frozen=True)
+class Region:
+    """A named, contiguous range of protected physical memory."""
+
+    name: str
+    base: int
+    size: int
+    #: Optional tag used by protection engines to pick MAC granularity
+    #: (e.g. ``"embedding"`` keeps 64-B MACs while bulk tensors use 512 B).
+    kind: str = "bulk"
+
+    @property
+    def end(self) -> int:
+        return self.base + self.size
+
+    def contains(self, address: int) -> bool:
+        return self.base <= address < self.end
+
+    def offset_of(self, address: int) -> int:
+        if not self.contains(address):
+            raise AddressError(f"{address:#x} not in region {self.name}")
+        return address - self.base
+
+
+@dataclass
+class AddressSpace:
+    """Static bump allocator over the protected physical address space."""
+
+    size: int
+    alignment: int = 64
+    _cursor: int = 0
+    _regions: dict[str, Region] = field(default_factory=dict)
+    _ordered: list[Region] = field(default_factory=list)
+
+    def alloc(self, name: str, size: int, kind: str = "bulk") -> Region:
+        """Allocate an aligned region; names must be unique."""
+        if size <= 0:
+            raise ConfigError(f"region {name!r} must have positive size, got {size}")
+        if name in self._regions:
+            raise ConfigError(f"region {name!r} already allocated")
+        base = round_up(self._cursor, self.alignment)
+        if base + size > self.size:
+            raise AddressError(
+                f"address space exhausted: need {size} bytes at {base:#x}, "
+                f"capacity {self.size:#x}"
+            )
+        region = Region(name=name, base=base, size=size, kind=kind)
+        self._cursor = base + size
+        self._regions[name] = region
+        self._ordered.append(region)
+        return region
+
+    def region(self, name: str) -> Region:
+        try:
+            return self._regions[name]
+        except KeyError:
+            raise AddressError(f"no region named {name!r}") from None
+
+    def find(self, address: int) -> Region:
+        """Region containing ``address`` (binary search over sorted bases)."""
+        lo, hi = 0, len(self._ordered) - 1
+        while lo <= hi:
+            mid = (lo + hi) // 2
+            region = self._ordered[mid]
+            if address < region.base:
+                hi = mid - 1
+            elif address >= region.end:
+                lo = mid + 1
+            else:
+                return region
+        raise AddressError(f"address {address:#x} not in any region")
+
+    def regions(self) -> list[Region]:
+        return list(self._ordered)
+
+    @property
+    def used(self) -> int:
+        return self._cursor

@@ -1,0 +1,25 @@
+"""Simulation glue: performance model, runner, trace files, roofline."""
+
+from repro.sim.perf import PerfConfig, PerformanceModel, PhaseResult, SimResult
+from repro.sim.roofline import PhaseRoofline, RooflineReport, analyze
+from repro.sim.runner import SCHEMES, SchemeSweep, dnn_sweep, graph_sweep, sweep_schemes
+from repro.sim.tracefile import TraceFile, evaluate, load, loads
+
+__all__ = [
+    "PerfConfig",
+    "PerformanceModel",
+    "PhaseResult",
+    "SimResult",
+    "PhaseRoofline",
+    "RooflineReport",
+    "analyze",
+    "SCHEMES",
+    "SchemeSweep",
+    "dnn_sweep",
+    "graph_sweep",
+    "sweep_schemes",
+    "TraceFile",
+    "evaluate",
+    "load",
+    "loads",
+]

@@ -1,0 +1,103 @@
+"""Workload runner: sweep protection schemes over a trace in one call.
+
+The experiments all follow the same pattern — generate a trace once, run
+{NP, BP, MGX, MGX_VN, MGX_MAC} over it, normalize to NP — so this module
+packages that loop along with the workload constructors for the DNN and
+graph benchmarks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.access import Phase
+from repro.core.schemes import ProtectionScheme, scheme_suite
+from repro.dnn.accelerator import CONFIGS, DnnAcceleratorConfig
+from repro.dnn.models import build_model
+from repro.dnn.tracegen import DnnTraceGenerator
+from repro.dram.model import DramModel
+from repro.graph.generators import build_benchmark_graph
+from repro.graph.graphlily import GraphAcceleratorConfig, GraphTraceGenerator
+from repro.sim.perf import PerfConfig, PerformanceModel, SimResult
+
+#: Paper scheme names in presentation order.
+SCHEMES = ("NP", "BP", "MGX", "MGX_VN", "MGX_MAC")
+
+
+@dataclass
+class SchemeSweep:
+    """Results of all schemes over one workload, normalized to NP."""
+
+    workload: str
+    results: dict[str, SimResult] = field(default_factory=dict)
+
+    @property
+    def baseline(self) -> SimResult:
+        return self.results["NP"]
+
+    def normalized_time(self, scheme: str) -> float:
+        return self.results[scheme].normalized_to(self.baseline)
+
+    def traffic_increase(self, scheme: str) -> float:
+        return self.results[scheme].traffic_increase_over(self.baseline)
+
+    def overhead_percent(self, scheme: str) -> float:
+        return 100.0 * (self.normalized_time(scheme) - 1.0)
+
+
+def sweep_schemes(
+    workload: str,
+    phases: list[Phase],
+    model: PerformanceModel,
+    protected_bytes: int,
+    schemes: dict[str, ProtectionScheme] | None = None,
+) -> SchemeSweep:
+    """Run every scheme over ``phases`` and collect normalized results."""
+    suite = schemes if schemes is not None else scheme_suite(protected_bytes)
+    sweep = SchemeSweep(workload=workload)
+    for name in SCHEMES:
+        if name not in suite:
+            continue
+        sweep.results[name] = model.run(phases, suite[name])
+    return sweep
+
+
+# ---------------------------------------------------------------------------
+# Workload constructors
+# ---------------------------------------------------------------------------
+
+def dnn_sweep(model_name: str, config_name: str = "Cloud", training: bool = False,
+              batch: int = 1) -> SchemeSweep:
+    """Sweep all schemes over one DNN workload (Fig. 12/13 data points)."""
+    config: DnnAcceleratorConfig = CONFIGS[config_name]
+    generator = DnnTraceGenerator(build_model(model_name), config, batch=batch)
+    trace = generator.training_step() if training else generator.inference()
+    perf = PerformanceModel(
+        DramModel(config.dram), PerfConfig(accel_freq_hz=config.array.freq_hz)
+    )
+    label = f"{model_name}-{'Train' if training else 'Inf'}-{config_name}"
+    return sweep_schemes(label, trace.phases, perf, config.protected_bytes)
+
+
+def graph_sweep(benchmark: str, algorithm: str = "PR", iterations: int | None = None,
+                scale_divisor: int = 64,
+                config: GraphAcceleratorConfig | None = None) -> SchemeSweep:
+    """Sweep all schemes over one graph workload (Fig. 14 data points)."""
+    config = config or GraphAcceleratorConfig()
+    graph = build_benchmark_graph(benchmark, scale_divisor=scale_divisor)
+    generator = GraphTraceGenerator(graph, config)
+    if algorithm == "PR":
+        trace = generator.pagerank_trace(iterations=iterations)
+    elif algorithm == "BFS":
+        trace = generator.bfs_trace(iterations=iterations)
+    elif algorithm == "SSSP":
+        trace = generator.sssp_trace(iterations=iterations)
+    elif algorithm == "SpMSpV":
+        trace = generator.spmspv_trace(iterations=iterations or 4)
+    else:
+        raise ValueError(f"unknown algorithm {algorithm!r}")
+    perf = PerformanceModel(
+        DramModel(config.dram), PerfConfig(accel_freq_hz=config.freq_hz)
+    )
+    return sweep_schemes(f"{algorithm}-{benchmark}", trace.phases, perf,
+                         config.protected_bytes)

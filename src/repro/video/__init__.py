@@ -1,0 +1,19 @@
+"""H.264 video decoding substrate (§VII-A case study, Figs. 17–19)."""
+
+from repro.video.decoder import (
+    AccessRecord,
+    DecodeTrace,
+    DecoderConfig,
+    H264Decoder,
+)
+from repro.video.gop import FrameInfo, FrameType, GopStructure
+
+__all__ = [
+    "AccessRecord",
+    "DecodeTrace",
+    "DecoderConfig",
+    "H264Decoder",
+    "FrameInfo",
+    "FrameType",
+    "GopStructure",
+]

@@ -1,0 +1,115 @@
+"""H.264 GOP structure: frame types, display vs decode order, references.
+
+B frames reference a *later* anchor, so they are decoded after it:
+display order ``I B P B I…`` becomes decode order ``I P B I B…``
+(Fig. 18).  This module models that reordering and each frame's
+reference set, which determines the read pattern of the inter-prediction
+unit (Fig. 19) and hence the VNs it must regenerate.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.common.errors import ConfigError
+
+
+class FrameType(enum.Enum):
+    I = "I"
+    P = "P"
+    B = "B"
+
+
+@dataclass(frozen=True)
+class FrameInfo:
+    """One frame of the sequence, identified by its display number."""
+
+    display_number: int
+    frame_type: FrameType
+    #: Display numbers of the frames this one predicts from.
+    references: tuple[int, ...]
+
+
+class GopStructure:
+    """Parses a pattern like ``"IBPB"`` into frames with references.
+
+    The pattern repeats to cover ``n_frames``.  Reference rules (Main
+    profile, one reference each direction, as in the paper's decoder):
+
+    * I — none.
+    * P — the previous anchor (I or P) in display order.
+    * B — the previous anchor and the next anchor.
+    """
+
+    def __init__(self, pattern: str, n_frames: int) -> None:
+        if not pattern or any(c not in "IBP" for c in pattern):
+            raise ConfigError(f"pattern must be non-empty over I/B/P, got {pattern!r}")
+        if pattern[0] != "I":
+            raise ConfigError("pattern must start with an I frame")
+        if n_frames < 1:
+            raise ConfigError(f"n_frames must be >= 1, got {n_frames}")
+        self.pattern = pattern
+        self.n_frames = n_frames
+        types = [FrameType(pattern[i % len(pattern)]) for i in range(n_frames)]
+        # The final frames cannot be B without a following anchor; demote
+        # trailing Bs to P so every reference exists.
+        for i in range(n_frames - 1, -1, -1):
+            if types[i] is FrameType.B:
+                if not any(t is not FrameType.B for t in types[i + 1 :]):
+                    types[i] = FrameType.P
+            else:
+                break
+        self.frames = [self._frame_info(i, types) for i in range(n_frames)]
+
+    @staticmethod
+    def _prev_anchor(i: int, types: list[FrameType]) -> int | None:
+        for j in range(i - 1, -1, -1):
+            if types[j] is not FrameType.B:
+                return j
+        return None
+
+    @staticmethod
+    def _next_anchor(i: int, types: list[FrameType]) -> int | None:
+        for j in range(i + 1, len(types)):
+            if types[j] is not FrameType.B:
+                return j
+        return None
+
+    def _frame_info(self, i: int, types: list[FrameType]) -> FrameInfo:
+        frame_type = types[i]
+        if frame_type is FrameType.I:
+            refs: tuple[int, ...] = ()
+        elif frame_type is FrameType.P:
+            prev = self._prev_anchor(i, types)
+            refs = (prev,) if prev is not None else ()
+        else:
+            prev = self._prev_anchor(i, types)
+            nxt = self._next_anchor(i, types)
+            if prev is None or nxt is None:
+                raise ConfigError(f"B frame {i} lacks an anchor")
+            refs = (prev, nxt)
+        return FrameInfo(display_number=i, frame_type=frame_type, references=refs)
+
+    def decode_order(self) -> list[FrameInfo]:
+        """Frames in the order the decoder processes them (Fig. 18).
+
+        Anchors decode at their display position; each B frame decodes
+        immediately after its future anchor.
+        """
+        order: list[FrameInfo] = []
+        pending_b: list[FrameInfo] = []
+        for frame in self.frames:
+            if frame.frame_type is FrameType.B:
+                pending_b.append(frame)
+            else:
+                order.append(frame)
+                # Bs waiting on this anchor follow it immediately.
+                ready = [b for b in pending_b if max(b.references) == frame.display_number]
+                order.extend(ready)
+                pending_b = [b for b in pending_b if b not in ready]
+        order.extend(pending_b)  # trailing Bs (defensive; demotion avoids this)
+        return order
+
+    def frame(self, display_number: int) -> FrameInfo:
+        return self.frames[display_number]

@@ -1,0 +1,18 @@
+"""Shared fixtures for the test-suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.crypto.keys import SessionKeys
+from repro.mem.backing import BackingStore
+
+
+@pytest.fixture
+def keys() -> SessionKeys:
+    return SessionKeys.derive(b"test-root-secret", b"test-session-nonce")
+
+
+@pytest.fixture
+def store() -> BackingStore:
+    return BackingStore(4 << 20)

@@ -1,0 +1,110 @@
+"""CHaiDNN retrofit case study (§VI-C)."""
+
+import pytest
+
+from repro.common.errors import ConfigError
+from repro.core.counters import VnSpace, untag_vn
+from repro.dnn.chaidnn import (
+    ChaiMicrocontroller,
+    ChaiOp,
+    compile_model,
+    retrofit_budget,
+)
+from repro.dnn.models import alexnet, dlrm, googlenet, resnet50, vgg16
+
+
+class TestCompilation:
+    def test_alexnet_under_20_instructions(self):
+        """The paper's claim: AlexNet in fewer than 20 instructions."""
+        instructions = compile_model(alexnet())
+        assert len(instructions) < 20
+
+    def test_alexnet_instruction_mix(self):
+        instructions = compile_model(alexnet())
+        convs = [i for i in instructions if i.op is ChaiOp.CONVOLUTION]
+        pools = [i for i in instructions if i.op is ChaiOp.POOLING]
+        assert len(convs) == 8  # 5 conv + 3 dense-as-1x1-conv
+        assert len(pools) == 3
+
+    def test_vgg16_compiles(self):
+        instructions = compile_model(vgg16())
+        assert len(instructions) == 13 + 3 + 5  # convs + dense + pools
+
+    def test_fusion_drops_eltwise(self):
+        instructions = compile_model(resnet50())
+        assert all("add" not in i.source_layer for i in instructions)
+
+    def test_googlenet_concat_fused(self):
+        instructions = compile_model(googlenet())
+        assert all("out" not in i.source_layer for i in instructions)
+
+    def test_dlrm_rejected(self):
+        with pytest.raises(ConfigError):
+            compile_model(dlrm())
+
+    def test_indices_sequential(self):
+        instructions = compile_model(alexnet())
+        assert [i.index for i in instructions] == list(range(len(instructions)))
+
+
+class TestMicrocontroller:
+    @pytest.fixture
+    def controller(self):
+        return ChaiMicrocontroller(compile_model(alexnet()))
+
+    def test_output_vns_unique(self, controller):
+        vns = controller.run_network()
+        assert len(set(vns.values())) == len(vns)
+
+    def test_input_vn_matches_producer(self, controller):
+        vns = controller.run_network()
+        assert controller.vn_for_input("conv1") == vns["conv1"]
+
+    def test_feature_space_tag(self, controller):
+        vn = controller.vn_for_output(0)
+        space, _ = untag_vn(vn)
+        assert space is VnSpace.FEATURE
+
+    def test_weight_vn_constant_until_update(self, controller):
+        a = controller.vn_for_weights()
+        assert controller.vn_for_weights() == a
+        controller.update_weights()
+        assert controller.vn_for_weights() != a
+
+    def test_external_input_counter(self, controller):
+        a = controller.vn_for_input("input")
+        controller.new_input()
+        assert controller.vn_for_input("input") != a
+
+    def test_unknown_producer(self, controller):
+        with pytest.raises(ConfigError):
+            controller.vn_for_input("ghost-layer")
+
+    def test_vn_table_size_small(self, controller):
+        """The microcontroller's SRAM table is tiny (§VI-C)."""
+        assert controller.vn_table_bytes < 256
+
+    def test_second_run_advances_vns(self, controller):
+        first = controller.run_network()
+        second = controller.run_network()
+        assert all(second[k] > first[k] for k in first)
+
+    def test_empty_stream_rejected(self):
+        with pytest.raises(ConfigError):
+            ChaiMicrocontroller([])
+
+
+class TestRetrofitBudget:
+    def test_gcm_cores_cover_bandwidth(self):
+        budget = retrofit_budget(alexnet(), peak_bandwidth_gbs=19.2,
+                                 gcm_core_gbs=4.0)
+        assert budget.aes_gcm_cores == 5
+
+    def test_area_is_modest(self):
+        """§VI-C: "the overhead ... is expected to be modest"."""
+        budget = retrofit_budget(alexnet())
+        assert budget.relative_area_estimate < 0.35
+
+    def test_instruction_count_reported(self):
+        budget = retrofit_budget(alexnet())
+        assert budget.instruction_count == len(compile_model(alexnet()))

@@ -1,0 +1,116 @@
+"""Counter-block construction and VN tagging (Fig. 6)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.common.errors import ConfigError, VnOverflowError
+from repro.core.access import DataClass
+from repro.core.counters import (
+    VN_BITS,
+    VN_PAYLOAD_BITS,
+    VnSpace,
+    counter_block,
+    pack_fields,
+    space_for,
+    tag_vn,
+    untag_vn,
+)
+
+
+class TestVnSpaces:
+    def test_fig6_tag_values(self):
+        assert VnSpace.FEATURE == 0b00
+        assert VnSpace.WEIGHT == 0b01
+        assert VnSpace.GRADIENT == 0b10
+
+    def test_space_for_dnn_classes(self):
+        assert space_for(DataClass.FEATURE) is VnSpace.FEATURE
+        assert space_for(DataClass.WEIGHT) is VnSpace.WEIGHT
+        assert space_for(DataClass.GRADIENT) is VnSpace.GRADIENT
+
+    def test_other_classes_share_other(self):
+        assert space_for(DataClass.ADJACENCY) is VnSpace.OTHER
+        assert space_for(DataClass.FRAME) is VnSpace.OTHER
+
+
+class TestTagging:
+    def test_tag_untag_roundtrip(self):
+        vn = tag_vn(VnSpace.GRADIENT, 12345)
+        assert untag_vn(vn) == (VnSpace.GRADIENT, 12345)
+
+    def test_spaces_disjoint(self):
+        """The same payload in different spaces yields different VNs —
+        features and gradients can share addresses safely."""
+        assert tag_vn(VnSpace.FEATURE, 7) != tag_vn(VnSpace.GRADIENT, 7)
+
+    def test_payload_overflow(self):
+        with pytest.raises(VnOverflowError):
+            tag_vn(VnSpace.FEATURE, 1 << VN_PAYLOAD_BITS)
+
+    def test_negative_payload(self):
+        with pytest.raises(ConfigError):
+            tag_vn(VnSpace.FEATURE, -1)
+
+    def test_untag_range_check(self):
+        with pytest.raises(ConfigError):
+            untag_vn(1 << VN_BITS)
+
+    @given(st.sampled_from(list(VnSpace)),
+           st.integers(min_value=0, max_value=(1 << VN_PAYLOAD_BITS) - 1))
+    @settings(max_examples=40, deadline=None)
+    def test_roundtrip_property(self, space, payload):
+        assert untag_vn(tag_vn(space, payload)) == (space, payload)
+
+
+class TestPackFields:
+    def test_concatenation(self):
+        # (0b101, 3 bits) || (0b01, 2 bits) == 0b10101
+        assert pack_fields((0b101, 3), (0b01, 2)) == 0b10101
+
+    def test_darwin_style(self):
+        vn = pack_fields((3, 31), (9, 31))
+        assert vn == (3 << 31) | 9
+
+    def test_field_overflow(self):
+        with pytest.raises(VnOverflowError):
+            pack_fields((4, 2))
+
+    def test_total_width_check(self):
+        with pytest.raises(ConfigError):
+            pack_fields((1, 40), (1, 40))
+
+    def test_bad_width(self):
+        with pytest.raises(ConfigError):
+            pack_fields((0, 0))
+
+
+class TestCounterBlock:
+    def test_layout(self):
+        block = counter_block(0xDEADBEEF, 0x42)
+        assert int.from_bytes(block[:8], "big") == 0xDEADBEEF
+        assert int.from_bytes(block[8:], "big") == 0x42
+
+    def test_sixteen_bytes(self):
+        assert len(counter_block(0, 0)) == 16
+
+    def test_address_uniqueness(self):
+        """Same VN at different addresses → different counters (§III-D)."""
+        assert counter_block(0x100, 5) != counter_block(0x200, 5)
+
+    def test_vn_uniqueness(self):
+        assert counter_block(0x100, 5) != counter_block(0x100, 6)
+
+    def test_address_overflow(self):
+        with pytest.raises(ConfigError):
+            counter_block(1 << 64, 0)
+
+    def test_vn_overflow(self):
+        with pytest.raises(ConfigError):
+            counter_block(0, 1 << 64)
+
+    @given(st.integers(min_value=0, max_value=(1 << 64) - 1),
+           st.integers(min_value=0, max_value=(1 << 64) - 1))
+    @settings(max_examples=40, deadline=None)
+    def test_injective_property(self, address, vn):
+        block = counter_block(address, vn)
+        assert int.from_bytes(block, "big") == (address << 64) | vn

@@ -1,0 +1,70 @@
+"""AES-GCM AEAD against the NIST / McGrew-Viega test vectors."""
+
+import pytest
+
+from repro.common.errors import ConfigError, IntegrityError
+from repro.crypto.gcm import AesGcm
+
+_KEY3 = bytes.fromhex("feffe9928665731c6d6a8f9467308308")
+_IV3 = bytes.fromhex("cafebabefacedbaddecaf888")
+_PT3 = bytes.fromhex(
+    "d9313225f88406e5a55909c5aff5269a86a7a9531534f7da2e4c303d8a318a72"
+    "1c3c0c95956809532fcf0e2449a6b525b16aedf5aa0de657ba637b391aafd255"
+)
+_AAD4 = bytes.fromhex("feedfacedeadbeeffeedfacedeadbeefabaddad2")
+
+
+class TestNistVectors:
+    def test_case_1_empty(self):
+        __, tag = AesGcm(bytes(16)).encrypt(bytes(12), b"")
+        assert tag.hex() == "58e2fccefa7e3061367f1d57a4e7455a"
+
+    def test_case_2_single_zero_block(self):
+        ct, tag = AesGcm(bytes(16)).encrypt(bytes(12), bytes(16))
+        assert ct.hex() == "0388dace60b6a392f328c2b971b2fe78"
+        assert tag.hex() == "ab6e47d42cec13bdf53a67b21257bddf"
+
+    def test_case_3_four_blocks(self):
+        ct, tag = AesGcm(_KEY3).encrypt(_IV3, _PT3)
+        assert ct.hex().startswith("42831ec2217774244b7221b784d0d49c")
+        assert tag.hex() == "4d5c2af327cd64a62cf35abd2ba6fab4"
+
+    def test_case_4_with_aad(self):
+        ct, tag = AesGcm(_KEY3).encrypt(_IV3, _PT3[:-4], _AAD4)
+        assert tag.hex() == "5bc94fbc3221a5db94fae95ae7121a47"
+
+
+class TestAeadProperties:
+    def test_roundtrip(self):
+        gcm = AesGcm(_KEY3)
+        ct, tag = gcm.encrypt(_IV3, b"hello accelerator", b"header")
+        assert gcm.decrypt(_IV3, ct, tag, b"header") == b"hello accelerator"
+
+    def test_tampered_ciphertext_rejected(self):
+        gcm = AesGcm(_KEY3)
+        ct, tag = gcm.encrypt(_IV3, b"payload bytes here")
+        bad = bytes([ct[0] ^ 1]) + ct[1:]
+        with pytest.raises(IntegrityError):
+            gcm.decrypt(_IV3, bad, tag)
+
+    def test_tampered_tag_rejected(self):
+        gcm = AesGcm(_KEY3)
+        ct, tag = gcm.encrypt(_IV3, b"payload")
+        with pytest.raises(IntegrityError):
+            gcm.decrypt(_IV3, ct, bytes(16))
+
+    def test_wrong_aad_rejected(self):
+        gcm = AesGcm(_KEY3)
+        ct, tag = gcm.encrypt(_IV3, b"payload", b"aad-one")
+        with pytest.raises(IntegrityError):
+            gcm.decrypt(_IV3, ct, tag, b"aad-two")
+
+    def test_distinct_ivs_distinct_ciphertexts(self):
+        gcm = AesGcm(_KEY3)
+        a, _ = gcm.encrypt(bytes(12), b"same message")
+        b, _ = gcm.encrypt(b"\x01" + bytes(11), b"same message")
+        assert a != b
+
+    def test_iv_length_enforced(self):
+        with pytest.raises(ConfigError):
+            AesGcm(_KEY3).encrypt(bytes(16), b"x")

@@ -1,0 +1,194 @@
+"""DNN layer shape math and the model zoo."""
+
+import pytest
+
+from repro.common.errors import ConfigError
+from repro.dnn.layers import (
+    ConvLayer,
+    DenseLayer,
+    DnnModel,
+    EmbeddingLayer,
+    GemmShape,
+    MatmulLayer,
+    PoolLayer,
+)
+from repro.dnn.models import (
+    INFERENCE_MODELS,
+    alexnet,
+    bert_base,
+    build_model,
+    dlrm,
+    googlenet,
+    resnet50,
+    vgg16,
+)
+
+
+class TestConvLayer:
+    def _conv(self, **kw):
+        defaults = dict(name="c", inputs=("input",), in_channels=3, out_channels=64,
+                        kernel=7, stride=2, padding=3, in_h=224, in_w=224)
+        defaults.update(kw)
+        return ConvLayer(**defaults)
+
+    def test_output_size_resnet_stem(self):
+        c = self._conv()
+        assert (c.out_h, c.out_w) == (112, 112)
+
+    def test_same_padding(self):
+        c = self._conv(kernel=3, stride=1, padding=1)
+        assert (c.out_h, c.out_w) == (224, 224)
+
+    def test_weight_bytes(self):
+        c = self._conv(dtype_bytes=1)
+        assert c.weight_bytes == 64 * 3 * 7 * 7
+
+    def test_gemm_lowering_im2col(self):
+        c = self._conv()
+        (g,) = c.gemms()
+        assert g == GemmShape(m=112 * 112, k=3 * 7 * 7, n=64)
+
+    def test_gemm_macs_match_conv_macs(self):
+        c = self._conv()
+        expected = 112 * 112 * 64 * 3 * 7 * 7
+        assert sum(g.macs for g in c.gemms()) == expected
+
+    def test_grouped_conv(self):
+        c = self._conv(in_channels=64, out_channels=64, groups=4, kernel=3,
+                       stride=1, padding=1)
+        gemms = c.gemms()
+        assert len(gemms) == 4
+        assert gemms[0].k == (64 // 4) * 9
+
+    def test_invalid_groups(self):
+        with pytest.raises(ConfigError):
+            self._conv(in_channels=3, groups=2)
+
+    def test_invalid_geometry(self):
+        with pytest.raises(ConfigError):
+            self._conv(kernel=9, in_h=4, in_w=4, padding=0, stride=1)
+
+    def test_backward_gemms_double_macs(self):
+        c = self._conv()
+        fwd = sum(g.macs for g in c.gemms())
+        bwd = sum(g.macs for g in c.backward_gemms)
+        assert bwd == 2 * fwd
+
+
+class TestOtherLayers:
+    def test_dense_gemm(self):
+        d = DenseLayer(name="fc", inputs=("x",), in_features=4096,
+                       out_features=1000, rows=1)
+        assert d.gemms() == [GemmShape(m=1, k=4096, n=1000)]
+
+    def test_matmul_heads(self):
+        m = MatmulLayer(name="s", inputs=("q", "k"), m=512, k=64, n=512, batch=12)
+        assert len(m.gemms()) == 12
+        assert m.weight_bytes == 0
+
+    def test_pool_shrinks(self):
+        p = PoolLayer(name="p", inputs=("x",), channels=64, in_h=112, in_w=112,
+                      kernel=3, stride=2)
+        assert (p.out_h, p.out_w) == (55, 55)
+        assert p.ofmap_bytes < p.ifmap_bytes
+
+    def test_embedding_geometry(self):
+        e = EmbeddingLayer(name="e", inputs=(), tables=26, rows=1000, dim=128,
+                           lookups_per_table=2, batch=64)
+        assert e.row_bytes == 512
+        assert e.total_lookups == 64 * 26 * 2
+        assert e.table_bytes == 1000 * 512
+
+    def test_embedding_output_not_spilled_by_default(self):
+        e = EmbeddingLayer(name="e", inputs=(), tables=2, rows=10, dim=16, batch=4)
+        assert e.ofmap_bytes == 0
+        spilled = EmbeddingLayer(name="e2", inputs=(), tables=2, rows=10, dim=16,
+                                 batch=4, spill_output=True)
+        assert spilled.ofmap_bytes > 0
+
+    def test_gemm_validation(self):
+        with pytest.raises(ConfigError):
+            GemmShape(m=0, k=1, n=1)
+
+
+class TestModelGraph:
+    def test_duplicate_layer_rejected(self):
+        m = DnnModel("t")
+        m.add(DenseLayer(name="fc", inputs=("input",), in_features=8, out_features=8))
+        with pytest.raises(ConfigError):
+            m.add(DenseLayer(name="fc", inputs=("input",), in_features=8, out_features=8))
+
+    def test_layer_lookup(self):
+        m = alexnet()
+        assert m.layer("conv1").name == "conv1"
+        with pytest.raises(ConfigError):
+            m.layer("ghost")
+
+    def test_consumers(self):
+        m = resnet50()
+        # The stage-2 first block's add consumes both conv output and skip.
+        consumers = m.consumers("s2b1_add")
+        assert len(consumers) >= 2  # next block conv + skip path
+
+
+class TestModelZoo:
+    @pytest.mark.parametrize("name", INFERENCE_MODELS)
+    def test_builds(self, name):
+        model = build_model(name)
+        assert model.layers
+
+    def test_unknown_model(self):
+        with pytest.raises(ValueError):
+            build_model("LeNet")
+
+    def test_alexnet_structure(self):
+        m = alexnet()
+        convs = [l for l in m.layers if isinstance(l, ConvLayer)]
+        dense = [l for l in m.layers if isinstance(l, DenseLayer)]
+        assert len(convs) == 5
+        assert len(dense) == 3
+
+    def test_vgg16_has_13_convs(self):
+        m = vgg16()
+        convs = [l for l in m.layers if isinstance(l, ConvLayer)]
+        assert len(convs) == 13
+
+    def test_vgg16_parameter_count(self):
+        """VGG-16 has ~138 M parameters."""
+        m = vgg16()
+        params = m.total_weight_bytes // 2  # dtype_bytes = 2
+        assert 135e6 < params < 140e6
+
+    def test_resnet50_parameter_count(self):
+        """ResNet-50 has ~25.5 M parameters (no batch-norm params here)."""
+        m = resnet50()
+        params = m.total_weight_bytes // 2
+        assert 23e6 < params < 27e6
+
+    def test_bert_base_parameter_count(self):
+        """BERT-base encoder stack: ~85 M parameters (no embeddings)."""
+        m = bert_base()
+        params = m.total_weight_bytes // 2
+        assert 80e6 < params < 90e6
+
+    def test_googlenet_inception_fanout(self):
+        m = googlenet()
+        branches = [l for l in m.layers if l.name.startswith("inc3a_")]
+        # 1x1, 3x3 reduce, 3x3, 5x5 reduce, 5x5, pool-proj, concat
+        assert len(branches) == 7
+
+    def test_resnet50_conv_count(self):
+        m = resnet50()
+        convs = [l for l in m.layers if isinstance(l, ConvLayer)]
+        # 1 stem + 16 blocks × 3 + 4 projections = 53
+        assert len(convs) == 53
+
+    def test_dlrm_embedding_dominates_capacity(self):
+        m = dlrm()
+        emb = next(l for l in m.layers if isinstance(l, EmbeddingLayer))
+        assert emb.total_table_bytes > 10 * m.total_weight_bytes
+
+    def test_bert_macs_scale_with_layers(self):
+        small = bert_base(layers=2)
+        big = bert_base(layers=4)
+        assert big.total_macs == pytest.approx(2 * small.total_macs, rel=0.01)

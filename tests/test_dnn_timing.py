@@ -1,0 +1,109 @@
+"""Systolic timing model and SRAM tiling decisions."""
+
+import pytest
+
+from repro.common.errors import ConfigError
+from repro.common.units import MHZ, MIB, ceil_div
+from repro.dnn.accelerator import CLOUD, EDGE
+from repro.dnn.layers import GemmShape
+from repro.dnn.systolic import Dataflow, SystolicArray
+from repro.dnn.tiling import plan_gemm
+
+_ARRAY = SystolicArray(rows=32, cols=32, freq_hz=900 * MHZ)
+
+
+class TestSystolicArray:
+    def test_single_fold_ws(self):
+        g = GemmShape(m=100, k=32, n=32)
+        cycles = _ARRAY.gemm_cycles(g)
+        assert cycles == 32 + (100 + 32 + 32 - 2)
+
+    def test_fold_count_scales_ws(self):
+        small = _ARRAY.gemm_cycles(GemmShape(m=100, k=32, n=32))
+        quad = _ARRAY.gemm_cycles(GemmShape(m=100, k=64, n=64))
+        assert quad == 4 * small
+
+    def test_partial_fold_rounds_up(self):
+        exact = _ARRAY.gemm_cycles(GemmShape(m=10, k=32, n=32))
+        ragged = _ARRAY.gemm_cycles(GemmShape(m=10, k=33, n=32))
+        assert ragged == 2 * exact
+
+    def test_output_stationary_folds(self):
+        os_array = SystolicArray(rows=32, cols=32, freq_hz=900 * MHZ,
+                                 dataflow=Dataflow.OUTPUT_STATIONARY)
+        g = GemmShape(m=64, k=100, n=32)
+        assert os_array.gemm_cycles(g) == 2 * (100 + 32 + 32 - 2)
+
+    def test_utilization_bounded(self):
+        g = GemmShape(m=4096, k=512, n=512)
+        u = _ARRAY.gemm_utilization(g)
+        assert 0.5 < u <= 1.0
+
+    def test_tiny_gemm_low_utilization(self):
+        u = _ARRAY.gemm_utilization(GemmShape(m=1, k=8, n=8))
+        assert u < 0.05
+
+    def test_movement_cycles(self):
+        assert _ARRAY.movement_cycles(2560) == 10
+
+    def test_invalid_geometry(self):
+        with pytest.raises(ConfigError):
+            SystolicArray(rows=0, cols=32, freq_hz=1e9)
+        with pytest.raises(ConfigError):
+            SystolicArray(rows=32, cols=32, freq_hz=0)
+
+    def test_configs_pe_counts(self):
+        """Cloud = 64 K PEs (TPU-v1), Edge = 1 K PEs (§VI-A)."""
+        assert CLOUD.array.pes == 65536
+        assert EDGE.array.pes == 1024
+
+    def test_config_sram_totals(self):
+        assert CLOUD.onchip_sram == 24 * MIB
+        assert EDGE.onchip_sram == pytest.approx(4.5 * MIB)
+
+
+class TestTiling:
+    def _plan(self, gemm, ifmap=1 * MIB, filt=1 * MIB, ofmap=1 * MIB):
+        return plan_gemm(gemm, _ARRAY, ifmap, filt, ofmap, dtype_bytes=1)
+
+    def test_everything_fits_single_pass(self):
+        d = self._plan(GemmShape(m=256, k=256, n=256))
+        assert (d.ifmap_passes, d.weight_passes, d.ofmap_passes) == (1, 1, 1)
+
+    def test_big_weights_small_ifmap_stays_single_pass(self):
+        """Ifmap resident on-chip: streaming weight tiles needs one pass."""
+        d = self._plan(GemmShape(m=16, k=4096, n=4096))  # 16 MiB weights
+        assert d.ifmap_passes == 1
+
+    def test_neither_fits_ifmap_restreams(self):
+        g = GemmShape(m=4 * MIB // 512, k=512, n=8192)  # big ifmap, 4 MiB weights
+        d = self._plan(g, ifmap=1 * MIB, filt=1 * MIB)
+        assert d.ifmap_passes == ceil_div(512 * 8192, 1 * MIB)
+
+    def test_partial_sum_choice_prefers_cheaper(self):
+        # Huge M with multi-fold K: working set >> ofmap SRAM.  Weights
+        # are small, so reloading them must beat spilling partial sums.
+        g = GemmShape(m=1 << 20, k=128, n=32)
+        d = self._plan(g, ofmap=64 * 1024)
+        assert d.weight_passes > 1
+        assert d.ofmap_passes == 1
+
+    def test_partial_sum_spill_when_reload_costlier(self):
+        # With a tiny accumulator SRAM the M-chunk count explodes, making
+        # weight reloading dearer than spilling partial sums.
+        g = GemmShape(m=70_000, k=1024, n=32)
+        d = self._plan(g, filt=64 * MIB, ofmap=1024)
+        assert d.ofmap_passes == ceil_div(1024, _ARRAY.rows)
+        assert d.weight_passes == 1
+
+    def test_single_k_fold_never_spills(self):
+        g = GemmShape(m=1 << 20, k=32, n=32)
+        d = self._plan(g, ofmap=64 * 1024)
+        assert d.ofmap_passes == 1
+        assert d.weight_passes == 1
+
+    def test_decision_validation(self):
+        from repro.dnn.tiling import TilingDecision
+
+        with pytest.raises(ConfigError):
+            TilingDecision(ifmap_passes=0, weight_passes=1, ofmap_passes=1)

@@ -1,0 +1,208 @@
+"""Genome substrate: sequences, D-SOFT, GACT, Darwin timing."""
+
+import numpy as np
+import pytest
+
+from repro.common.errors import ConfigError
+from repro.genome.darwin import DarwinConfig, darwin_vn_state, simulate_gact_workload
+from repro.genome.dsoft import DsoftConfig, SeedIndex, dsoft_filter
+from repro.genome.gact import GactConfig, GactTimingModel, align_tile
+from repro.genome.sequences import (
+    CHROMOSOMES,
+    PACBIO,
+    SEQUENCERS,
+    make_reference,
+    reference_length,
+    simulate_reads,
+)
+
+
+class TestSequences:
+    def test_reference_deterministic(self):
+        assert np.array_equal(make_reference("chrY"), make_reference("chrY"))
+
+    def test_reference_lengths_scaled(self):
+        assert reference_length("chr1") == 248_956_422 // 1024
+
+    def test_unknown_chromosome(self):
+        with pytest.raises(ConfigError):
+            make_reference("chr99")
+
+    def test_reference_alphabet(self):
+        ref = make_reference("chrY")
+        assert set(ref.tolist()) <= set(b"ACGT")
+
+    def test_reads_sample_reference(self):
+        ref = make_reference("chrY")
+        reads = simulate_reads(ref, PACBIO, 5, seed=1)
+        assert len(reads) == 5
+        for read in reads:
+            assert 0 <= read.origin < len(ref)
+
+    def test_error_rates_visible_in_length(self):
+        """Insertions and deletions shift the read length distribution."""
+        ref = make_reference("chrY")
+        reads = simulate_reads(ref, PACBIO, 20, seed=2)
+        lengths = np.array([len(r.bases) for r in reads])
+        expected = PACBIO.read_length * (1 + PACBIO.insertion - PACBIO.deletion)
+        assert abs(lengths.mean() - expected) < 0.05 * PACBIO.read_length
+
+    def test_noisier_profile_diverges_more(self):
+        """Alignment score against the true origin drops with error rate
+        (positional identity would mislead under indels, so align)."""
+        ref = make_reference("chrY")
+        clean = simulate_reads(ref, PACBIO, 4, seed=3)
+        noisy = simulate_reads(ref, SEQUENCERS["ONT1D"], 4, seed=3)
+
+        def score(read):
+            fragment = ref[read.origin : read.origin + 120]
+            return align_tile(fragment, read.bases[:120]).score
+
+        assert np.mean([score(r) for r in noisy]) < np.mean(
+            [score(r) for r in clean]
+        )
+
+    def test_profiles_cover_three_sequencers(self):
+        assert set(SEQUENCERS) == {"PacBio", "ONT2D", "ONT1D"}
+        assert len(CHROMOSOMES) == 3
+
+
+class TestDsoft:
+    @pytest.fixture(scope="class")
+    def index(self):
+        ref = make_reference("chrY")[:20_000]
+        return SeedIndex(ref, DsoftConfig().seed_length)
+
+    def test_exact_fragment_found_at_origin(self, index):
+        ref = index.reference
+        query = ref[5_000:5_400]
+        candidates = dsoft_filter(index, query)
+        assert candidates
+        best = candidates[0]
+        assert abs(best.reference_position - 5_000) < DsoftConfig().band * 2
+
+    def test_noisy_read_still_found(self, index):
+        ref = index.reference
+        rng = np.random.default_rng(4)
+        reads = simulate_reads(ref, PACBIO, 3, seed=5)
+        hits = 0
+        for read in reads:
+            candidates = dsoft_filter(index, read.bases[:400])
+            if any(abs(c.reference_position - read.origin) < 256 for c in candidates):
+                hits += 1
+        assert hits >= 2  # noisy, but most reads anchor correctly
+
+    def test_random_query_filtered_out(self, index):
+        rng = np.random.default_rng(6)
+        junk = np.frombuffer(b"ACGT", dtype=np.uint8)[rng.integers(0, 4, 400)]
+        candidates = dsoft_filter(index, junk)
+        assert len(candidates) <= 1  # threshold rejects noise
+
+    def test_short_query_no_candidates(self, index):
+        assert dsoft_filter(index, index.reference[:4]) == []
+
+    def test_seed_length_validation(self):
+        with pytest.raises(ConfigError):
+            SeedIndex(make_reference("chrY")[:100], seed_length=2)
+
+
+class TestGactAlignment:
+    def test_perfect_match_all_m(self):
+        seq = np.frombuffer(b"ACGTACGTACGT", dtype=np.uint8)
+        result = align_tile(seq, seq)
+        assert result.traceback == b"M" * len(seq)
+        assert result.score == GactConfig().match * len(seq)
+
+    def test_single_mismatch(self):
+        ref = np.frombuffer(b"ACGTACGT", dtype=np.uint8)
+        query = ref.copy()
+        query[3] = ord("C")
+        result = align_tile(ref, query)
+        assert result.traceback == b"M" * 8
+        assert result.score == 7 * GactConfig().match + GactConfig().mismatch
+
+    def test_deletion_produces_d(self):
+        ref = np.frombuffer(b"ACGTACGT", dtype=np.uint8)
+        query = np.delete(ref, 4)
+        result = align_tile(ref, query)
+        assert result.traceback.count(b"D") == 1
+        assert len(result.traceback) == 8
+
+    def test_insertion_produces_i(self):
+        ref = np.frombuffer(b"ACGTACGT", dtype=np.uint8)
+        query = np.insert(ref, 4, ord("T"))
+        result = align_tile(ref, query)
+        assert result.traceback.count(b"I") == 1
+
+    def test_empty_tile(self):
+        result = align_tile(np.array([], dtype=np.uint8), np.array([], dtype=np.uint8))
+        assert result.traceback == b""
+
+    def test_traceback_consumes_both_sequences(self):
+        ref = np.frombuffer(b"AACCGGTTAACC", dtype=np.uint8)
+        query = np.frombuffer(b"AACGGTTTAAC", dtype=np.uint8)
+        result = align_tile(ref, query)
+        ops = result.traceback
+        assert ops.count(b"M") + ops.count(b"D") == len(ref)
+        assert ops.count(b"M") + ops.count(b"I") == len(query)
+
+
+class TestGactTiming:
+    def test_tile_cycles_scale_with_tile(self):
+        small = GactTimingModel(config=GactConfig(tile_bases=256, overlap=32))
+        large = GactTimingModel(config=GactConfig(tile_bases=512, overlap=32))
+        assert large.tile_compute_cycles() > 2 * small.tile_compute_cycles()
+
+    def test_tiles_for_read_overlap(self):
+        model = GactTimingModel(config=GactConfig(tile_bases=512, overlap=128))
+        assert model.tiles_for_read(1024) == 3  # step = 384
+
+    def test_overlap_validation(self):
+        with pytest.raises(ConfigError):
+            GactConfig(tile_bases=128, overlap=128)
+
+
+class TestDarwinSimulation:
+    def test_scheme_ordering(self):
+        res = simulate_gact_workload(500, "PacBio",
+                                     schemes=("NP", "BP", "MGX_VN", "MGX_MAC"))
+        assert res["NP"].total_cycles < res["MGX_VN"].total_cycles
+        assert res["MGX_VN"].total_cycles < res["MGX_MAC"].total_cycles
+        assert res["MGX_MAC"].total_cycles < res["BP"].total_cycles
+
+    def test_paper_band_bp(self):
+        """BP ≈ 1.10–1.20× (paper avg 1.14)."""
+        res = simulate_gact_workload(500, "PacBio")
+        ratio = res["BP"].total_cycles / res["NP"].total_cycles
+        assert 1.08 < ratio < 1.20
+
+    def test_paper_band_mgx_vn(self):
+        """MGX_VN ≈ 1.02–1.07× (paper avg 1.04)."""
+        res = simulate_gact_workload(500, "PacBio")
+        ratio = res["MGX_VN"].total_cycles / res["NP"].total_cycles
+        assert 1.01 < ratio < 1.08
+
+    def test_traffic_bands(self):
+        """Traffic: BP +34%, MGX_VN +12.5% (§VII-A)."""
+        res = simulate_gact_workload(500, "ONT2D")
+        bp = res["BP"].total_bytes / res["NP"].total_bytes
+        vn = res["MGX_VN"].total_bytes / res["NP"].total_bytes
+        assert 1.28 < bp < 1.40
+        assert 1.10 < vn < 1.15
+
+    def test_noisier_reads_write_more_traceback(self):
+        """Indel-heavy profiles lengthen traceback paths per tile."""
+        clean = simulate_gact_workload(500, "ONT2D")
+        noisy = simulate_gact_workload(500, "ONT1D")
+        assert noisy["NP"].data_bytes > clean["NP"].data_bytes
+
+    def test_unknown_scheme(self):
+        with pytest.raises(ConfigError):
+            simulate_gact_workload(10, "PacBio", schemes=("SGX",))
+
+    def test_reads_validation(self):
+        with pytest.raises(ConfigError):
+            simulate_gact_workload(0, "PacBio")
+
+    def test_vn_state_is_16_bytes(self):
+        assert darwin_vn_state().state_bytes == 16

@@ -1,0 +1,273 @@
+"""Graph substrate: CSR, generators, semirings, SpMV, algorithms."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.common.errors import ConfigError
+from repro.graph.algorithms import bfs, pagerank, sssp
+from repro.graph.csr import CsrMatrix
+from repro.graph.generators import (
+    BENCHMARK_SIZES,
+    benchmark_spec,
+    build_benchmark_graph,
+    rmat_edges,
+    uniform_random_graph,
+)
+from repro.graph.semiring import ARITHMETIC, BOOLEAN, TROPICAL
+from repro.graph.spmv import spmspv, spmv
+
+try:
+    import networkx as nx
+except ImportError:  # pragma: no cover
+    nx = None
+
+requires_networkx = pytest.mark.skipif(nx is None, reason="networkx unavailable")
+
+
+def _diamond() -> CsrMatrix:
+    """A → B, A → C, B → D, C → D (rows = destinations)."""
+    edges = np.array([[1, 0], [2, 0], [3, 1], [3, 2]])
+    return CsrMatrix.from_edges(4, edges)
+
+
+class TestCsr:
+    def test_from_edges_structure(self):
+        g = _diamond()
+        assert g.nnz == 4
+        assert list(g.row(3)) == [1, 2]
+        assert list(g.row(0)) == []
+
+    def test_indptr_invariants(self):
+        g = _diamond()
+        assert g.indptr[0] == 0
+        assert g.indptr[-1] == g.nnz
+        assert np.all(np.diff(g.indptr) >= 0)
+
+    def test_out_degrees(self):
+        g = _diamond()
+        assert list(g.out_degrees()) == [2, 1, 1, 0]
+
+    def test_transpose_involution(self):
+        g = build_benchmark_graph("google-plus", scale_divisor=512)
+        t = g.transpose().transpose()
+        assert np.array_equal(t.indptr, g.indptr)
+        assert np.array_equal(t.indices, g.indices)
+
+    def test_transpose_reverses_edges(self):
+        g = _diamond()
+        t = g.transpose()
+        assert list(t.row(0)) == [1, 2]  # A's out-edges become rows
+
+    def test_row_slice_bytes(self):
+        g = _diamond()
+        # rows 0..3: 4 edges * 8 B + 5 pointers * 4 B
+        assert g.row_slice_bytes(0, 3) == 4 * 8 + 5 * 4
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            CsrMatrix(2, np.array([0, 1]), np.array([0]))  # bad indptr shape
+        with pytest.raises(ConfigError):
+            CsrMatrix(2, np.array([0, 1, 1]), np.array([5]))  # col out of range
+
+    @given(st.integers(min_value=2, max_value=30), st.integers(min_value=1, max_value=80),
+           st.integers(min_value=0, max_value=1000))
+    @settings(max_examples=25, deadline=None)
+    def test_from_edges_preserves_multiset(self, n, m, seed):
+        rng = np.random.default_rng(seed)
+        edges = rng.integers(0, n, size=(m, 2))
+        g = CsrMatrix.from_edges(n, edges)
+        rebuilt = sorted(
+            (r, c)
+            for r in range(n)
+            for c in g.row(r)
+        )
+        assert rebuilt == sorted(map(tuple, edges.tolist()))
+
+
+class TestGenerators:
+    def test_benchmark_sizes_published(self):
+        assert BENCHMARK_SIZES["ogbl-ppa"] == (576_289, 42_463_862)
+        assert BENCHMARK_SIZES["ogbn-products"] == (2_449_029, 123_718_280)
+
+    def test_spec_scaling(self):
+        spec = benchmark_spec("pokec", scale_divisor=64)
+        assert spec.vertices == 1_632_803 // 64
+        assert spec.edges == 30_622_564 // 64
+
+    def test_unknown_benchmark(self):
+        with pytest.raises(ConfigError):
+            benchmark_spec("twitter")
+
+    def test_rmat_deterministic(self):
+        a = rmat_edges(1024, 4096, seed=5)
+        b = rmat_edges(1024, 4096, seed=5)
+        assert np.array_equal(a, b)
+
+    def test_rmat_seed_matters(self):
+        a = rmat_edges(1024, 4096, seed=5)
+        b = rmat_edges(1024, 4096, seed=6)
+        assert not np.array_equal(a, b)
+
+    def test_rmat_degree_skew(self):
+        """R-MAT degrees are heavy-tailed: max degree >> average."""
+        g = build_benchmark_graph("google-plus", scale_divisor=64)
+        degrees = np.diff(g.indptr)
+        assert degrees.max() > 10 * degrees.mean()
+
+    def test_uniform_graph_not_skewed(self):
+        g = uniform_random_graph(2048, 20480, seed=1)
+        degrees = np.diff(g.indptr)
+        assert degrees.max() < 5 * max(1.0, degrees.mean())
+
+    def test_no_self_loops(self):
+        g = build_benchmark_graph("reddit", scale_divisor=256)
+        rows = np.repeat(np.arange(g.n), np.diff(g.indptr))
+        assert not np.any(rows == g.indices)
+
+    def test_rmat_validation(self):
+        with pytest.raises(ConfigError):
+            rmat_edges(1, 10, seed=0)
+        with pytest.raises(ConfigError):
+            rmat_edges(64, 10, seed=0, abc=(0.6, 0.3, 0.2))
+
+
+class TestSemiringsAndSpmv:
+    def test_arithmetic_spmv_matches_numpy(self):
+        g = uniform_random_graph(64, 512, seed=2)
+        dense = np.zeros((64, 64))
+        for r in range(64):
+            for c, v in zip(g.row(r), g.row_values(r)):
+                dense[r, c] += v
+        x = np.random.default_rng(0).random(64)
+        assert np.allclose(spmv(g, x, ARITHMETIC), dense @ x)
+
+    def test_boolean_spmv_is_reachability(self):
+        g = _diamond()
+        frontier = np.zeros(4)
+        frontier[0] = 1.0
+        reached = spmv(g, frontier, BOOLEAN)
+        assert list(reached) == [0.0, 1.0, 1.0, 0.0]
+
+    def test_tropical_spmv_relaxes(self):
+        g = _diamond()
+        dist = np.array([0.0, np.inf, np.inf, np.inf])
+        relaxed = spmv(g, dist, TROPICAL)
+        assert relaxed[1] == 1.0  # weight 1 + dist 0
+
+    def test_empty_row_yields_identity(self):
+        g = _diamond()
+        assert spmv(g, np.ones(4), ARITHMETIC)[0] == ARITHMETIC.add_identity
+        assert spmv(g, np.zeros(4), TROPICAL)[0] == np.inf
+
+    def test_spmspv_equals_dense_spmv(self):
+        g = uniform_random_graph(64, 256, seed=3)
+        dense_vec = np.zeros(64)
+        idx = np.array([3, 17, 42])
+        dense_vec[idx] = [1.0, 2.0, 3.0]
+        out_idx, out_val = spmspv(g, idx, np.array([1.0, 2.0, 3.0]), ARITHMETIC)
+        full = spmv(g, dense_vec, ARITHMETIC)
+        rebuilt = np.zeros(64)
+        rebuilt[out_idx] = out_val
+        assert np.allclose(rebuilt, full)
+
+    def test_shape_validation(self):
+        g = _diamond()
+        with pytest.raises(ConfigError):
+            spmv(g, np.ones(5), ARITHMETIC)
+
+
+class TestAlgorithms:
+    def test_pagerank_sums_to_one(self):
+        g = build_benchmark_graph("google-plus", scale_divisor=256)
+        result = pagerank(g)
+        assert result.ranks.sum() == pytest.approx(1.0, abs=1e-6)
+
+    def test_pagerank_converges(self):
+        g = uniform_random_graph(256, 2048, seed=4)
+        assert pagerank(g).converged
+
+    def test_pagerank_hub_ranks_higher(self):
+        # Star graph: everything points at vertex 0.
+        edges = np.array([[0, s] for s in range(1, 16)])
+        g = CsrMatrix.from_edges(16, edges)
+        ranks = pagerank(g).ranks
+        assert ranks[0] == ranks.max()
+
+    @requires_networkx
+    def test_pagerank_matches_networkx(self):
+        # Deduplicate edges: networkx collapses parallel edges while the
+        # CSR keeps multiplicity, which would change the comparison.
+        raw = uniform_random_graph(128, 1024, seed=5)
+        unique = sorted({(int(r), int(c)) for r in range(raw.n) for c in raw.row(r)})
+        g = CsrMatrix.from_edges(128, np.array(unique))
+        ours = pagerank(g, damping=0.85, tol=1e-10).ranks
+        nxg = nx.DiGraph()
+        nxg.add_nodes_from(range(g.n))
+        for r in range(g.n):
+            for c in g.row(r):
+                nxg.add_edge(int(c), int(r))  # row = destination
+        theirs = nx.pagerank(nxg, alpha=0.85, tol=1e-12)
+        for v in range(g.n):
+            assert ours[v] == pytest.approx(theirs[v], abs=1e-4)
+
+    def test_bfs_levels_diamond(self):
+        result = bfs(_diamond(), source=0)
+        assert list(result.levels) == [0, 1, 1, 2]
+        assert result.iterations >= 2
+
+    def test_bfs_unreachable_is_minus_one(self):
+        edges = np.array([[1, 0]])
+        g = CsrMatrix.from_edges(4, edges)
+        result = bfs(g, source=0)
+        assert result.levels[3] == -1
+
+    @requires_networkx
+    def test_bfs_matches_networkx(self):
+        g = uniform_random_graph(128, 768, seed=6)
+        ours = bfs(g, source=0).levels
+        nxg = nx.DiGraph()
+        nxg.add_nodes_from(range(g.n))
+        for r in range(g.n):
+            for c in g.row(r):
+                nxg.add_edge(int(c), int(r))
+        theirs = nx.single_source_shortest_path_length(nxg, 0)
+        for v in range(g.n):
+            expected = theirs.get(v, -1)
+            assert ours[v] == expected
+
+    def test_sssp_diamond(self):
+        result = sssp(_diamond(), source=0)
+        assert list(result.distances) == [0.0, 1.0, 1.0, 2.0]
+        assert result.converged
+
+    @requires_networkx
+    def test_sssp_matches_dijkstra(self):
+        rng = np.random.default_rng(7)
+        edges = rng.integers(0, 64, size=(256, 2))
+        keep = edges[:, 0] != edges[:, 1]
+        edges = edges[keep]
+        weights = rng.uniform(0.1, 5.0, size=len(edges))
+        g = CsrMatrix.from_edges(64, edges, weights)
+        ours = sssp(g, source=0).distances
+        nxg = nx.DiGraph()
+        nxg.add_nodes_from(range(64))
+        for r in range(64):
+            for c, w in zip(g.row(r), g.row_values(r)):
+                # Keep the minimum parallel edge weight, as SpMV does.
+                u, v = int(c), int(r)
+                if nxg.has_edge(u, v):
+                    w = min(w, nxg[u][v]["weight"])
+                nxg.add_edge(u, v, weight=w)
+        theirs = nx.single_source_dijkstra_path_length(nxg, 0)
+        for v in range(64):
+            expected = theirs.get(v, np.inf)
+            assert ours[v] == pytest.approx(expected)
+
+    def test_source_validation(self):
+        with pytest.raises(ConfigError):
+            bfs(_diamond(), source=4)
+        with pytest.raises(ConfigError):
+            sssp(_diamond(), source=-1)
+        with pytest.raises(ConfigError):
+            pagerank(_diamond(), damping=1.5)

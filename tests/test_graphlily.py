@@ -1,0 +1,159 @@
+"""GraphLily-like accelerator trace generation (§V, Fig. 10)."""
+
+import numpy as np
+import pytest
+
+from repro.common.errors import ConfigError
+from repro.common.units import KIB
+from repro.core.access import DataClass
+from repro.core.vngen import IterationVnState, UniquenessGuard
+from repro.graph.generators import build_benchmark_graph, uniform_random_graph
+from repro.graph.graphlily import GraphAcceleratorConfig, GraphTraceGenerator
+
+_CFG = GraphAcceleratorConfig(vector_buffer_bytes=16 * KIB)
+
+
+@pytest.fixture(scope="module")
+def generator():
+    graph = uniform_random_graph(16_384, 131_072, seed=9)
+    return GraphTraceGenerator(graph, _CFG)
+
+
+class TestTileAccounting:
+    def test_tile_edges_sum_to_nnz(self, generator):
+        assert generator._tile_edges.sum() == generator.graph.nnz
+
+    def test_block_count(self, generator):
+        assert generator.n_blocks == 4  # 16384 verts / 4096 per 16 KiB block
+
+    def test_adjacency_region_covers_payload(self, generator):
+        region = generator.address_space.region("adjacency")
+        assert region.size >= generator.graph.nnz * _CFG.edge_bytes
+
+
+class TestIterationPhases:
+    def test_one_phase_per_destination_block(self, generator):
+        phases = generator.iteration_phases(IterationVnState())
+        assert len(phases) == generator.n_blocks
+
+    def test_adjacency_read_once_per_iteration(self, generator):
+        phases = generator.iteration_phases(IterationVnState())
+        adjacency_bytes = sum(
+            a.size for p in phases for a in p.accesses
+            if a.data_class is DataClass.ADJACENCY
+        )
+        payload = generator.graph.nnz * _CFG.edge_bytes
+        # Tiles add per-tile row-pointer slices; bounded at 35% here
+        # because the scaled graph has a low average degree.
+        assert payload <= adjacency_bytes < 1.35 * payload
+
+    def test_adjacency_vn_constant(self, generator):
+        vn_state = IterationVnState()
+        vns = set()
+        for _ in range(3):
+            for p in generator.iteration_phases(vn_state):
+                vns.update(
+                    a.vn for a in p.accesses if a.data_class is DataClass.ADJACENCY
+                )
+            vn_state.advance_iteration()
+        assert len(vns) == 1
+
+    def test_vector_read_vn_is_previous_write_vn(self, generator):
+        """§V-B: Iter−1 reads what Iter−1's writes produced."""
+        vn_state = IterationVnState()
+        first = generator.iteration_phases(vn_state)
+        write_vns = {
+            a.vn for p in first for a in p.accesses
+            if a.data_class is DataClass.VECTOR and a.is_write
+        }
+        vn_state.advance_iteration()
+        second = generator.iteration_phases(vn_state)
+        read_vns = {
+            a.vn for p in second for a in p.accesses
+            if a.data_class is DataClass.VECTOR and not a.is_write
+        }
+        assert read_vns == write_vns
+
+    def test_vector_regions_alternate(self, generator):
+        vn_state = IterationVnState()
+        first = generator.iteration_phases(vn_state)
+        vn_state.advance_iteration()
+        second = generator.iteration_phases(vn_state)
+
+        def write_targets(phases):
+            return {
+                a.address for p in phases for a in p.accesses
+                if a.data_class is DataClass.VECTOR and a.is_write
+            }
+
+        assert write_targets(first).isdisjoint(write_targets(second))
+
+    def test_write_vns_unique_per_location(self, generator):
+        guard = UniquenessGuard()
+        vn_state = IterationVnState()
+        for _ in range(4):
+            for p in generator.iteration_phases(vn_state):
+                for a in p.accesses:
+                    if a.is_write:
+                        guard.register_write(a.address, a.vn)
+            vn_state.advance_iteration()
+
+    def test_spmspv_vector_reads_scattered(self, generator):
+        phases = generator.iteration_phases(IterationVnState(), sparse_vector=True)
+        vec_reads = [
+            a for p in phases for a in p.accesses
+            if a.data_class is DataClass.VECTOR and not a.is_write
+        ]
+        assert vec_reads
+        assert all(not a.sequential for a in vec_reads)
+        assert all(a.burst_bytes == 64 for a in vec_reads)
+
+
+class TestTraces:
+    def test_pagerank_trace_iterations(self, generator):
+        trace = generator.pagerank_trace(iterations=3)
+        assert trace.iterations == 3
+        assert len(trace.phases) == 3 * generator.n_blocks
+
+    def test_bfs_trace_uses_functional_levels(self):
+        graph = uniform_random_graph(4096, 65_536, seed=10)
+        gen = GraphTraceGenerator(graph, _CFG)
+        trace = gen.bfs_trace(source=0)
+        assert trace.iterations >= 1
+
+    def test_traffic_scales_with_iterations(self, generator):
+        one = generator.pagerank_trace(iterations=1).total_bytes
+        three = generator.pagerank_trace(iterations=3).total_bytes
+        assert three == pytest.approx(3 * one, rel=0.01)
+
+    def test_invalid_iterations(self, generator):
+        with pytest.raises(ConfigError):
+            generator.spmspv_trace(iterations=0)
+
+    def test_vn_state_bytes_is_8(self, generator):
+        trace = generator.pagerank_trace(iterations=1)
+        assert trace.vn_state.state_bytes == 8
+
+
+class TestScaleStability:
+    def test_bp_mgx_ratio_stable_across_scales(self):
+        """The substitution argument: traffic overhead ratios barely move
+        when the graph (and the buffer) shrink by the same factor."""
+        from repro.core.schemes import ProtectionTraffic, scheme_suite
+
+        ratios = {}
+        for divisor, buffer_bytes in ((64, 128 * KIB), (256, 32 * KIB)):
+            cfg = GraphAcceleratorConfig(vector_buffer_bytes=buffer_bytes)
+            graph = build_benchmark_graph("google-plus", scale_divisor=divisor)
+            gen = GraphTraceGenerator(graph, cfg)
+            trace = gen.pagerank_trace(iterations=2)
+            totals = {}
+            for name, scheme in scheme_suite(cfg.protected_bytes).items():
+                t = ProtectionTraffic()
+                for p in trace.phases:
+                    for a in p.accesses:
+                        t.merge(scheme.process(a))
+                t.merge(scheme.finish())
+                totals[name] = t.total_bytes
+            ratios[divisor] = totals["BP"] / totals["NP"]
+        assert ratios[64] == pytest.approx(ratios[256], rel=0.05)

@@ -1,0 +1,175 @@
+"""Untrusted memory substrate: backing store, address space, attacker."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.common.errors import AddressError, ConfigError
+from repro.mem.attacker import Attacker
+from repro.mem.backing import BackingStore
+from repro.mem.layout import AddressSpace
+
+
+class TestBackingStore:
+    def test_unwritten_reads_zero(self):
+        assert BackingStore(1024).read(100, 8) == bytes(8)
+
+    def test_write_read_roundtrip(self):
+        s = BackingStore(1024)
+        s.write(10, b"hello")
+        assert s.read(10, 5) == b"hello"
+
+    def test_cross_page_write(self):
+        s = BackingStore(3 * 4096)
+        payload = bytes(range(256)) * 40  # 10240 bytes across 3 pages
+        s.write(100, payload)
+        assert s.read(100, len(payload)) == payload
+
+    def test_partial_overlap(self):
+        s = BackingStore(1024)
+        s.write(0, b"\xaa" * 16)
+        s.write(8, b"\xbb" * 4)
+        assert s.read(0, 16) == b"\xaa" * 8 + b"\xbb" * 4 + b"\xaa" * 4
+
+    def test_out_of_range_read(self):
+        with pytest.raises(AddressError):
+            BackingStore(64).read(60, 8)
+
+    def test_out_of_range_write(self):
+        with pytest.raises(AddressError):
+            BackingStore(64).write(63, b"ab")
+
+    def test_negative_address(self):
+        with pytest.raises(AddressError):
+            BackingStore(64).read(-1, 1)
+
+    def test_zero_size_rejected(self):
+        with pytest.raises(ConfigError):
+            BackingStore(0)
+
+    def test_sparse_footprint(self):
+        s = BackingStore(1 << 30)
+        s.write(1 << 29, b"x")
+        assert s.touched_bytes() == 4096
+
+    @given(st.integers(min_value=0, max_value=8000),
+           st.binary(min_size=1, max_size=500))
+    @settings(max_examples=30, deadline=None)
+    def test_roundtrip_property(self, address, data):
+        s = BackingStore(10_000)
+        if address + len(data) > s.size:
+            address = s.size - len(data)
+        s.write(address, data)
+        assert s.read(address, len(data)) == data
+
+
+class TestAddressSpace:
+    def test_alloc_aligned(self):
+        space = AddressSpace(size=1 << 20)
+        space.alloc("a", 10)
+        b = space.alloc("b", 10)
+        assert b.base % 64 == 0
+
+    def test_alloc_disjoint(self):
+        space = AddressSpace(size=1 << 20)
+        a = space.alloc("a", 100)
+        b = space.alloc("b", 100)
+        assert a.end <= b.base
+
+    def test_duplicate_name_rejected(self):
+        space = AddressSpace(size=1 << 20)
+        space.alloc("a", 10)
+        with pytest.raises(ConfigError):
+            space.alloc("a", 10)
+
+    def test_exhaustion(self):
+        space = AddressSpace(size=128)
+        space.alloc("a", 100)
+        with pytest.raises(AddressError):
+            space.alloc("b", 100)
+
+    def test_find_hits_correct_region(self):
+        space = AddressSpace(size=1 << 20)
+        regions = [space.alloc(f"r{i}", 1000) for i in range(10)]
+        target = regions[7]
+        assert space.find(target.base + 500).name == "r7"
+
+    def test_find_miss(self):
+        space = AddressSpace(size=1 << 20)
+        space.alloc("a", 64)
+        with pytest.raises(AddressError):
+            space.find(1 << 19)
+
+    def test_region_lookup_by_name(self):
+        space = AddressSpace(size=1 << 20)
+        space.alloc("weights", 64, kind="weight")
+        assert space.region("weights").kind == "weight"
+
+    def test_region_missing_name(self):
+        with pytest.raises(AddressError):
+            AddressSpace(size=64).region("ghost")
+
+    def test_region_contains_and_offset(self):
+        space = AddressSpace(size=1 << 20)
+        r = space.alloc("a", 128)
+        assert r.contains(r.base)
+        assert not r.contains(r.end)
+        assert r.offset_of(r.base + 5) == 5
+        with pytest.raises(AddressError):
+            r.offset_of(r.end)
+
+    def test_zero_size_region_rejected(self):
+        with pytest.raises(ConfigError):
+            AddressSpace(size=1024).alloc("z", 0)
+
+    def test_used_tracks_cursor(self):
+        space = AddressSpace(size=1 << 20)
+        space.alloc("a", 64)
+        space.alloc("b", 64)
+        assert space.used == 128
+
+
+class TestAttacker:
+    def test_flip_bit(self, store):
+        store.write(0, b"\x00")
+        Attacker(store).flip_bit(0, 3)
+        assert store.read(0, 1) == b"\x08"
+
+    def test_flip_bit_twice_restores(self, store):
+        store.write(5, b"\x5a")
+        atk = Attacker(store)
+        atk.flip_bit(5, 1)
+        atk.flip_bit(5, 1)
+        assert store.read(5, 1) == b"\x5a"
+
+    def test_snapshot_and_replay(self, store):
+        store.write(0, b"old value!")
+        atk = Attacker(store)
+        snap = atk.snapshot(0, 10)
+        store.write(0, b"new value!")
+        atk.replay(snap)
+        assert store.read(0, 10) == b"old value!"
+
+    def test_relocate(self, store):
+        store.write(0, b"payload")
+        Attacker(store).relocate(0, 100, 7)
+        assert store.read(100, 7) == b"payload"
+
+    def test_swap(self, store):
+        store.write(0, b"AAAA")
+        store.write(64, b"BBBB")
+        Attacker(store).swap(0, 64, 4)
+        assert store.read(0, 4) == b"BBBB"
+        assert store.read(64, 4) == b"AAAA"
+
+    def test_zero(self, store):
+        store.write(0, b"\xff" * 8)
+        Attacker(store).zero(0, 8)
+        assert store.read(0, 8) == bytes(8)
+
+    def test_observe_matches_store(self, store):
+        store.write(0, b"ciphertext")
+        assert Attacker(store).observe(0, 10) == b"ciphertext"
+
+    def test_bad_bit_index(self, store):
+        with pytest.raises(ConfigError):
+            Attacker(store).flip_bit(0, 8)

@@ -1,0 +1,128 @@
+"""Integrity tree: geometry (TreeLayout) and the functional hash tree."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.common.errors import ConfigError, IntegrityError
+from repro.core.merkle import FunctionalMerkleTree, TreeLayout
+
+
+class TestTreeLayout:
+    def test_level_sizes_8ary(self):
+        layout = TreeLayout(leaf_lines=512, arity=8)
+        assert layout.level_sizes == [64, 8]  # then 1 = on-chip root
+
+    def test_root_not_stored(self):
+        # 8 leaves → 1 parent, which IS the root → nothing stored.
+        layout = TreeLayout(leaf_lines=8, arity=8)
+        assert layout.stored_levels == 0
+        assert layout.total_bytes == 0
+
+    def test_single_leaf(self):
+        layout = TreeLayout(leaf_lines=1, arity=8)
+        assert layout.stored_levels == 0
+
+    def test_ragged_levels(self):
+        layout = TreeLayout(leaf_lines=100, arity=8)
+        assert layout.level_sizes == [13, 2]
+
+    def test_path_addresses_bottom_up(self):
+        layout = TreeLayout(leaf_lines=512, arity=8, base_address=0x1000)
+        path = layout.path_addresses(511)
+        assert len(path) == 2
+        # Leaf 511's level-1 parent is node 63 of 64.
+        assert path[0] == 0x1000 + 63 * 64
+        # Level-2 parent is node 7 of 8.
+        assert path[1] == 0x1000 + 64 * 64 + 7 * 64
+
+    def test_siblings_share_parent(self):
+        layout = TreeLayout(leaf_lines=512, arity=8)
+        assert layout.path_addresses(0)[0] == layout.path_addresses(7)[0]
+        assert layout.path_addresses(0)[0] != layout.path_addresses(8)[0]
+
+    def test_node_address_bounds(self):
+        layout = TreeLayout(leaf_lines=512, arity=8)
+        with pytest.raises(ConfigError):
+            layout.node_address(1, 64)
+        with pytest.raises(ConfigError):
+            layout.node_address(3, 0)
+
+    def test_total_bytes(self):
+        layout = TreeLayout(leaf_lines=512, arity=8)
+        assert layout.total_bytes == (64 + 8) * 64
+
+    def test_invalid_params(self):
+        with pytest.raises(ConfigError):
+            TreeLayout(leaf_lines=0)
+        with pytest.raises(ConfigError):
+            TreeLayout(leaf_lines=8, arity=1)
+
+
+class TestFunctionalTree:
+    def test_update_changes_root(self):
+        tree = FunctionalMerkleTree(64)
+        r0 = tree.root
+        tree.update(0, b"leaf-zero")
+        assert tree.root != r0
+
+    def test_verify_accepts_genuine_value(self):
+        tree = FunctionalMerkleTree(64)
+        tree.update(5, b"value-5")
+        tree.verify(5, b"value-5", tree.root)  # must not raise
+
+    def test_verify_rejects_tampered_value(self):
+        tree = FunctionalMerkleTree(64)
+        tree.update(5, b"value-5")
+        with pytest.raises(IntegrityError):
+            tree.verify(5, b"value-X", tree.root)
+
+    def test_verify_rejects_stale_root(self):
+        """The replay scenario: old value + old root don't match current."""
+        tree = FunctionalMerkleTree(64)
+        tree.update(5, b"old")
+        old_root = tree.root
+        tree.update(5, b"new")
+        with pytest.raises(IntegrityError):
+            tree.verify(5, b"old", tree.root)
+        # And the old pair is internally consistent — only the on-chip
+        # root pins down freshness.
+        tree2 = FunctionalMerkleTree(64)
+        tree2.update(5, b"old")
+        tree2.verify(5, b"old", old_root)
+
+    def test_sibling_update_does_not_break_verification(self):
+        tree = FunctionalMerkleTree(64)
+        tree.update(8, b"a")
+        tree.update(9, b"b")
+        tree.verify(8, b"a", tree.root)
+        tree.verify(9, b"b", tree.root)
+
+    def test_cross_leaf_substitution_detected(self):
+        tree = FunctionalMerkleTree(64)
+        tree.update(1, b"one")
+        tree.update(2, b"two")
+        with pytest.raises(IntegrityError):
+            tree.verify(1, b"two", tree.root)
+
+    def test_out_of_range(self):
+        tree = FunctionalMerkleTree(8)
+        with pytest.raises(ConfigError):
+            tree.update(8, b"x")
+        with pytest.raises(ConfigError):
+            tree.verify(-1, b"x", tree.root)
+
+    def test_non_pow_arity_leaf_count(self):
+        tree = FunctionalMerkleTree(100, arity=8)
+        tree.update(99, b"last")
+        tree.verify(99, b"last", tree.root)
+
+    @given(st.dictionaries(st.integers(min_value=0, max_value=63),
+                           st.binary(min_size=1, max_size=32),
+                           min_size=1, max_size=20))
+    @settings(max_examples=25, deadline=None)
+    def test_all_updates_verifiable_property(self, updates):
+        tree = FunctionalMerkleTree(64)
+        for leaf, value in updates.items():
+            tree.update(leaf, value)
+        for leaf, value in updates.items():
+            tree.verify(leaf, value, tree.root)

@@ -1,0 +1,101 @@
+"""Edge cases across modules that the focused suites don't reach."""
+
+import pytest
+
+from repro.common.errors import ConfigError
+from repro.core.access import AccessKind, DataClass, MemAccess, Phase, read, write
+from repro.experiments.base import ExperimentResult
+from repro.graph.graphlily import GraphAcceleratorConfig
+from repro.video.gop import GopStructure
+
+
+class TestMemAccessValidation:
+    def test_negative_address(self):
+        with pytest.raises(ConfigError):
+            MemAccess(-1, 64, AccessKind.READ)
+
+    def test_zero_size(self):
+        with pytest.raises(ConfigError):
+            MemAccess(0, 0, AccessKind.READ)
+
+    def test_bad_burst(self):
+        with pytest.raises(ConfigError):
+            read(0, 4096, sequential=False, burst_bytes=0)
+
+    def test_spread_smaller_than_burst(self):
+        with pytest.raises(ConfigError):
+            read(0, 4096, sequential=False, burst_bytes=512, spread_bytes=256)
+
+    def test_end_property(self):
+        assert read(0x100, 64).end == 0x140
+
+    def test_is_write(self):
+        assert write(0, 64).is_write
+        assert not read(0, 64).is_write
+
+    def test_accesses_are_hashable_values(self):
+        a = read(0, 64, DataClass.FEATURE, vn=3)
+        b = read(0, 64, DataClass.FEATURE, vn=3)
+        assert a == b
+        assert hash(a) == hash(b)
+
+
+class TestPhaseAccounting:
+    def test_byte_counters(self):
+        phase = Phase("p", 10.0, [read(0, 100), write(128, 50)])
+        assert phase.read_bytes() == 100
+        assert phase.write_bytes() == 50
+        assert phase.total_bytes() == 150
+
+    def test_empty_phase(self):
+        phase = Phase("p", 10.0)
+        assert phase.total_bytes() == 0
+
+
+class TestExperimentResultEdges:
+    def test_empty_result_renders(self):
+        r = ExperimentResult("x", "Empty", ["a"])
+        text = r.to_text()
+        assert "Empty" in text
+
+    def test_mean_ignores_non_numeric(self):
+        r = ExperimentResult("x", "t", ["a"])
+        r.add_row(a="label")
+        r.add_row(a=2.0)
+        assert r.mean("a") == 2.0
+
+    def test_mean_of_missing_column(self):
+        r = ExperimentResult("x", "t", ["a"])
+        assert r.mean("ghost") == 0.0
+
+    def test_none_formats_as_dash(self):
+        r = ExperimentResult("x", "t", ["a", "b"])
+        r.add_row(a=1.0)
+        assert "-" in r.to_text()
+
+
+class TestGraphConfigEdges:
+    def test_vertices_per_block_floor(self):
+        config = GraphAcceleratorConfig(vector_buffer_bytes=16)
+        assert config.vertices_per_block == 64  # clamped minimum
+
+    def test_edge_bytes(self):
+        config = GraphAcceleratorConfig(index_bytes=4, value_bytes=4)
+        assert config.edge_bytes == 8
+
+
+class TestGopEdges:
+    def test_single_frame(self):
+        gop = GopStructure("I", 1)
+        assert len(gop.decode_order()) == 1
+
+    def test_all_p_chain(self):
+        gop = GopStructure("IP", 6)
+        # Decode order equals display order when there are no B frames.
+        order = [f.display_number for f in gop.decode_order()]
+        assert order == list(range(6))
+
+    def test_deep_b_pattern_references(self):
+        gop = GopStructure("IBBP", 8)
+        b2 = gop.frame(2)
+        assert b2.references == (0, 3)

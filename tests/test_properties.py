@@ -1,0 +1,167 @@
+"""Property-based and stateful tests of the core invariants.
+
+These complement the example-based tests with machine-generated
+scenarios: arbitrary interleavings of writes, reads and attacks against
+the functional engine, and algebraic properties of the traffic
+accounting that every scheme must satisfy.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+from hypothesis.stateful import (
+    Bundle,
+    RuleBasedStateMachine,
+    invariant,
+    precondition,
+    rule,
+)
+
+from repro.common.errors import FreshnessError, IntegrityError
+from repro.common.units import MIB
+from repro.core.access import DataClass, read, write
+from repro.core.functional import MgxFunctionalEngine
+from repro.core.schemes import make_baseline, make_mgx, make_mgx_vn
+from repro.crypto.keys import SessionKeys
+from repro.mem.attacker import Attacker
+from repro.mem.backing import BackingStore
+
+_GRAN = 512
+_N_GRANULES = 16
+
+
+class MgxEngineMachine(RuleBasedStateMachine):
+    """Random walks over the functional engine's state space.
+
+    The model tracks, per granule: the last VN written and the plaintext
+    stored.  An attacker occasionally corrupts a granule.  The engine
+    must (a) return exactly the modelled plaintext for clean granules,
+    (b) raise IntegrityError for corrupted ones, and (c) refuse VN
+    regressions — for every interleaving hypothesis invents.
+    """
+
+    def __init__(self):
+        super().__init__()
+        keys = SessionKeys.derive(b"stateful", b"machine")
+        self.store = BackingStore(1 << 20)
+        self.engine = MgxFunctionalEngine(
+            keys, self.store, data_bytes=_N_GRANULES * _GRAN,
+            mac_granularity=_GRAN,
+        )
+        self.attacker = Attacker(self.store)
+        self.model_plain: dict[int, bytes] = {}
+        self.model_vn: dict[int, int] = {}
+        #: Active bit flips as (granule, offset, bit); flipping the same
+        #: bit twice cancels (hypothesis found this case immediately).
+        self.flips: set[tuple[int, int, int]] = set()
+        self.rng = np.random.default_rng(0)
+
+    @property
+    def corrupted(self) -> set[int]:
+        return {granule for granule, _, _ in self.flips}
+
+    @rule(granule=st.integers(min_value=0, max_value=_N_GRANULES - 1),
+          bump=st.integers(min_value=1, max_value=5))
+    def write_granule(self, granule, bump):
+        vn = self.model_vn.get(granule, 0) + bump
+        payload = self.rng.integers(0, 256, size=_GRAN, dtype=np.uint8).tobytes()
+        self.engine.write(granule * _GRAN, payload, vn)
+        self.model_plain[granule] = payload
+        self.model_vn[granule] = vn
+        # Overwritten with fresh ciphertext + MAC: old flips are gone.
+        self.flips = {f for f in self.flips if f[0] != granule}
+
+    @precondition(lambda self: self.model_vn)
+    @rule(data=st.data())
+    def write_with_stale_vn_rejected(self, data):
+        granule = data.draw(st.sampled_from(sorted(self.model_vn)))
+        stale = data.draw(st.integers(min_value=0,
+                                      max_value=self.model_vn[granule]))
+        with pytest.raises(FreshnessError):
+            self.engine.write(granule * _GRAN, bytes(_GRAN), stale)
+
+    @precondition(lambda self: self.model_vn)
+    @rule(data=st.data(), bit=st.integers(min_value=0, max_value=7))
+    def corrupt_granule(self, data, bit):
+        granule = data.draw(st.sampled_from(sorted(self.model_vn)))
+        offset = data.draw(st.integers(min_value=0, max_value=_GRAN - 1))
+        self.attacker.flip_bit(granule * _GRAN + offset, bit)
+        self.flips ^= {(granule, offset, bit)}  # same flip twice cancels
+
+    @precondition(lambda self: self.model_vn)
+    @rule(data=st.data())
+    def read_granule(self, data):
+        granule = data.draw(st.sampled_from(sorted(self.model_vn)))
+        address = granule * _GRAN
+        if granule in self.corrupted:
+            with pytest.raises(IntegrityError):
+                self.engine.read(address, _GRAN, self.model_vn[granule])
+        else:
+            got = self.engine.read(address, _GRAN, self.model_vn[granule])
+            assert got == self.model_plain[granule]
+
+    @invariant()
+    def ciphertext_never_equals_plaintext(self):
+        for granule, plain in self.model_plain.items():
+            if granule in self.corrupted:
+                continue
+            assert self.store.read(granule * _GRAN, _GRAN) != plain
+
+
+MgxEngineMachine.TestCase.settings = settings(
+    max_examples=15, stateful_step_count=25, deadline=None
+)
+TestMgxEngineStateful = MgxEngineMachine.TestCase
+
+
+_ACCESS_SIZES = st.integers(min_value=1, max_value=256).map(lambda k: k * 4096)
+
+
+class TestSchemeAlgebra:
+    @given(_ACCESS_SIZES)
+    @settings(max_examples=20, deadline=None)
+    def test_mgx_traffic_scales_linearly(self, size):
+        scheme = make_mgx(1024 * MIB)
+        one = scheme.process(read(0, size, DataClass.FEATURE)).total_bytes
+        scheme.reset()
+        two = scheme.process(read(0, 2 * size, DataClass.FEATURE)).total_bytes
+        assert abs(two - 2 * one) <= 128  # alignment slack only
+
+    @given(_ACCESS_SIZES)
+    @settings(max_examples=20, deadline=None)
+    def test_overhead_ordering_invariant(self, size):
+        """MGX ≤ MGX_VN ≤ BP for any streaming read size."""
+        results = {}
+        for factory in (make_mgx, make_mgx_vn, make_baseline):
+            scheme = factory(1024 * MIB)
+            traffic = scheme.process(read(0, size, DataClass.FEATURE))
+            traffic.merge(scheme.finish())
+            results[scheme.name] = traffic.total_bytes
+        assert results["MGX"] <= results["MGX_VN"] <= results["BP"]
+
+    @given(_ACCESS_SIZES, st.booleans())
+    @settings(max_examples=20, deadline=None)
+    def test_metadata_never_negative_never_absurd(self, size, is_write):
+        """Metadata stays within [0, 2×data] for every scheme and size."""
+        for factory in (make_mgx, make_mgx_vn, make_baseline):
+            scheme = factory(1024 * MIB)
+            access = write(0, size, DataClass.FEATURE) if is_write else (
+                read(0, size, DataClass.FEATURE)
+            )
+            traffic = scheme.process(access)
+            traffic.merge(scheme.finish())
+            assert 0 <= traffic.metadata_bytes <= 2 * size
+
+    @given(st.integers(min_value=1, max_value=64),
+           st.integers(min_value=1, max_value=64))
+    @settings(max_examples=20, deadline=None)
+    def test_split_access_equals_whole_for_mgx(self, chunks_a, chunks_b):
+        """Processing one big aligned read equals processing its halves:
+        MGX has no cross-access state."""
+        scheme = make_mgx(1024 * MIB)
+        size_a, size_b = chunks_a * 4096, chunks_b * 4096
+        whole = scheme.process(read(0, size_a + size_b, DataClass.FEATURE))
+        scheme.reset()
+        parts = scheme.process(read(0, size_a, DataClass.FEATURE))
+        parts.merge(scheme.process(read(size_a, size_b, DataClass.FEATURE)))
+        assert whole.total_bytes == parts.total_bytes

@@ -1,0 +1,181 @@
+"""Pruning & compression under MGX (§VII-B, Fig. 20)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.common.errors import ConfigError, IntegrityError
+from repro.core.functional import MgxFunctionalEngine
+from repro.crypto.keys import SessionKeys
+from repro.dnn.pruning import (
+    CscFeatures,
+    CsrFeatures,
+    PrunedTileWriter,
+    RlcFeatures,
+    dynamic_channel_gate,
+    static_filter_prune,
+)
+from repro.mem.backing import BackingStore
+
+_SPARSE = arrays(
+    dtype=np.int16, shape=(6, 8),
+    elements=st.integers(min_value=-3, max_value=3).map(lambda v: v if abs(v) > 1 else 0),
+)
+
+
+class TestCompressionFormats:
+    def _map(self):
+        rng = np.random.default_rng(0)
+        dense = rng.integers(-8, 8, size=(16, 16)).astype(np.int16)
+        dense[np.abs(dense) < 5] = 0
+        return dense
+
+    def test_csr_roundtrip(self):
+        dense = self._map()
+        assert np.array_equal(CsrFeatures.compress(dense).decompress(), dense)
+
+    def test_csc_roundtrip(self):
+        dense = self._map()
+        assert np.array_equal(CscFeatures.compress(dense).decompress(), dense)
+
+    def test_rlc_roundtrip(self):
+        dense = self._map()
+        assert np.array_equal(RlcFeatures.compress(dense).decompress(), dense)
+
+    def test_rlc_long_zero_runs(self):
+        dense = np.zeros((20, 40), dtype=np.int16)
+        dense[19, 39] = 7
+        assert np.array_equal(RlcFeatures.compress(dense).decompress(), dense)
+
+    def test_all_zero_map(self):
+        dense = np.zeros((4, 4), dtype=np.int16)
+        for fmt in (CsrFeatures, CscFeatures, RlcFeatures):
+            assert np.array_equal(fmt.compress(dense).decompress(), dense)
+
+    def test_sparse_map_compresses_smaller(self):
+        dense = np.zeros((32, 32), dtype=np.int16)
+        dense[::7, ::5] = 9  # ~3% density
+        assert CsrFeatures.compress(dense).nbytes < dense.nbytes
+
+    def test_csr_requires_2d(self):
+        with pytest.raises(ConfigError):
+            CsrFeatures.compress(np.zeros(8, dtype=np.int16))
+
+    @given(_SPARSE)
+    @settings(max_examples=25, deadline=None)
+    def test_csr_roundtrip_property(self, dense):
+        assert np.array_equal(CsrFeatures.compress(dense).decompress(), dense)
+
+    @given(_SPARSE)
+    @settings(max_examples=25, deadline=None)
+    def test_rlc_roundtrip_property(self, dense):
+        assert np.array_equal(RlcFeatures.compress(dense).decompress(), dense)
+
+
+class TestPruningPolicies:
+    def test_static_prune_zeroes_smallest_filters(self):
+        weights = np.stack([np.full((3, 3), float(i)) for i in range(1, 5)])
+        pruned = static_filter_prune(weights, keep_ratio=0.5)
+        assert np.all(pruned[0] == 0) and np.all(pruned[1] == 0)
+        assert np.all(pruned[2] != 0) and np.all(pruned[3] != 0)
+
+    def test_static_prune_keep_all(self):
+        weights = np.ones((4, 3, 3))
+        assert np.array_equal(static_filter_prune(weights, 1.0), weights)
+
+    def test_static_prune_validation(self):
+        with pytest.raises(ConfigError):
+            static_filter_prune(np.ones((4, 3, 3)), 0.0)
+
+    def test_dynamic_gate_keeps_most_salient(self):
+        features = np.stack([np.full((4, 4), float(i)) for i in range(8)])
+        mask = dynamic_channel_gate(features, keep_ratio=0.25)
+        assert mask.sum() == 2
+        assert mask[7] and mask[6]
+
+    def test_dynamic_gate_is_input_dependent(self):
+        rng = np.random.default_rng(3)
+        a = dynamic_channel_gate(rng.normal(size=(8, 4, 4)), 0.5)
+        b = dynamic_channel_gate(rng.normal(size=(8, 4, 4)), 0.5)
+        assert not np.array_equal(a, b)
+
+    def test_dynamic_gate_validation(self):
+        with pytest.raises(ConfigError):
+            dynamic_channel_gate(np.ones((4, 4)), 0.5)
+
+
+class TestFig20SharedVn:
+    """Dynamic pruning writes only unpruned tiles with one shared VN_F."""
+
+    def _writer(self):
+        keys = SessionKeys.derive(b"fig20", b"n")
+        store = BackingStore(1 << 20)
+        engine = MgxFunctionalEngine(keys, store, data_bytes=512 * 1024,
+                                     mac_granularity=512)
+        return PrunedTileWriter(engine, base_address=0, tile_bytes=512,
+                                n_tiles=16), store
+
+    def test_skipping_tiles_is_safe(self):
+        writer, _ = self._writer()
+        tiles = {i: bytes([i]) * 512 for i in (0, 2, 5, 11)}  # pruned subset
+        writer.write_tiles(tiles, vn=7)
+        got = writer.read_tiles([0, 5, 11], vn=7)
+        assert got[5] == bytes([5]) * 512
+
+    def test_next_layer_reuses_shared_vn(self):
+        writer, _ = self._writer()
+        writer.write_tiles({1: b"\x01" * 512, 3: b"\x03" * 512}, vn=9)
+        # A different consumer reads a different unpruned subset.
+        assert writer.read_tiles([3], vn=9)[3] == b"\x03" * 512
+
+    def test_skipped_vns_can_be_used_later(self):
+        """A skipped (tile, VN) pair was never consumed, so a later pass
+        may write that tile with a *higher* VN without conflict."""
+        writer, _ = self._writer()
+        writer.write_tiles({0: b"\xaa" * 512}, vn=5)  # tile 1 skipped
+        writer.write_tiles({1: b"\xbb" * 512}, vn=6)  # first touch of tile 1
+        assert writer.read_tiles([1], vn=6)[1] == b"\xbb" * 512
+
+    def test_pruned_tile_read_with_shared_vn_fails(self):
+        """Reading a never-written (pruned) tile fails verification — a
+        malicious host cannot invent pruned values."""
+        writer, _ = self._writer()
+        writer.write_tiles({0: b"\xaa" * 512}, vn=5)
+        with pytest.raises(IntegrityError):
+            writer.read_tiles([2], vn=5)
+
+    def test_tile_size_must_match_granularity(self):
+        keys = SessionKeys.derive(b"x", b"n")
+        engine = MgxFunctionalEngine(keys, BackingStore(1 << 20),
+                                     data_bytes=64 * 1024, mac_granularity=512)
+        with pytest.raises(ConfigError):
+            PrunedTileWriter(engine, 0, tile_bytes=100, n_tiles=4)
+
+    def test_bad_tile_index(self):
+        writer, _ = self._writer()
+        with pytest.raises(ConfigError):
+            writer.write_tiles({16: b"\x00" * 512}, vn=1)
+
+    def test_bad_tile_payload(self):
+        writer, _ = self._writer()
+        with pytest.raises(ConfigError):
+            writer.write_tiles({0: b"short"}, vn=1)
+
+    def test_end_to_end_gated_layer(self):
+        """Full Fig. 20 flow: gate channels, write survivors, read back."""
+        rng = np.random.default_rng(1)
+        features = rng.normal(size=(16, 16, 8)).astype(np.float32)  # 512 B/channel
+        mask = dynamic_channel_gate(features, keep_ratio=0.5)
+        writer, _ = self._writer()
+        tiles = {
+            c: features[c].tobytes() for c in range(16) if mask[c]
+        }
+        assert all(len(t) == 512 for t in tiles.values())
+        writer.write_tiles(tiles, vn=3)
+        surviving = sorted(tiles)
+        got = writer.read_tiles(surviving, vn=3)
+        for c in surviving:
+            assert np.array_equal(
+                np.frombuffer(got[c], dtype=np.float32).reshape(16, 8), features[c]
+            )

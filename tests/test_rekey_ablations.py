@@ -1,0 +1,81 @@
+"""Session re-keying (§IV-C overflow remedy) and the ablation sweeps."""
+
+import pytest
+
+from repro.common.errors import FreshnessError, IntegrityError
+from repro.core.functional import MgxFunctionalEngine
+from repro.crypto.keys import SessionKeys
+from repro.experiments.ablations import ABLATIONS, run_ablation
+from repro.mem.backing import BackingStore
+
+
+class TestRekey:
+    def _engine(self):
+        keys = SessionKeys.derive(b"rekey", b"n0")
+        return MgxFunctionalEngine(keys, BackingStore(1 << 20),
+                                   data_bytes=256 * 1024), keys
+
+    def test_rekey_preserves_plaintext(self):
+        engine, keys = self._engine()
+        engine.write(0, b"\x11" * 512, vn=100)
+        engine.write(1024, b"\x22" * 512, vn=101)
+        fresh = engine.rekey(keys.rotate(), new_vn=1)
+        assert fresh.read(0, 512, vn=1) == b"\x11" * 512
+        assert fresh.read(1024, 512, vn=1) == b"\x22" * 512
+
+    def test_rekey_changes_ciphertext(self):
+        engine, keys = self._engine()
+        engine.write(0, b"\x33" * 512, vn=100)
+        before = engine.store.read(0, 512)
+        engine.rekey(keys.rotate(), new_vn=1)
+        assert engine.store.read(0, 512) != before
+
+    def test_rekey_resets_vn_headroom(self):
+        """The whole point: after rotation, small VNs are usable again."""
+        engine, keys = self._engine()
+        big_vn = (1 << 40) - 1
+        engine.write(0, b"\x44" * 512, vn=big_vn)
+        with pytest.raises(FreshnessError):
+            engine.write(0, b"\x55" * 512, vn=5)  # would regress pre-rekey
+        fresh = engine.rekey(keys.rotate(), new_vn=1)
+        fresh.write(0, b"\x55" * 512, vn=5)  # fine after rotation
+        assert fresh.read(0, 512, vn=5) == b"\x55" * 512
+
+    def test_old_keys_dead_after_rekey(self):
+        engine, keys = self._engine()
+        engine.write(0, b"\x66" * 512, vn=100)
+        engine.rekey(keys.rotate(), new_vn=1)
+        with pytest.raises(IntegrityError):
+            engine.read(0, 512, vn=100)  # old engine, new ciphertext
+
+
+class TestAblations:
+    def test_registry(self):
+        assert set(ABLATIONS) == {
+            "mac-granularity", "cache-size", "dram-grade", "crypto-efficiency"
+        }
+        with pytest.raises(KeyError):
+            run_ablation("nonexistent")
+
+    def test_mac_granularity_monotone(self):
+        result = run_ablation("mac-granularity", quick=True)
+        traffics = result.column("traffic")
+        assert all(a >= b for a, b in zip(traffics, traffics[1:]))
+        # 64 B ≈ +12.5%; 512 B ≈ +1.6%.
+        assert traffics[0] > 1.10
+        assert result.summary["traffic_512"] < 1.03
+
+    def test_cache_growth_barely_helps(self):
+        """§VI-A's premise: streaming defeats the metadata cache."""
+        result = run_ablation("cache-size", quick=True)
+        assert result.summary["improvement_pct"] < 25.0
+
+    def test_dram_grade_story_stable(self):
+        result = run_ablation("dram-grade", quick=True)
+        for row in result.rows:
+            assert row["MGX_time"] < row["BP_time"]
+
+    def test_crypto_efficiency_monotone(self):
+        result = run_ablation("crypto-efficiency", quick=True)
+        times = result.column("MGX_time")
+        assert all(a <= b + 1e-9 for a, b in zip(times, times[1:]))

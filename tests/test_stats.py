@@ -1,0 +1,95 @@
+"""Statistics counters (repro.common.stats)."""
+
+import pytest
+
+from repro.common.stats import RunningMean, StatsGroup, geometric_mean
+
+
+class TestStatsGroup:
+    def test_add_and_get(self):
+        s = StatsGroup("t")
+        s.add("hits")
+        s.add("hits", 4)
+        assert s.get("hits") == 5
+
+    def test_missing_is_zero(self):
+        assert StatsGroup("t").get("nope") == 0
+
+    def test_set_overwrites(self):
+        s = StatsGroup("t")
+        s.add("x", 10)
+        s.set("x", 3)
+        assert s.get("x") == 3
+
+    def test_merge_accumulates(self):
+        a, b = StatsGroup("a"), StatsGroup("b")
+        a.add("reads", 2)
+        b.add("reads", 3)
+        b.add("writes", 1)
+        a.merge(b)
+        assert a.get("reads") == 5
+        assert a.get("writes") == 1
+
+    def test_total_prefix(self):
+        s = StatsGroup("t")
+        s.add("mac_seq", 10)
+        s.add("mac_scat", 5)
+        s.add("vn_seq", 99)
+        assert s.total("mac_") == 15
+
+    def test_ratio(self):
+        s = StatsGroup("t")
+        s.add("hits", 3)
+        s.add("total", 4)
+        assert s.ratio("hits", "total") == pytest.approx(0.75)
+
+    def test_ratio_zero_denominator(self):
+        assert StatsGroup("t").ratio("a", "b") == 0.0
+
+    def test_reset(self):
+        s = StatsGroup("t")
+        s.add("x")
+        s.reset()
+        assert s.get("x") == 0
+
+    def test_contains(self):
+        s = StatsGroup("t")
+        s.add("present")
+        assert "present" in s
+        assert "absent" not in s
+
+    def test_as_dict_is_copy(self):
+        s = StatsGroup("t")
+        s.add("x")
+        d = s.as_dict()
+        d["x"] = 100
+        assert s.get("x") == 1
+
+
+class TestRunningMean:
+    def test_empty_mean_zero(self):
+        assert RunningMean().mean == 0.0
+
+    def test_observations(self):
+        m = RunningMean()
+        for v in (1.0, 2.0, 6.0):
+            m.observe(v)
+        assert m.mean == pytest.approx(3.0)
+        assert m.minimum == 1.0
+        assert m.maximum == 6.0
+        assert m.count == 3
+
+
+class TestGeometricMean:
+    def test_empty(self):
+        assert geometric_mean([]) == 0.0
+
+    def test_identity(self):
+        assert geometric_mean([1.0, 1.0]) == pytest.approx(1.0)
+
+    def test_known_value(self):
+        assert geometric_mean([2.0, 8.0]) == pytest.approx(4.0)
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            geometric_mean([1.0, 0.0])

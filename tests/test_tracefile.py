@@ -1,0 +1,110 @@
+"""JSON trace interchange (repro.sim.tracefile)."""
+
+import json
+
+import pytest
+
+from repro.common.errors import ConfigError
+from repro.core.access import AccessKind, DataClass
+from repro.sim import tracefile
+
+_MINIMAL = {
+    "name": "t",
+    "phases": [
+        {
+            "name": "p0",
+            "compute_cycles": 100,
+            "accesses": [
+                {"address": 0, "size": 4096, "kind": "read", "class": "feature"},
+                {"address": 4096, "size": 4096, "kind": "write"},
+            ],
+        }
+    ],
+}
+
+
+class TestParsing:
+    def test_minimal_document(self):
+        trace = tracefile.loads(json.dumps(_MINIMAL))
+        assert trace.name == "t"
+        assert len(trace.phases) == 1
+        assert trace.phases[0].accesses[0].data_class is DataClass.FEATURE
+        assert trace.phases[0].accesses[1].kind is AccessKind.WRITE
+
+    def test_defaults(self):
+        trace = tracefile.loads(json.dumps(_MINIMAL))
+        access = trace.phases[0].accesses[1]
+        assert access.data_class is DataClass.BULK
+        assert access.sequential
+        assert access.vn is None
+        assert trace.dram_channels == 4
+
+    def test_gather_fields(self):
+        doc = json.loads(json.dumps(_MINIMAL))
+        doc["phases"][0]["accesses"][0].update(
+            sequential=False, burst_bytes=512, spread_bytes=1 << 30
+        )
+        trace = tracefile.loads(json.dumps(doc))
+        access = trace.phases[0].accesses[0]
+        assert not access.sequential
+        assert access.burst_bytes == 512
+
+    def test_invalid_json(self):
+        with pytest.raises(ConfigError):
+            tracefile.loads("{not json")
+
+    def test_missing_phases(self):
+        with pytest.raises(ConfigError):
+            tracefile.loads(json.dumps({"name": "x"}))
+
+    def test_empty_phases(self):
+        with pytest.raises(ConfigError):
+            tracefile.loads(json.dumps({"phases": []}))
+
+    def test_bad_kind(self):
+        doc = json.loads(json.dumps(_MINIMAL))
+        doc["phases"][0]["accesses"][0]["kind"] = "modify"
+        with pytest.raises(ConfigError):
+            tracefile.loads(json.dumps(doc))
+
+    def test_bad_class(self):
+        doc = json.loads(json.dumps(_MINIMAL))
+        doc["phases"][0]["accesses"][0]["class"] = "tensor"
+        with pytest.raises(ConfigError):
+            tracefile.loads(json.dumps(doc))
+
+
+class TestRoundTrip:
+    def test_dumps_loads_identity(self):
+        trace = tracefile.loads(json.dumps(_MINIMAL))
+        again = tracefile.loads(tracefile.dumps(trace))
+        assert again.phases[0].accesses == trace.phases[0].accesses
+        assert again.name == trace.name
+
+    def test_generated_trace_roundtrip(self):
+        from repro.dnn.accelerator import CLOUD
+        from repro.dnn.models import alexnet
+        from repro.dnn.tracegen import DnnTraceGenerator
+
+        dnn = DnnTraceGenerator(alexnet(), CLOUD).inference()
+        tf = tracefile.TraceFile(
+            name="alexnet", phases=dnn.phases,
+            accel_freq_hz=CLOUD.array.freq_hz, dram_channels=4,
+            protected_bytes=CLOUD.protected_bytes,
+        )
+        parsed = tracefile.loads(tracefile.dumps(tf))
+        assert sum(p.total_bytes() for p in parsed.phases) == dnn.total_bytes
+
+
+class TestEvaluate:
+    def test_sweep_over_parsed_trace(self):
+        trace = tracefile.loads(json.dumps(_MINIMAL))
+        sweep = tracefile.evaluate(trace)
+        assert sweep.normalized_time("BP") >= sweep.normalized_time("MGX") >= 1.0
+
+    def test_cli_main(self, tmp_path, capsys):
+        path = tmp_path / "trace.json"
+        path.write_text(json.dumps(_MINIMAL))
+        assert tracefile.main([str(path), "--scheme", "MGX"]) == 0
+        out = capsys.readouterr().out
+        assert "MGX" in out

@@ -1,0 +1,105 @@
+"""Unit conversions and integer helpers (repro.common.units)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.common import units
+
+
+class TestCeilDiv:
+    def test_exact(self):
+        assert units.ceil_div(8, 4) == 2
+
+    def test_rounds_up(self):
+        assert units.ceil_div(9, 4) == 3
+
+    def test_one(self):
+        assert units.ceil_div(1, 64) == 1
+
+    def test_zero_numerator(self):
+        assert units.ceil_div(0, 64) == 0
+
+    def test_zero_divisor_rejected(self):
+        with pytest.raises(ValueError):
+            units.ceil_div(4, 0)
+
+    @given(st.integers(min_value=0, max_value=10**12),
+           st.integers(min_value=1, max_value=10**6))
+    def test_matches_float_ceiling(self, a, b):
+        assert units.ceil_div(a, b) == -(-a // b)
+        assert units.ceil_div(a, b) * b >= a
+
+
+class TestRounding:
+    def test_round_up_multiple(self):
+        assert units.round_up(64, 64) == 64
+
+    def test_round_up_partial(self):
+        assert units.round_up(65, 64) == 128
+
+    def test_round_down(self):
+        assert units.round_down(127, 64) == 64
+
+    def test_round_down_rejects_zero(self):
+        with pytest.raises(ValueError):
+            units.round_down(10, 0)
+
+    @given(st.integers(min_value=0, max_value=10**9),
+           st.integers(min_value=1, max_value=4096))
+    def test_round_up_down_bracket(self, value, multiple):
+        down = units.round_down(value, multiple)
+        up = units.round_up(value, multiple)
+        assert down <= value <= up
+        assert up - down in (0, multiple)
+
+
+class TestPow2:
+    @pytest.mark.parametrize("value", [1, 2, 64, 4096, 1 << 40])
+    def test_is_pow2_true(self, value):
+        assert units.is_pow2(value)
+
+    @pytest.mark.parametrize("value", [0, -2, 3, 6, 100])
+    def test_is_pow2_false(self, value):
+        assert not units.is_pow2(value)
+
+    def test_log2_int(self):
+        assert units.log2_int(64) == 6
+
+    def test_log2_int_rejects_non_pow2(self):
+        with pytest.raises(ValueError):
+            units.log2_int(48)
+
+
+class TestTimeConversions:
+    def test_cycles_to_seconds(self):
+        assert units.cycles_to_seconds(1e9, 1e9) == pytest.approx(1.0)
+
+    def test_seconds_roundtrip(self):
+        cycles = units.seconds_to_cycles(0.5, 700 * units.MHZ)
+        assert units.cycles_to_seconds(cycles, 700 * units.MHZ) == pytest.approx(0.5)
+
+    def test_rescale_cycles(self):
+        # 700 MHz accelerator cycles expressed at a 1.2 GHz memory clock.
+        assert units.rescale_cycles(700, 700 * units.MHZ, 1200 * units.MHZ) == (
+            pytest.approx(1200)
+        )
+
+    def test_negative_frequency_rejected(self):
+        with pytest.raises(ValueError):
+            units.cycles_to_seconds(1, 0)
+
+
+class TestFormatting:
+    def test_bytes(self):
+        assert units.fmt_bytes(512) == "512 B"
+
+    def test_kib(self):
+        assert units.fmt_bytes(2048) == "2.0 KiB"
+
+    def test_mib(self):
+        assert units.fmt_bytes(24 * units.MIB) == "24.0 MiB"
+
+    def test_constants_consistent(self):
+        assert units.GIB == 1024 * units.MIB == 1024 * 1024 * units.KIB
+        assert units.CACHE_BLOCK == 64
+        assert units.AES_BLOCK == 16

@@ -1,0 +1,228 @@
+"""On-chip version-number generators — the core MGX mechanism (§IV-C, §V-B)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.common.errors import ConfigError, FreshnessError
+from repro.core.counters import VnSpace, untag_vn
+from repro.core.vngen import (
+    BatchVnState,
+    DnnVnState,
+    FrameVnState,
+    IterationVnState,
+    UniquenessGuard,
+)
+
+
+class TestDnnVnState:
+    def test_read_requires_prior_write(self):
+        with pytest.raises(ConfigError):
+            DnnVnState().read_features("x")
+
+    def test_write_then_read_matches(self):
+        s = DnnVnState()
+        vn = s.write_features("x")
+        assert s.read_features("x") == vn
+
+    def test_write_vns_strictly_increase(self):
+        s = DnnVnState()
+        vns = [s.write_features(f"t{i % 3}") for i in range(20)]
+        assert all(a < b for a, b in zip(vns, vns[1:]))
+
+    def test_tiled_layer_increments_per_pass(self):
+        """Fig. 7: y written t times ends with VN n + t."""
+        s = DnnVnState()
+        s.write_features("x")  # n = 1
+        for _ in range(4):
+            vn = s.write_features("y")
+        __, payload = untag_vn(vn)
+        assert payload == 1 + 4
+
+    def test_residual_block_fig8_formula(self):
+        """Fig. 8(a): VN_F[x_i] = n + sum(t_k) with per-layer pass counts."""
+        s = DnnVnState()
+        s.write_features("x0")  # n = 1
+        pass_counts = {"x1": 2, "x2": 3, "x3": 1, "x4": 2}
+        for tensor, t in pass_counts.items():
+            for _ in range(t):
+                vn = s.write_features(tensor)
+        expected = 1
+        for tensor, t in pass_counts.items():
+            expected += t
+            if tensor == "x4":
+                __, payload = untag_vn(s.read_features(tensor))
+                assert payload == expected
+
+    def test_feature_space_tag(self):
+        __, _ = untag_vn(DnnVnState().write_features("x"))
+        space, _ = untag_vn(DnnVnState().write_features("x"))
+        assert space is VnSpace.FEATURE
+
+    def test_weights_constant_until_update(self):
+        s = DnnVnState()
+        a = s.read_weights()
+        b = s.read_weights()
+        assert a == b
+        s.update_weights()
+        assert s.read_weights() != a
+
+    def test_weight_space_tag(self):
+        space, _ = untag_vn(DnnVnState().read_weights())
+        assert space is VnSpace.WEIGHT
+
+    def test_gradient_space_tag(self):
+        space, _ = untag_vn(DnnVnState().write_gradients("g"))
+        assert space is VnSpace.GRADIENT
+
+    def test_gradients_mirror_features(self):
+        s = DnnVnState()
+        vn = s.write_gradients("gy")
+        assert s.read_gradients("gy") == vn
+        with pytest.raises(ConfigError):
+            s.read_gradients("never")
+
+    def test_drop_features_shrinks_state(self):
+        s = DnnVnState()
+        for i in range(10):
+            s.write_features(f"t{i}")
+        before = s.state_bytes
+        s.drop_features("t0")
+        assert s.state_bytes < before
+
+    def test_state_bytes_scale(self):
+        """~1 KB for a 127-layer network (§IV-C)."""
+        s = DnnVnState()
+        for i in range(127):
+            s.write_features(f"layer{i}")
+        assert s.state_bytes <= 1100
+
+    def test_ingest_is_a_write(self):
+        s = DnnVnState()
+        vn = s.ingest_features("input")
+        assert s.read_features("input") == vn
+
+
+class TestIterationVnState:
+    def test_adjacency_constant(self):
+        s = IterationVnState()
+        a = s.adjacency_vn()
+        s.advance_iteration()
+        assert s.adjacency_vn() == a
+
+    def test_read_lags_write_by_one(self):
+        """§V-B: read with Iter−1, write with Iter."""
+        s = IterationVnState()
+        first_write = s.write_vector_vn()
+        s.advance_iteration()
+        assert s.read_vector_vn() == first_write
+
+    def test_write_vn_advances(self):
+        s = IterationVnState()
+        a = s.write_vector_vn()
+        s.advance_iteration()
+        assert s.write_vector_vn() > a
+
+    def test_vector_never_collides_with_adjacency(self):
+        s = IterationVnState()
+        vns = {s.adjacency_vn()}
+        for _ in range(50):
+            assert s.write_vector_vn() not in vns
+            s.advance_iteration()
+
+    def test_state_is_64_bits(self):
+        assert IterationVnState().state_bytes == 8
+
+    def test_zero_adjacency_vn_rejected(self):
+        with pytest.raises(ConfigError):
+            IterationVnState(adjacency_vn=0)
+
+
+class TestBatchVnState:
+    def test_query_requires_batch(self):
+        with pytest.raises(FreshnessError):
+            BatchVnState().query_vn()
+
+    def test_new_batch_changes_query_vn(self):
+        s = BatchVnState()
+        s.new_query_batch()
+        a = s.query_vn()
+        s.new_query_batch()
+        assert s.query_vn() != a
+
+    def test_new_genome_resets_query(self):
+        s = BatchVnState()
+        s.new_query_batch()
+        ref_a = s.reference_vn()
+        s.new_genome()
+        assert s.reference_vn() != ref_a
+        with pytest.raises(FreshnessError):
+            s.query_vn()
+
+    def test_reference_distinct_from_query(self):
+        s = BatchVnState()
+        s.new_query_batch()
+        assert s.reference_vn() != s.query_vn()
+
+    def test_state_bytes(self):
+        assert BatchVnState().state_bytes == 16
+
+
+class TestFrameVnState:
+    def test_frame_vns_distinct(self):
+        s = FrameVnState()
+        assert len({s.frame_vn(f) for f in range(100)}) == 100
+
+    def test_frame_vn_deterministic(self):
+        s = FrameVnState()
+        assert s.frame_vn(7) == s.frame_vn(7)
+
+    def test_new_bitstream_changes_all(self):
+        s = FrameVnState()
+        a = s.frame_vn(3)
+        s.new_bitstream()
+        assert s.frame_vn(3) != a
+
+    def test_negative_frame_rejected(self):
+        with pytest.raises(ConfigError):
+            FrameVnState().frame_vn(-1)
+
+
+class TestUniquenessGuard:
+    def test_increasing_vns_allowed(self):
+        g = UniquenessGuard()
+        g.register_write(0, 1)
+        g.register_write(0, 2)
+
+    def test_reuse_rejected(self):
+        g = UniquenessGuard()
+        g.register_write(0, 5)
+        with pytest.raises(FreshnessError):
+            g.register_write(0, 5)
+
+    def test_decrease_rejected(self):
+        g = UniquenessGuard()
+        g.register_write(0, 5)
+        with pytest.raises(FreshnessError):
+            g.register_write(0, 4)
+
+    def test_locations_independent(self):
+        g = UniquenessGuard()
+        g.register_write(0, 5)
+        g.register_write(64, 5)  # different granule, same VN: fine
+
+    def test_history(self):
+        g = UniquenessGuard()
+        g.register_write(0, 1)
+        g.register_write(0, 3)
+        assert g.was_ever_used(0, 1)
+        assert not g.was_ever_used(0, 2)
+        assert g.current_vn(0) == 3
+        assert g.current_vn(64) is None
+
+    @given(st.lists(st.integers(min_value=0, max_value=1000), min_size=2,
+                    max_size=30, unique=True))
+    @settings(max_examples=30, deadline=None)
+    def test_sorted_sequences_always_accepted(self, vns):
+        g = UniquenessGuard()
+        for vn in sorted(vns):
+            g.register_write(0, vn)
