@@ -1,0 +1,118 @@
+"""Benchmarks of the batched sweep pipeline (trace reuse + vectorized pricing).
+
+Times a full five-scheme ResNet-18 sweep with and without the trace
+cache, so BENCH_* tracks the pipeline speedup, and asserts that the
+batched fast path measurably beats the seed per-access loop.
+"""
+
+import time
+from dataclasses import astuple
+
+import numpy as np
+
+from repro.common.units import MIB
+from repro.core.access import AccessBatch, AccessKind, DataClass, MemAccess
+from repro.core.schemes import ProtectionTraffic, make_mgx
+from repro.sim.runner import SCHEMES, dnn_sweep, dnn_workload, sweep_schemes
+
+_PROTECTED = 1024 * MIB
+
+
+def _large_batch(n: int = 20000, seed: int = 0) -> AccessBatch:
+    """A big mixed stream/gather batch (the shape of a production trace)."""
+    rng = np.random.default_rng(seed)
+    accesses = []
+    for i in range(n):
+        size = int(rng.integers(64, 64 * 1024))
+        address = int(rng.integers(0, _PROTECTED - size))
+        kind = AccessKind.WRITE if i % 3 == 0 else AccessKind.READ
+        if i % 2 == 0:
+            accesses.append(MemAccess(address, size, kind, DataClass.FEATURE))
+        else:
+            accesses.append(MemAccess(address, size, kind, DataClass.EMBEDDING,
+                                      sequential=False, burst_bytes=512,
+                                      spread_bytes=64 * MIB))
+    return AccessBatch.from_accesses(accesses)
+
+
+def test_sweep_with_trace_cache(benchmark):
+    """Five-scheme ResNet sweep pricing a cached, pre-batched trace."""
+    workload = dnn_workload("ResNet", "Cloud")  # cache warmed outside the timer
+
+    def run():
+        return sweep_schemes(
+            workload.label,
+            workload.trace.phases,
+            workload.performance_model(),
+            workload.protected_bytes,
+            batches=workload.trace.batches,
+        )
+
+    sweep = benchmark(run)
+    assert set(sweep.results) == set(SCHEMES)
+    assert sweep.normalized_time("MGX") < sweep.normalized_time("BP")
+
+
+def test_sweep_without_trace_cache(benchmark):
+    """The seed pipeline: regenerate the trace for every sweep."""
+    sweep = benchmark(lambda: dnn_sweep("ResNet", "Cloud", use_cache=False))
+    assert set(sweep.results) == set(SCHEMES)
+
+
+def test_trace_cache_speedup():
+    """Reusing the cached sweep must beat regenerating it (wall clock)."""
+    dnn_sweep("ResNet", "Cloud")  # warm the cache
+    t0 = time.perf_counter()
+    uncached = dnn_sweep("ResNet", "Cloud", use_cache=False)
+    t_uncached = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    cached = dnn_sweep("ResNet", "Cloud")
+    t_cached = time.perf_counter() - t0
+    assert t_cached < t_uncached
+    for name in SCHEMES:
+        assert (cached.results[name].traffic.total_bytes
+                == uncached.results[name].traffic.total_bytes)
+
+
+def test_vectorized_pricing_beats_per_access_loop():
+    """MGX batch pricing must beat the seed object-at-a-time walk."""
+    batch = _large_batch()
+    accesses = batch.to_accesses()
+    scheme = make_mgx(_PROTECTED)
+
+    def loop() -> ProtectionTraffic:
+        scheme.reset()
+        traffic = ProtectionTraffic()
+        for access in accesses:
+            traffic.merge(scheme.process(access))
+        return traffic
+
+    def batched() -> ProtectionTraffic:
+        scheme.reset()
+        return scheme.price_batch(batch)
+
+    expected = loop()
+    actual = batched()
+    assert astuple(actual) == astuple(expected)
+    t_loop = min(_timed(loop) for _ in range(3))
+    t_batch = min(_timed(batched) for _ in range(3))
+    assert t_batch < t_loop, (t_batch, t_loop)
+
+
+def test_vectorized_pricing_rate(benchmark):
+    """Throughput of the columnar MGX fast path on a 20 K-access batch."""
+    batch = _large_batch()
+    scheme = make_mgx(_PROTECTED)
+
+    def run():
+        scheme.reset()
+        return scheme.price_batch(batch).total_bytes
+
+    total = benchmark(run)
+    assert total > batch.total_data_bytes
+
+
+def _timed(fn) -> float:
+    start = time.perf_counter()
+    fn()
+    return time.perf_counter() - start

@@ -10,7 +10,16 @@ Both paths share the counter construction (:mod:`repro.core.counters`)
 and the on-chip VN generators (:mod:`repro.core.vngen`).
 """
 
-from repro.core.access import AccessKind, DataClass, MemAccess, Phase, read, write
+from repro.core.access import (
+    DATA_CLASSES,
+    AccessBatch,
+    AccessKind,
+    DataClass,
+    MemAccess,
+    Phase,
+    read,
+    write,
+)
 from repro.core.counters import (
     VN_BITS,
     VN_PAYLOAD_BITS,
@@ -49,6 +58,8 @@ from repro.core.vngen import (
 )
 
 __all__ = [
+    "DATA_CLASSES",
+    "AccessBatch",
     "AccessKind",
     "DataClass",
     "MemAccess",

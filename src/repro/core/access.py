@@ -19,6 +19,9 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field
+from typing import Sequence
+
+import numpy as np
 
 from repro.common.errors import ConfigError
 
@@ -47,6 +50,11 @@ class DataClass(enum.Enum):
     FRAME = "frame"
     BITSTREAM = "bitstream"
     BULK = "bulk"
+
+
+#: Stable enumeration order backing the integer codes of :class:`AccessBatch`.
+DATA_CLASSES: tuple["DataClass", ...] = tuple(DataClass)
+_CLASS_CODE = {dc: code for code, dc in enumerate(DATA_CLASSES)}
 
 
 @dataclass(frozen=True)
@@ -127,3 +135,95 @@ class Phase:
 
     def total_bytes(self) -> int:
         return sum(a.size for a in self.accesses)
+
+
+@dataclass
+class AccessBatch:
+    """Structure-of-arrays view of a sequence of :class:`MemAccess`.
+
+    Generators keep emitting ``MemAccess`` objects; consumers that price
+    whole traces (the protection schemes' ``price_batch`` fast path)
+    operate on these parallel columns instead of walking objects one at
+    a time.  The conversion is lossless: ``to_accesses()`` returns the
+    original objects when the batch was built from them, and
+    reconstructs field-identical ones otherwise.
+
+    Encoding of optional fields: ``vn`` is a ``uint64`` column (tagged
+    VNs use the full 64 bits) paired with a ``vn_present`` mask for
+    "scheme-managed" (``None``) entries; ``burst_bytes`` and
+    ``spread_bytes`` use ``0`` for "default" (``None``) — a sentinel
+    outside their legal (positive) value range.
+    """
+
+    address: np.ndarray
+    size: np.ndarray
+    is_write: np.ndarray
+    data_class: np.ndarray  # integer codes into :data:`DATA_CLASSES`
+    sequential: np.ndarray
+    vn: np.ndarray
+    vn_present: np.ndarray
+    burst_bytes: np.ndarray
+    spread_bytes: np.ndarray
+    #: The objects the batch was built from, kept so the stateful
+    #: per-access fallback never pays an object-reconstruction cost.
+    source: list[MemAccess] | None = None
+
+    def __len__(self) -> int:
+        return len(self.address)
+
+    @property
+    def end(self) -> np.ndarray:
+        return self.address + self.size
+
+    @property
+    def total_data_bytes(self) -> int:
+        return int(self.size.sum()) if len(self) else 0
+
+    @classmethod
+    def from_accesses(cls, accesses: Sequence[MemAccess]) -> "AccessBatch":
+        n = len(accesses)
+        return cls(
+            address=np.fromiter((a.address for a in accesses), np.int64, n),
+            size=np.fromiter((a.size for a in accesses), np.int64, n),
+            is_write=np.fromiter((a.is_write for a in accesses), np.bool_, n),
+            data_class=np.fromiter(
+                (_CLASS_CODE[a.data_class] for a in accesses), np.int64, n
+            ),
+            sequential=np.fromiter((a.sequential for a in accesses), np.bool_, n),
+            vn=np.fromiter(
+                (0 if a.vn is None else a.vn for a in accesses), np.uint64, n
+            ),
+            vn_present=np.fromiter(
+                (a.vn is not None for a in accesses), np.bool_, n
+            ),
+            burst_bytes=np.fromiter(
+                (a.burst_bytes or 0 for a in accesses), np.int64, n
+            ),
+            spread_bytes=np.fromiter(
+                (a.spread_bytes or 0 for a in accesses), np.int64, n
+            ),
+            source=list(accesses),
+        )
+
+    @classmethod
+    def from_phase(cls, phase: Phase) -> "AccessBatch":
+        return cls.from_accesses(phase.accesses)
+
+    def to_accesses(self, reconstruct: bool = False) -> list[MemAccess]:
+        """The batch as objects; ``reconstruct`` forces a rebuild from the
+        columns (exercised by the losslessness tests)."""
+        if self.source is not None and not reconstruct:
+            return self.source
+        return [
+            MemAccess(
+                address=int(self.address[i]),
+                size=int(self.size[i]),
+                kind=AccessKind.WRITE if self.is_write[i] else AccessKind.READ,
+                data_class=DATA_CLASSES[int(self.data_class[i])],
+                sequential=bool(self.sequential[i]),
+                vn=int(self.vn[i]) if self.vn_present[i] else None,
+                burst_bytes=None if self.burst_bytes[i] == 0 else int(self.burst_bytes[i]),
+                spread_bytes=None if self.spread_bytes[i] == 0 else int(self.spread_bytes[i]),
+            )
+            for i in range(len(self))
+        ]

@@ -1,11 +1,4 @@
-"""Memory-protection timing engines: baseline (BP), MGX and its ablations.
-
-A :class:`ProtectionScheme` consumes the accelerator's block transfers
-(:class:`~repro.core.access.MemAccess`) and returns the DRAM traffic each
-one really generates: the data itself plus whatever metadata the scheme
-needs (MACs, stored version numbers, integrity-tree nodes, cache
-writebacks).  The performance model then prices that traffic on the DRAM
-model.
+"""Counter-mode protection engine covering the paper's design space.
 
 One configurable engine, :class:`CounterModeProtection`, covers the whole
 design space of the paper:
@@ -35,150 +28,39 @@ Modelling notes
   the first cached ancestor (the standard Bonsai-style optimization); a
   dirty line evicted from the metadata cache updates its parent, which
   can itself miss and evict — the model follows that chain.
+
+Batch pricing
+-------------
+On-chip-VN configurations without a metadata cache are *stateless*: the
+traffic of an access is a pure function of the access.  For those,
+:meth:`CounterModeProtection.price_batch` evaluates the same arithmetic
+as :meth:`~CounterModeProtection.process` over whole NumPy columns at
+once.  Cached/tree configurations are order-dependent (LRU state), so
+they inherit the exact per-access walk from the base class.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+import numpy as np
+
 from repro.common.errors import ConfigError
 from repro.common.stats import StatsGroup
 from repro.common.units import CACHE_BLOCK, ceil_div, round_up
-from repro.core.access import DataClass, MemAccess
+from repro.core.access import DATA_CLASSES, AccessBatch, DataClass, MemAccess
 from repro.core.merkle import TreeLayout
 from repro.core.metadata_cache import MetadataCache
-from repro.dram.model import TrafficProfile
-
-#: Size of one stored MAC or VN entry in bytes (56-bit values in 8-byte
-#: slots, as in the Intel MEE configuration the paper baselines against).
-ENTRY_BYTES = 8
-_ENTRIES_PER_LINE = CACHE_BLOCK // ENTRY_BYTES
-
-#: Gathered bursts at least this large behave like streams on DDR4 (the
-#: row-activate cost is amortized across the burst), so they are priced
-#: in the sequential bucket of the traffic profile.
-_SEQUENTIAL_BURST_THRESHOLD = 256
-
-
-@dataclass
-class ProtectionTraffic:
-    """DRAM byte counts produced by protecting some accesses.
-
-    ``data`` is the payload (including any read amplification needed to
-    verify a coarse MAC); ``mac``, ``vn`` and ``tree`` are metadata.  Each
-    category is split by spatial locality for the DRAM model.
-    """
-
-    data_seq: int = 0
-    data_scat: int = 0
-    mac_seq: int = 0
-    mac_scat: int = 0
-    vn_seq: int = 0
-    vn_scat: int = 0
-    tree_seq: int = 0
-    tree_scat: int = 0
-
-    def merge(self, other: "ProtectionTraffic") -> None:
-        self.data_seq += other.data_seq
-        self.data_scat += other.data_scat
-        self.mac_seq += other.mac_seq
-        self.mac_scat += other.mac_scat
-        self.vn_seq += other.vn_seq
-        self.vn_scat += other.vn_scat
-        self.tree_seq += other.tree_seq
-        self.tree_scat += other.tree_scat
-
-    @property
-    def data_bytes(self) -> int:
-        return self.data_seq + self.data_scat
-
-    @property
-    def mac_bytes(self) -> int:
-        return self.mac_seq + self.mac_scat
-
-    @property
-    def vn_bytes(self) -> int:
-        return self.vn_seq + self.vn_scat
-
-    @property
-    def tree_bytes(self) -> int:
-        return self.tree_seq + self.tree_scat
-
-    @property
-    def metadata_bytes(self) -> int:
-        return self.mac_bytes + self.vn_bytes + self.tree_bytes
-
-    @property
-    def total_bytes(self) -> int:
-        return self.data_bytes + self.metadata_bytes
-
-    def to_profile(self) -> TrafficProfile:
-        return TrafficProfile(
-            sequential_bytes=self.data_seq + self.mac_seq + self.vn_seq + self.tree_seq,
-            scattered_bytes=self.data_scat + self.mac_scat + self.vn_scat + self.tree_scat,
-        )
-
-
-class ProtectionScheme:
-    """Interface of a memory-protection timing engine."""
-
-    name: str = "abstract"
-
-    def process(self, access: MemAccess) -> ProtectionTraffic:
-        """Traffic generated by one block transfer."""
-        raise NotImplementedError
-
-    def finish(self) -> ProtectionTraffic:
-        """End-of-run traffic (dirty metadata writebacks).  Idempotent."""
-        return ProtectionTraffic()
-
-    def reset(self) -> None:
-        """Discard all internal state (cache contents, stats)."""
-
-    @property
-    def onchip_state_bytes(self) -> int:
-        """On-chip storage the scheme requires beyond the crypto engines."""
-        return 0
-
-
-class NoProtection(ProtectionScheme):
-    """The unprotected accelerator: data traffic only."""
-
-    name = "NP"
-
-    def __init__(self) -> None:
-        self.stats = StatsGroup("np")
-
-    def process(self, access: MemAccess) -> ProtectionTraffic:
-        traffic = ProtectionTraffic()
-        _add_data(traffic, access, access.size)
-        self.stats.add("data_bytes", access.size)
-        return traffic
-
-    def reset(self) -> None:
-        self.stats.reset()
-
-
-def _add_data(traffic: ProtectionTraffic, access: MemAccess, nbytes: int) -> None:
-    if _is_stream(access):
-        traffic.data_seq += nbytes
-    else:
-        traffic.data_scat += nbytes
-
-
-def _is_stream(access: MemAccess) -> bool:
-    """Whether the access is priced at streaming bandwidth."""
-    if access.sequential:
-        return True
-    return _burst_bytes(access) >= _SEQUENTIAL_BURST_THRESHOLD
-
-
-def _burst_bytes(access: MemAccess) -> int:
-    """Contiguous burst size of a gathered access (the whole access when
-    sequential)."""
-    if access.sequential:
-        return access.size
-    return access.burst_bytes or CACHE_BLOCK
+from repro.core.schemes.base import (
+    ENTRY_BYTES,
+    _ENTRIES_PER_LINE,
+    ProtectionScheme,
+    ProtectionTraffic,
+    _add_data,
+    _burst_bytes,
+    _is_stream,
+    stream_mask,
+)
 
 
 @dataclass(frozen=True)
@@ -324,6 +206,22 @@ class CounterModeProtection(ProtectionScheme):
         self._account(access, traffic)
         return traffic
 
+    @property
+    def vectorizes(self) -> bool:
+        return self._cache is None
+
+    def price_batch(self, batch: AccessBatch) -> ProtectionTraffic:
+        """Batch pricing: vectorized when stateless, exact walk otherwise.
+
+        The metadata cache (and with it the integrity tree) makes pricing
+        order-dependent, so cached configurations take the per-access
+        path; on-chip-VN cacheless configurations evaluate the identical
+        integer arithmetic over whole columns.
+        """
+        if self._cache is not None or len(batch) == 0:
+            return super().price_batch(batch)
+        return self._price_batch_stateless(batch)
+
     def finish(self) -> ProtectionTraffic:
         """Flush the metadata cache: every dirty line becomes a writeback."""
         traffic = ProtectionTraffic()
@@ -332,6 +230,84 @@ class CounterModeProtection(ProtectionScheme):
                 self._route_metadata(traffic, line, CACHE_BLOCK, sequential=False)
         self._finished = True
         self.stats.add("writeback_bytes", traffic.metadata_bytes)
+        return traffic
+
+    # ------------------------------------------------------------------
+    def _price_batch_stateless(self, batch: AccessBatch) -> ProtectionTraffic:
+        """Columnar evaluation of :meth:`_process_data_and_mac`.
+
+        Mirrors the scalar path exactly, branch for branch, in int64:
+        per-access-MAC classes, sequential granule spans, and gathered
+        bursts each follow the same formulas, so the result is equal to
+        the per-access walk byte for byte.
+        """
+        address, size = batch.address, batch.size
+        end = address + size
+        over = end > self.protected_bytes
+        if over.any():
+            i = int(np.argmax(over))
+            raise ConfigError(
+                f"access [{int(address[i]):#x},{int(end[i]):#x}) beyond protected "
+                f"region of {self.protected_bytes:#x} bytes"
+            )
+        is_write = batch.is_write
+        seq = batch.sequential
+        stream = stream_mask(batch)
+
+        # Per-class granularity columns (validated for classes actually
+        # present, matching the scalar path's lazy validation).
+        gran_of_code = np.full(len(DATA_CLASSES), CACHE_BLOCK, dtype=np.int64)
+        per_access_code = np.zeros(len(DATA_CLASSES), dtype=np.bool_)
+        for code in np.unique(batch.data_class):
+            data_class = DATA_CLASSES[code]
+            if data_class in self.mac_policy.per_access:
+                per_access_code[code] = True
+                continue
+            gran = self.mac_policy.overrides.get(data_class, self.mac_policy.default)
+            if gran % CACHE_BLOCK != 0:
+                raise ConfigError(
+                    f"MAC granularity must be a multiple of 64, got {gran}"
+                )
+            gran_of_code[code] = gran
+        gran = gran_of_code[batch.data_class]
+        per_access = per_access_code[batch.data_class]
+
+        # Sequential spans: whole granules are verified, partial reads
+        # amplify; MAC lines are the span of 8-byte entries.
+        first = address // gran
+        last = (end - 1) // gran
+        n_granules = last - first + 1
+        seq_amp = np.where(is_write, 0, n_granules * gran - size)
+        seq_mac_lines = (
+            (last * ENTRY_BYTES) // CACHE_BLOCK - (first * ENTRY_BYTES) // CACHE_BLOCK + 1
+        )
+        seq_mac = seq_mac_lines * CACHE_BLOCK
+
+        # Gathers: each burst verifies whole granules and fetches its own
+        # (contiguous) MAC entries.
+        burst = np.where(batch.burst_bytes > 0, batch.burst_bytes, CACHE_BLOCK)
+        n_bursts = np.maximum(1, size // burst)
+        granules_per_burst = -(-burst // gran)
+        gather_amp = np.where(
+            is_write, 0, np.maximum(0, n_bursts * granules_per_burst * gran - size)
+        )
+        lines_per_burst = -(-granules_per_burst // _ENTRIES_PER_LINE)
+        gather_mac = n_bursts * lines_per_burst * CACHE_BLOCK
+
+        data = size + np.where(per_access, 0, np.where(seq, seq_amp, gather_amp))
+        mac = np.where(per_access, CACHE_BLOCK, np.where(seq, seq_mac, gather_mac))
+
+        traffic = ProtectionTraffic(
+            data_seq=int(data[stream].sum()),
+            data_scat=int(data[~stream].sum()),
+            mac_seq=int(mac[stream].sum()),
+            mac_scat=int(mac[~stream].sum()),
+        )
+        self.stats.add("accesses", len(batch))
+        self.stats.add("data_bytes", int(size.sum()))
+        self.stats.add("mac_bytes", traffic.mac_bytes)
+        self.stats.add("vn_bytes", 0)
+        self.stats.add("tree_bytes", 0)
         return traffic
 
     # ------------------------------------------------------------------
@@ -622,76 +598,3 @@ class CounterModeProtection(ProtectionScheme):
         self.stats.add("mac_bytes", traffic.mac_bytes)
         self.stats.add("vn_bytes", traffic.vn_bytes)
         self.stats.add("tree_bytes", traffic.tree_bytes)
-
-
-# ---------------------------------------------------------------------------
-# Factory helpers for the four schemes evaluated in the paper.
-# ---------------------------------------------------------------------------
-
-def make_baseline(protected_bytes: int, cache_bytes: int = 32 * 1024) -> CounterModeProtection:
-    """BP: the conventional Intel-MEE-like scheme (§VI-A)."""
-    return CounterModeProtection(
-        name="BP",
-        vn_onchip=False,
-        mac_policy=FINE_MAC_POLICY,
-        protected_bytes=protected_bytes,
-        cache_bytes=cache_bytes,
-    )
-
-
-def make_mgx(protected_bytes: int, mac_policy: MacPolicy = MGX_MAC_POLICY) -> CounterModeProtection:
-    """MGX: on-chip VNs + coarse-grained MACs."""
-    return CounterModeProtection(
-        name="MGX",
-        vn_onchip=True,
-        mac_policy=mac_policy,
-        protected_bytes=protected_bytes,
-    )
-
-
-def make_mgx_vn(protected_bytes: int) -> CounterModeProtection:
-    """MGX_VN ablation: on-chip VNs, conventional 64-B MACs."""
-    return CounterModeProtection(
-        name="MGX_VN",
-        vn_onchip=True,
-        mac_policy=FINE_MAC_POLICY,
-        protected_bytes=protected_bytes,
-    )
-
-
-def make_mgx_mac(protected_bytes: int, cache_bytes: int = 32 * 1024,
-                 mac_policy: MacPolicy = MGX_MAC_POLICY) -> CounterModeProtection:
-    """MGX_MAC ablation: stored VNs (with tree), coarse-grained MACs."""
-    return CounterModeProtection(
-        name="MGX_MAC",
-        vn_onchip=False,
-        mac_policy=mac_policy,
-        protected_bytes=protected_bytes,
-        cache_bytes=cache_bytes,
-    )
-
-
-def make_tnpu_like(protected_bytes: int) -> CounterModeProtection:
-    """TNPU-style protection [Lee et al., HPCA 2022] for comparison (§VIII).
-
-    TNPU also derives DNN version numbers from execution state and drops
-    the integrity tree, but keeps conventional 64-B MACs — which makes it
-    exactly the MGX_VN operating point in this design space.  The paper's
-    claim that MGX "can further reduce the overhead of integrity
-    verification using coarse-grained MACs" is the MGX-vs-MGX_VN gap in
-    Fig. 13.
-    """
-    scheme = make_mgx_vn(protected_bytes)
-    scheme.name = "TNPU-like"
-    return scheme
-
-
-def scheme_suite(protected_bytes: int) -> dict[str, ProtectionScheme]:
-    """All five schemes of the evaluation, keyed by paper name."""
-    return {
-        "NP": NoProtection(),
-        "BP": make_baseline(protected_bytes),
-        "MGX": make_mgx(protected_bytes),
-        "MGX_VN": make_mgx_vn(protected_bytes),
-        "MGX_MAC": make_mgx_mac(protected_bytes),
-    }

@@ -1,0 +1,65 @@
+"""Factory helpers for the schemes evaluated in the paper."""
+
+from __future__ import annotations
+
+from repro.core.schemes.base import NoProtection, ProtectionScheme
+from repro.core.schemes.counter_mode import (
+    FINE_MAC_POLICY,
+    MGX_MAC_POLICY,
+    CounterModeProtection,
+    MacPolicy,
+)
+
+
+def make_baseline(protected_bytes: int, cache_bytes: int = 32 * 1024) -> CounterModeProtection:
+    """BP: the conventional Intel-MEE-like scheme (§VI-A)."""
+    return CounterModeProtection(
+        name="BP",
+        vn_onchip=False,
+        mac_policy=FINE_MAC_POLICY,
+        protected_bytes=protected_bytes,
+        cache_bytes=cache_bytes,
+    )
+
+
+def make_mgx(protected_bytes: int, mac_policy: MacPolicy = MGX_MAC_POLICY) -> CounterModeProtection:
+    """MGX: on-chip VNs + coarse-grained MACs."""
+    return CounterModeProtection(
+        name="MGX",
+        vn_onchip=True,
+        mac_policy=mac_policy,
+        protected_bytes=protected_bytes,
+    )
+
+
+def make_mgx_vn(protected_bytes: int) -> CounterModeProtection:
+    """MGX_VN ablation: on-chip VNs, conventional 64-B MACs."""
+    return CounterModeProtection(
+        name="MGX_VN",
+        vn_onchip=True,
+        mac_policy=FINE_MAC_POLICY,
+        protected_bytes=protected_bytes,
+    )
+
+
+def make_mgx_mac(protected_bytes: int, cache_bytes: int = 32 * 1024,
+                 mac_policy: MacPolicy = MGX_MAC_POLICY) -> CounterModeProtection:
+    """MGX_MAC ablation: stored VNs (with tree), coarse-grained MACs."""
+    return CounterModeProtection(
+        name="MGX_MAC",
+        vn_onchip=False,
+        mac_policy=mac_policy,
+        protected_bytes=protected_bytes,
+        cache_bytes=cache_bytes,
+    )
+
+
+def scheme_suite(protected_bytes: int) -> dict[str, ProtectionScheme]:
+    """All five schemes of the evaluation, keyed by paper name."""
+    return {
+        "NP": NoProtection(),
+        "BP": make_baseline(protected_bytes),
+        "MGX": make_mgx(protected_bytes),
+        "MGX_VN": make_mgx_vn(protected_bytes),
+        "MGX_MAC": make_mgx_mac(protected_bytes),
+    }

@@ -1,0 +1,21 @@
+"""TNPU-style protection [Lee et al., HPCA 2022] for comparison (§VIII)."""
+
+from __future__ import annotations
+
+from repro.core.schemes.counter_mode import CounterModeProtection
+from repro.core.schemes.factory import make_mgx_vn
+
+
+def make_tnpu_like(protected_bytes: int) -> CounterModeProtection:
+    """TNPU-style protection [Lee et al., HPCA 2022] for comparison (§VIII).
+
+    TNPU also derives DNN version numbers from execution state and drops
+    the integrity tree, but keeps conventional 64-B MACs — which makes it
+    exactly the MGX_VN operating point in this design space.  The paper's
+    claim that MGX "can further reduce the overhead of integrity
+    verification using coarse-grained MACs" is the MGX-vs-MGX_VN gap in
+    Fig. 13.
+    """
+    scheme = make_mgx_vn(protected_bytes)
+    scheme.name = "TNPU-like"
+    return scheme

@@ -7,6 +7,8 @@ Usage::
     python -m repro.experiments --only fig13     # a single experiment
     python -m repro.experiments --set ablations  # design-choice sweeps
     python -m repro.experiments --set extras     # beyond-the-figures studies
+    python -m repro.experiments --jobs 4         # parallel scheme sweeps
+    python -m repro.experiments --no-cache       # regenerate every trace
     python -m repro.experiments -o EXPERIMENTS_RUN.txt
 """
 
@@ -19,6 +21,7 @@ import time
 from repro.experiments.ablations import ABLATIONS, run_ablation
 from repro.experiments.extras import EXTRAS, run_extra
 from repro.experiments.registry import EXPERIMENTS, run_experiment
+from repro.sim.runner import TRACE_CACHE
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -28,16 +31,26 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--set", dest="which", default="figures",
                         choices=("figures", "ablations", "extras", "all"),
                         help="which experiment family to run")
+    parser.add_argument("--jobs", type=int, default=None, metavar="N",
+                        help="run independent schemes across N worker processes "
+                             "(figure experiments only; ablations/extras run serially)")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="disable the trace/sweep cache (regenerate everything)")
     parser.add_argument("-o", "--output", help="write the report to this file")
     args = parser.parse_args(argv)
 
+    if args.no_cache:
+        TRACE_CACHE.enabled = False
+    jobs = args.jobs
+
     runners: list[tuple[str, object]] = []
     if args.only:
-        runners = [(args.only, lambda q, e=args.only: run_experiment(e, quick=q))]
+        runners = [(args.only,
+                    lambda q, e=args.only: run_experiment(e, quick=q, jobs=jobs))]
     else:
         if args.which in ("figures", "all"):
             runners += [
-                (eid, lambda q, e=eid: run_experiment(e, quick=q))
+                (eid, lambda q, e=eid: run_experiment(e, quick=q, jobs=jobs))
                 for eid in EXPERIMENTS
             ]
         if args.which in ("ablations", "all"):
@@ -58,6 +71,12 @@ def main(argv: list[str] | None = None) -> int:
         elapsed = time.time() - start
         sections.append(result.to_text() + f"\n\n[{eid} completed in {elapsed:.1f}s]")
         print(f"{eid}: done in {elapsed:.1f}s", file=sys.stderr)
+    cache = TRACE_CACHE.stats()
+    print(
+        f"trace cache: {cache['hits']} hits, {cache['misses']} misses, "
+        f"{cache['entries']} entries",
+        file=sys.stderr,
+    )
     report = ("\n\n" + "=" * 72 + "\n\n").join(sections)
     if args.output:
         with open(args.output, "w") as f:

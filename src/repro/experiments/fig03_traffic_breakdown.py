@@ -26,16 +26,15 @@ _QUICK_GRAPHS = ("google-plus", "ogbl-ppa")
 
 def _breakdown(sweep) -> tuple[float, float, float]:
     """(mac %, vn+tree %, total %) of BP over NP data traffic."""
-    bp = sweep.results["BP"].traffic
-    base_bytes = sweep.results["NP"].traffic.total_bytes
-    mac_pct = 100.0 * bp.mac_bytes / base_bytes
-    vn_pct = 100.0 * (bp.vn_bytes + bp.tree_bytes) / base_bytes
-    extra_data = bp.data_bytes - base_bytes  # read amplification, if any
-    total_pct = mac_pct + vn_pct + 100.0 * extra_data / base_bytes
-    return mac_pct, vn_pct, total_pct
+    percents = sweep.results["BP"].traffic.overhead_percents(
+        sweep.results["NP"].traffic.total_bytes
+    )
+    # VN overhead includes the integrity tree protecting the stored VNs;
+    # the total also counts read amplification ("data" beyond baseline).
+    return percents["mac"], percents["vn"] + percents["tree"], percents["total"]
 
 
-def run(quick: bool = False) -> ExperimentResult:
+def run(quick: bool = False, jobs: int | None = None) -> ExperimentResult:
     result = ExperimentResult(
         experiment_id="fig03",
         title="Fig. 3 — Memory traffic overhead of traditional protection (BP)",
@@ -50,17 +49,22 @@ def run(quick: bool = False) -> ExperimentResult:
 
     groups: dict[str, list[float]] = {"Inf": [], "Train": [], "PR": [], "BFS": []}
     for model in inference:
-        mac, vn, total = _breakdown(dnn_sweep(model, "Cloud"))
+        mac, vn, total = _breakdown(
+            dnn_sweep(model, "Cloud", jobs=jobs)
+        )
         result.add_row(workload=f"{model}-Inf", mac_pct=mac, vn_pct=vn, total_pct=total)
         groups["Inf"].append(total)
     for model in training:
-        mac, vn, total = _breakdown(dnn_sweep(model, "Cloud", training=True))
+        mac, vn, total = _breakdown(
+            dnn_sweep(model, "Cloud", training=True, jobs=jobs)
+        )
         result.add_row(workload=f"{model}-Train", mac_pct=mac, vn_pct=vn, total_pct=total)
         groups["Train"].append(total)
     for algo in ("PR", "BFS"):
         for bench in graphs:
             mac, vn, total = _breakdown(
-                graph_sweep(bench, algo, iterations=iterations, scale_divisor=scale)
+                graph_sweep(bench, algo, iterations=iterations, scale_divisor=scale,
+                            jobs=jobs)
             )
             result.add_row(workload=f"{algo}-{bench}", mac_pct=mac, vn_pct=vn,
                            total_pct=total)

@@ -16,7 +16,7 @@ _TRAINING = ("VGG", "AlexNet", "GoogleNet", "ResNet", "BERT")
 _QUICK = ("AlexNet", "DLRM")
 
 
-def run(quick: bool = False) -> ExperimentResult:
+def run(quick: bool = False, jobs: int | None = None) -> ExperimentResult:
     result = ExperimentResult(
         experiment_id="fig12",
         title="Fig. 12 — DNN memory traffic increase (normalized to NP)",
@@ -29,7 +29,8 @@ def run(quick: bool = False) -> ExperimentResult:
     for training_flag, models, tag in ((False, inference, "Inf"), (True, training, "Train")):
         for config in ("Cloud", "Edge"):
             for model in models:
-                sweep = dnn_sweep(model, config, training=training_flag)
+                sweep = dnn_sweep(model, config, training=training_flag,
+                                  jobs=jobs)
                 bp = sweep.traffic_increase("BP")
                 mgx = sweep.traffic_increase("MGX")
                 result.add_row(workload=f"{model}-{tag}", config=config, BP=bp, MGX=mgx)

@@ -16,7 +16,7 @@ _QUICK = ("AlexNet", "DLRM")
 _REPORT_SCHEMES = [s for s in SCHEMES if s != "NP"]
 
 
-def run(quick: bool = False) -> ExperimentResult:
+def run(quick: bool = False, jobs: int | None = None) -> ExperimentResult:
     result = ExperimentResult(
         experiment_id="fig13",
         title="Fig. 13 — DNN normalized execution time",
@@ -29,7 +29,8 @@ def run(quick: bool = False) -> ExperimentResult:
     for training_flag, models, tag in ((False, inference, "Inf"), (True, training, "Train")):
         for config in ("Cloud", "Edge"):
             for model in models:
-                sweep = dnn_sweep(model, config, training=training_flag)
+                sweep = dnn_sweep(model, config, training=training_flag,
+                                  jobs=jobs)
                 values = {s: sweep.normalized_time(s) for s in _REPORT_SCHEMES}
                 result.add_row(workload=f"{model}-{tag}", config=config, **values)
                 for scheme, value in values.items():

@@ -16,7 +16,7 @@ _QUICK_GRAPHS = ("google-plus", "ogbl-ppa")
 _REPORT_SCHEMES = [s for s in SCHEMES if s != "NP"]
 
 
-def run(quick: bool = False) -> ExperimentResult:
+def run(quick: bool = False, jobs: int | None = None) -> ExperimentResult:
     result = ExperimentResult(
         experiment_id="fig14",
         title="Fig. 14 — Graph accelerator: traffic increase and normalized time",
@@ -30,7 +30,8 @@ def run(quick: bool = False) -> ExperimentResult:
     sums: dict[str, list[float]] = {}
     for algo in ("PR", "BFS"):
         for bench in graphs:
-            sweep = graph_sweep(bench, algo, iterations=iterations, scale_divisor=scale)
+            sweep = graph_sweep(bench, algo, iterations=iterations, scale_divisor=scale,
+                                jobs=jobs)
             row = {
                 "workload": f"{algo}-{bench}",
                 "traffic_BP": sweep.traffic_increase("BP"),

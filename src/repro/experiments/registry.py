@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import inspect
 from typing import Callable
 
 from repro.experiments import (
@@ -27,15 +28,20 @@ EXPERIMENTS: dict[str, Callable[..., ExperimentResult]] = {
 }
 
 
-def run_experiment(experiment_id: str, quick: bool = False) -> ExperimentResult:
+def run_experiment(experiment_id: str, quick: bool = False,
+                   jobs: int | None = None) -> ExperimentResult:
     try:
         runner = EXPERIMENTS[experiment_id]
     except KeyError:
         raise KeyError(
             f"unknown experiment {experiment_id!r}; known: {sorted(EXPERIMENTS)}"
         ) from None
-    return runner(quick=quick)
+    kwargs: dict = {"quick": quick}
+    # Sweep-based figures take ``jobs``; functional ones (fig16/fig19) don't.
+    if jobs is not None and "jobs" in inspect.signature(runner).parameters:
+        kwargs["jobs"] = jobs
+    return runner(**kwargs)
 
 
-def run_all(quick: bool = False) -> dict[str, ExperimentResult]:
-    return {eid: run_experiment(eid, quick=quick) for eid in EXPERIMENTS}
+def run_all(quick: bool = False, jobs: int | None = None) -> dict[str, ExperimentResult]:
+    return {eid: run_experiment(eid, quick=quick, jobs=jobs) for eid in EXPERIMENTS}

@@ -24,7 +24,7 @@ def _avg_overheads(sweeps) -> dict[str, float]:
     return {"BP": sum(bp) / len(bp), "MGX": sum(mgx) / len(mgx)}
 
 
-def run(quick: bool = False) -> ExperimentResult:
+def run(quick: bool = False, jobs: int | None = None) -> ExperimentResult:
     result = ExperimentResult(
         experiment_id="headline",
         title="Headline — average protection overhead (%), BP vs MGX",
@@ -38,18 +38,21 @@ def run(quick: bool = False) -> ExperimentResult:
 
     tasks = {
         "DNN-Inference": [
-            dnn_sweep(m, cfg) for m in inference for cfg in ("Cloud", "Edge")
+            dnn_sweep(m, cfg, jobs=jobs)
+            for m in inference for cfg in ("Cloud", "Edge")
         ],
         "DNN-Training": [
-            dnn_sweep(m, cfg, training=True)
+            dnn_sweep(m, cfg, training=True, jobs=jobs)
             for m in training for cfg in ("Cloud", "Edge")
         ],
         "PageRank": [
-            graph_sweep(b, "PR", iterations=iterations, scale_divisor=scale)
+            graph_sweep(b, "PR", iterations=iterations, scale_divisor=scale,
+                        jobs=jobs)
             for b in graphs
         ],
         "BFS": [
-            graph_sweep(b, "BFS", iterations=iterations, scale_divisor=scale)
+            graph_sweep(b, "BFS", iterations=iterations, scale_divisor=scale,
+                        jobs=jobs)
             for b in graphs
         ],
     }

@@ -2,7 +2,19 @@
 
 from repro.sim.perf import PerfConfig, PerformanceModel, PhaseResult, SimResult
 from repro.sim.roofline import PhaseRoofline, RooflineReport, analyze
-from repro.sim.runner import SCHEMES, SchemeSweep, dnn_sweep, graph_sweep, sweep_schemes
+from repro.sim.runner import (
+    SCHEMES,
+    TRACE_CACHE,
+    BatchedTrace,
+    SchemeSweep,
+    TraceCache,
+    Workload,
+    dnn_sweep,
+    dnn_workload,
+    graph_sweep,
+    graph_workload,
+    sweep_schemes,
+)
 from repro.sim.tracefile import TraceFile, evaluate, load, loads
 
 __all__ = [
@@ -14,9 +26,15 @@ __all__ = [
     "RooflineReport",
     "analyze",
     "SCHEMES",
+    "TRACE_CACHE",
+    "BatchedTrace",
     "SchemeSweep",
+    "TraceCache",
+    "Workload",
     "dnn_sweep",
+    "dnn_workload",
     "graph_sweep",
+    "graph_workload",
     "sweep_schemes",
     "TraceFile",
     "evaluate",

@@ -15,7 +15,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.common.errors import ConfigError
-from repro.core.access import Phase
+from repro.core.access import AccessBatch, Phase
 from repro.core.schemes import NoProtection, ProtectionScheme, ProtectionTraffic
 from repro.dram.model import DramModel
 
@@ -110,17 +110,34 @@ class PerformanceModel:
         return cycles
 
     def run(self, phases: list[Phase], scheme: ProtectionScheme,
-            keep_phase_results: bool = False) -> SimResult:
-        """Execute the trace under ``scheme``; returns timing and traffic."""
+            keep_phase_results: bool = False,
+            batches: list[AccessBatch] | None = None) -> SimResult:
+        """Execute the trace under ``scheme``; returns timing and traffic.
+
+        ``batches`` optionally supplies precomputed structure-of-arrays
+        views of the phases (one per phase, same order), letting a sweep
+        convert the trace once and share the columns across schemes.
+        """
+        if batches is not None and len(batches) != len(phases):
+            raise ConfigError(
+                f"{len(batches)} batches supplied for {len(phases)} phases"
+            )
         scheme.reset()
         protected = not isinstance(scheme, NoProtection)
         total = ProtectionTraffic()
         total_cycles = 0.0
         phase_results: list[PhaseResult] = []
-        for phase in phases:
-            traffic = ProtectionTraffic()
-            for access in phase.accesses:
-                traffic.merge(scheme.process(access))
+        for index, phase in enumerate(phases):
+            if batches is not None:
+                traffic = scheme.price_batch(batches[index])
+            elif scheme.vectorizes:
+                traffic = scheme.price_batch(AccessBatch.from_phase(phase))
+            else:
+                # Stateful schemes walk accesses anyway; skip the
+                # structure-of-arrays conversion they would discard.
+                traffic = ProtectionTraffic()
+                for access in phase.accesses:
+                    traffic.merge(scheme.process(access))
             memory_cycles = self._memory_cycles(traffic, protected)
             total_cycles += max(phase.compute_cycles, memory_cycles)
             total.merge(traffic)

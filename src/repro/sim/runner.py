@@ -1,16 +1,35 @@
-"""Workload runner: sweep protection schemes over a trace in one call.
+"""Workload runner: batched traces, trace/sweep reuse, parallel sweeps.
 
-The experiments all follow the same pattern — generate a trace once, run
-{NP, BP, MGX, MGX_VN, MGX_MAC} over it, normalize to NP — so this module
-packages that loop along with the workload constructors for the DNN and
-graph benchmarks.
+The experiments all follow the same pattern — generate a trace, run
+{NP, BP, MGX, MGX_VN, MGX_MAC} over it, normalize to NP — and the figure
+drivers repeat the *same* workloads (fig03, fig12, fig13 and the
+headline table all sweep the same DNN configurations).  This module
+packages that loop as a pipeline with three levers:
+
+* **Batching** — every workload is converted once into per-phase
+  :class:`~repro.core.access.AccessBatch` columns
+  (:class:`BatchedTrace`), shared across all schemes of a sweep, so
+  stateless schemes price whole columns instead of walking objects.
+* **Reuse** — a process-wide :class:`TraceCache` keyed by workload
+  configuration caches both the generated traces and the finished
+  :class:`SchemeSweep` results, so a five-scheme suite prices one
+  generated trace and repeated sweeps across experiment drivers are
+  free.  Opt out per call with ``use_cache=False`` or globally with
+  ``TRACE_CACHE.enabled = False``.
+* **Parallelism** — ``sweep_schemes(..., jobs=N)`` with ``N >= 2`` runs
+  independent schemes across worker processes (opt-in; results are
+  bit-identical to the serial path).
 """
 
 from __future__ import annotations
 
+import os
+from collections import OrderedDict
+from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
+from typing import Callable, Hashable
 
-from repro.core.access import Phase
+from repro.core.access import AccessBatch, Phase
 from repro.core.schemes import ProtectionScheme, scheme_suite
 from repro.dnn.accelerator import CONFIGS, DnnAcceleratorConfig
 from repro.dnn.models import build_model
@@ -22,6 +41,86 @@ from repro.sim.perf import PerfConfig, PerformanceModel, SimResult
 
 #: Paper scheme names in presentation order.
 SCHEMES = ("NP", "BP", "MGX", "MGX_VN", "MGX_MAC")
+
+
+@dataclass
+class BatchedTrace:
+    """A phase list plus its once-converted structure-of-arrays columns."""
+
+    phases: list[Phase]
+    batches: list[AccessBatch]
+
+    @classmethod
+    def from_phases(cls, phases: list[Phase]) -> "BatchedTrace":
+        return cls(phases, [AccessBatch.from_phase(p) for p in phases])
+
+    @property
+    def total_accesses(self) -> int:
+        return sum(len(batch) for batch in self.batches)
+
+
+class TraceCache:
+    """Process-wide LRU cache of generated traces and sweep results.
+
+    Keys are workload-configuration tuples (model, machine, algorithm,
+    iterations, …), so any driver asking for the same workload — within
+    one experiment or across the whole figure suite — reuses the entry
+    instead of regenerating.  Entries are treated as immutable by every
+    consumer.
+    """
+
+    def __init__(self, max_entries: int = 512) -> None:
+        self.max_entries = max_entries
+        self.enabled = True
+        self.hits = 0
+        self.misses = 0
+        self._entries: "OrderedDict[Hashable, object]" = OrderedDict()
+
+    def get_or_build(self, key: Hashable, builder: Callable[[], object]) -> object:
+        """Return the cached value for ``key``, building it on a miss."""
+        if not self.enabled:
+            return builder()
+        if key in self._entries:
+            self.hits += 1
+            self._entries.move_to_end(key)
+            return self._entries[key]
+        self.misses += 1
+        value = builder()
+        self._entries[key] = value
+        while len(self._entries) > self.max_entries:
+            self._entries.popitem(last=False)
+        return value
+
+    def clear(self) -> None:
+        self._entries.clear()
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def stats(self) -> dict[str, int]:
+        return {"hits": self.hits, "misses": self.misses, "entries": len(self)}
+
+
+#: The default cache every workload constructor consults.
+TRACE_CACHE = TraceCache()
+
+
+@dataclass
+class Workload:
+    """A priced-workload bundle: trace columns + the machine to run on."""
+
+    label: str
+    trace: BatchedTrace
+    protected_bytes: int
+    accel_freq_hz: float
+    dram_model: DramModel
+
+    def performance_model(self) -> PerformanceModel:
+        return PerformanceModel(
+            self.dram_model, PerfConfig(accel_freq_hz=self.accel_freq_hz)
+        )
 
 
 @dataclass
@@ -45,20 +144,65 @@ class SchemeSweep:
         return 100.0 * (self.normalized_time(scheme) - 1.0)
 
 
+#: Per-worker sweep context set by :func:`_init_sweep_worker`; shipping the
+#: trace once per worker (instead of once per scheme submission) keeps the
+#: serialization cost independent of the scheme count.
+_WORKER_CONTEXT: tuple[PerformanceModel, list[Phase], list[AccessBatch] | None] | None = None
+
+
+def _init_sweep_worker(
+    context: tuple[PerformanceModel, list[Phase], list[AccessBatch] | None],
+) -> None:
+    global _WORKER_CONTEXT
+    _WORKER_CONTEXT = context
+
+
+def _run_scheme_job(scheme: ProtectionScheme) -> SimResult:
+    """Worker entry point for parallel sweeps (must be picklable)."""
+    assert _WORKER_CONTEXT is not None
+    model, phases, batches = _WORKER_CONTEXT
+    return model.run(phases, scheme, batches=batches)
+
+
 def sweep_schemes(
     workload: str,
     phases: list[Phase],
     model: PerformanceModel,
     protected_bytes: int,
     schemes: dict[str, ProtectionScheme] | None = None,
+    batches: list[AccessBatch] | None = None,
+    jobs: int | None = None,
 ) -> SchemeSweep:
-    """Run every scheme over ``phases`` and collect normalized results."""
+    """Run every scheme over ``phases`` and collect normalized results.
+
+    ``batches`` shares precomputed per-phase columns across the schemes.
+    ``jobs >= 2`` distributes independent schemes over that many worker
+    processes; the scheme objects are mutated in the workers, so the
+    caller's instances stay untouched and results are collected in
+    presentation order.  ``None`` (or ``jobs <= 1``) runs serially.
+    """
     suite = schemes if schemes is not None else scheme_suite(protected_bytes)
+    names = [name for name in SCHEMES if name in suite]
+    names += [name for name in suite if name not in SCHEMES]
+    if batches is None and any(suite[name].vectorizes for name in names):
+        # Convert once here rather than per vectorizing scheme in run().
+        batches = [AccessBatch.from_phase(phase) for phase in phases]
     sweep = SchemeSweep(workload=workload)
-    for name in SCHEMES:
-        if name not in suite:
-            continue
-        sweep.results[name] = model.run(phases, suite[name])
+    if jobs is not None and jobs > 1 and len(names) > 1:
+        workers = min(jobs, os.cpu_count() or 1, len(names))
+        with ProcessPoolExecutor(
+            max_workers=workers,
+            initializer=_init_sweep_worker,
+            initargs=((model, phases, batches),),
+        ) as pool:
+            futures = {
+                name: pool.submit(_run_scheme_job, suite[name]) for name in names
+            }
+            for name in names:
+                sweep.results[name] = futures[name].result()
+        return sweep
+    for name in names:
+        sweep.results[name] = model.run(phases, suite[name], batches=batches)
     return sweep
 
 
@@ -66,38 +210,102 @@ def sweep_schemes(
 # Workload constructors
 # ---------------------------------------------------------------------------
 
-def dnn_sweep(model_name: str, config_name: str = "Cloud", training: bool = False,
-              batch: int = 1) -> SchemeSweep:
-    """Sweep all schemes over one DNN workload (Fig. 12/13 data points)."""
+def dnn_workload(model_name: str, config_name: str = "Cloud",
+                 training: bool = False, batch: int = 1,
+                 use_cache: bool = True) -> Workload:
+    """Build (or fetch from the cache) one DNN workload's batched trace."""
     config: DnnAcceleratorConfig = CONFIGS[config_name]
-    generator = DnnTraceGenerator(build_model(model_name), config, batch=batch)
-    trace = generator.training_step() if training else generator.inference()
-    perf = PerformanceModel(
-        DramModel(config.dram), PerfConfig(accel_freq_hz=config.array.freq_hz)
-    )
     label = f"{model_name}-{'Train' if training else 'Inf'}-{config_name}"
-    return sweep_schemes(label, trace.phases, perf, config.protected_bytes)
+
+    def build() -> BatchedTrace:
+        generator = DnnTraceGenerator(build_model(model_name), config, batch=batch)
+        trace = generator.training_step() if training else generator.inference()
+        return BatchedTrace.from_phases(trace.phases)
+
+    key = ("dnn-trace", model_name, config_name, training, batch)
+    trace = (
+        TRACE_CACHE.get_or_build(key, build) if use_cache else build()
+    )
+    return Workload(
+        label=label,
+        trace=trace,
+        protected_bytes=config.protected_bytes,
+        accel_freq_hz=config.array.freq_hz,
+        dram_model=DramModel(config.dram),
+    )
+
+
+def graph_workload(benchmark: str, algorithm: str = "PR",
+                   iterations: int | None = None, scale_divisor: int = 64,
+                   config: GraphAcceleratorConfig | None = None,
+                   use_cache: bool = True) -> Workload:
+    """Build (or fetch from the cache) one graph workload's batched trace."""
+    config = config or GraphAcceleratorConfig()
+
+    def build() -> BatchedTrace:
+        graph = build_benchmark_graph(benchmark, scale_divisor=scale_divisor)
+        generator = GraphTraceGenerator(graph, config)
+        if algorithm == "PR":
+            trace = generator.pagerank_trace(iterations=iterations)
+        elif algorithm == "BFS":
+            trace = generator.bfs_trace(iterations=iterations)
+        elif algorithm == "SSSP":
+            trace = generator.sssp_trace(iterations=iterations)
+        elif algorithm == "SpMSpV":
+            trace = generator.spmspv_trace(iterations=iterations or 4)
+        else:
+            raise ValueError(f"unknown algorithm {algorithm!r}")
+        return BatchedTrace.from_phases(trace.phases)
+
+    key = ("graph-trace", benchmark, algorithm, iterations, scale_divisor, config)
+    trace = (
+        TRACE_CACHE.get_or_build(key, build) if use_cache else build()
+    )
+    return Workload(
+        label=f"{algorithm}-{benchmark}",
+        trace=trace,
+        protected_bytes=config.protected_bytes,
+        accel_freq_hz=config.freq_hz,
+        dram_model=DramModel(config.dram),
+    )
+
+
+def _sweep_workload(workload: Workload, sweep_key: Hashable | None,
+                    use_cache: bool, jobs: int | None) -> SchemeSweep:
+    """Sweep the five-scheme suite over a workload, reusing cached results."""
+    def run() -> SchemeSweep:
+        return sweep_schemes(
+            workload.label,
+            workload.trace.phases,
+            workload.performance_model(),
+            workload.protected_bytes,
+            batches=workload.trace.batches,
+            jobs=jobs,
+        )
+
+    if use_cache and sweep_key is not None:
+        return TRACE_CACHE.get_or_build(sweep_key, run)
+    return run()
+
+
+def dnn_sweep(model_name: str, config_name: str = "Cloud", training: bool = False,
+              batch: int = 1, use_cache: bool = True,
+              jobs: int | None = None) -> SchemeSweep:
+    """Sweep all schemes over one DNN workload (Fig. 12/13 data points)."""
+    workload = dnn_workload(model_name, config_name, training, batch,
+                            use_cache=use_cache)
+    key = ("dnn-sweep", model_name, config_name, training, batch)
+    return _sweep_workload(workload, key, use_cache, jobs)
 
 
 def graph_sweep(benchmark: str, algorithm: str = "PR", iterations: int | None = None,
                 scale_divisor: int = 64,
-                config: GraphAcceleratorConfig | None = None) -> SchemeSweep:
+                config: GraphAcceleratorConfig | None = None,
+                use_cache: bool = True,
+                jobs: int | None = None) -> SchemeSweep:
     """Sweep all schemes over one graph workload (Fig. 14 data points)."""
     config = config or GraphAcceleratorConfig()
-    graph = build_benchmark_graph(benchmark, scale_divisor=scale_divisor)
-    generator = GraphTraceGenerator(graph, config)
-    if algorithm == "PR":
-        trace = generator.pagerank_trace(iterations=iterations)
-    elif algorithm == "BFS":
-        trace = generator.bfs_trace(iterations=iterations)
-    elif algorithm == "SSSP":
-        trace = generator.sssp_trace(iterations=iterations)
-    elif algorithm == "SpMSpV":
-        trace = generator.spmspv_trace(iterations=iterations or 4)
-    else:
-        raise ValueError(f"unknown algorithm {algorithm!r}")
-    perf = PerformanceModel(
-        DramModel(config.dram), PerfConfig(accel_freq_hz=config.freq_hz)
-    )
-    return sweep_schemes(f"{algorithm}-{benchmark}", trace.phases, perf,
-                         config.protected_bytes)
+    workload = graph_workload(benchmark, algorithm, iterations, scale_divisor,
+                              config=config, use_cache=use_cache)
+    key = ("graph-sweep", benchmark, algorithm, iterations, scale_divisor, config)
+    return _sweep_workload(workload, key, use_cache, jobs)

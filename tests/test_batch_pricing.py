@@ -1,0 +1,247 @@
+"""Batched pricing contract: ``price_batch`` ≡ per-access ``process``.
+
+The sweep pipeline rests on one invariant: pricing an
+:class:`~repro.core.access.AccessBatch` must equal — byte for byte, per
+traffic category — processing the same accesses in order.  These tests
+pin that down with a randomized-seed property sweep over all five
+schemes plus real DNN and graph traces, and cover the trace/sweep cache
+and the parallel sweep path the runner builds on top.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import astuple
+
+import pytest
+
+from repro.common.units import MIB
+from repro.core.access import AccessBatch, AccessKind, DataClass, MemAccess, Phase
+from repro.core.schemes import ProtectionTraffic, scheme_suite
+from repro.sim.runner import (
+    SCHEMES,
+    TRACE_CACHE,
+    BatchedTrace,
+    TraceCache,
+    dnn_sweep,
+    dnn_workload,
+    graph_sweep,
+    graph_workload,
+)
+
+_PROTECTED = 256 * MIB
+
+
+def _random_accesses(seed: int, n: int = 120) -> list[MemAccess]:
+    """A mixed bag of streams and gathers over every data class."""
+    rng = random.Random(seed)
+    accesses = []
+    for _ in range(n):
+        data_class = rng.choice(list(DataClass))
+        kind = rng.choice([AccessKind.READ, AccessKind.WRITE])
+        size = rng.randint(1, MIB)
+        address = rng.randint(0, _PROTECTED - size)
+        if rng.random() < 0.5:
+            accesses.append(MemAccess(
+                address, size, kind, data_class, sequential=True,
+                vn=rng.choice([None, rng.getrandbits(64)]),
+            ))
+        else:
+            burst = rng.choice([64, 128, 256, 512, 4096])
+            accesses.append(MemAccess(
+                address, size, kind, data_class, sequential=False,
+                burst_bytes=burst,
+                spread_bytes=rng.randint(burst, 64 * MIB),
+            ))
+    return accesses
+
+
+def _price_per_access(scheme, accesses) -> ProtectionTraffic:
+    traffic = ProtectionTraffic()
+    for access in accesses:
+        traffic.merge(scheme.process(access))
+    traffic.merge(scheme.finish())
+    return traffic
+
+
+def _price_batched(scheme, batch) -> ProtectionTraffic:
+    traffic = scheme.price_batch(batch)
+    traffic.merge(scheme.finish())
+    return traffic
+
+
+class TestAccessBatchRoundTrip:
+    def test_reconstruction_is_lossless(self):
+        accesses = _random_accesses(seed=7)
+        batch = AccessBatch.from_accesses(accesses)
+        assert batch.to_accesses(reconstruct=True) == accesses
+
+    def test_source_objects_returned_without_reconstruction(self):
+        accesses = _random_accesses(seed=8, n=10)
+        batch = AccessBatch.from_accesses(accesses)
+        assert batch.to_accesses() is not accesses  # defensive copy of the list
+        assert all(a is b for a, b in zip(batch.to_accesses(), accesses))
+
+    def test_from_phase(self):
+        accesses = _random_accesses(seed=9, n=5)
+        batch = AccessBatch.from_phase(Phase("p", 0.0, accesses))
+        assert len(batch) == 5
+        assert batch.total_data_bytes == sum(a.size for a in accesses)
+
+    def test_empty_batch(self):
+        batch = AccessBatch.from_accesses([])
+        assert len(batch) == 0
+        assert batch.total_data_bytes == 0
+        assert batch.to_accesses(reconstruct=True) == []
+
+    def test_tagged_64bit_vns_survive(self):
+        """Graph/video VNs use all 64 bits (class tag in the top bits)."""
+        access = MemAccess(0, 64, AccessKind.WRITE, DataClass.VECTOR,
+                           vn=(3 << 62) | 12345)
+        batch = AccessBatch.from_accesses([access])
+        assert batch.to_accesses(reconstruct=True)[0].vn == (3 << 62) | 12345
+
+
+class TestBatchPricingEquivalence:
+    """price_batch == per-access pricing, for every scheme, any trace."""
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_randomized_traces_all_schemes(self, seed):
+        accesses = _random_accesses(seed)
+        batch = AccessBatch.from_accesses(accesses)
+        reference_suite = scheme_suite(_PROTECTED)
+        batched_suite = scheme_suite(_PROTECTED)
+        for name in SCHEMES:
+            expected = _price_per_access(reference_suite[name], accesses)
+            actual = _price_batched(batched_suite[name], batch)
+            assert astuple(actual) == astuple(expected), name
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_stats_match_too(self, seed):
+        accesses = _random_accesses(seed, n=60)
+        batch = AccessBatch.from_accesses(accesses)
+        reference_suite = scheme_suite(_PROTECTED)
+        batched_suite = scheme_suite(_PROTECTED)
+        for name in SCHEMES:
+            _price_per_access(reference_suite[name], accesses)
+            _price_batched(batched_suite[name], batch)
+            assert (reference_suite[name].stats.as_dict()
+                    == batched_suite[name].stats.as_dict()), name
+
+    def _assert_equivalent_on(self, workload):
+        accesses = [a for phase in workload.trace.phases for a in phase.accesses]
+        reference_suite = scheme_suite(workload.protected_bytes)
+        batched_suite = scheme_suite(workload.protected_bytes)
+        whole = AccessBatch.from_accesses(accesses)
+        for name in SCHEMES:
+            expected = _price_per_access(reference_suite[name], accesses)
+            actual = _price_batched(batched_suite[name], whole)
+            assert astuple(actual) == astuple(expected), name
+
+    def test_dnn_trace_all_schemes(self):
+        self._assert_equivalent_on(dnn_workload("AlexNet", "Cloud"))
+
+    def test_dnn_training_trace_all_schemes(self):
+        self._assert_equivalent_on(dnn_workload("AlexNet", "Cloud", training=True))
+
+    def test_graph_trace_all_schemes(self):
+        self._assert_equivalent_on(
+            graph_workload("google-plus", "PR", iterations=2, scale_divisor=256)
+        )
+
+    def test_vectorized_path_is_exercised(self):
+        """The stateless schemes really do take the columnar fast path."""
+        from repro.core.schemes import make_mgx
+
+        scheme = make_mgx(_PROTECTED)
+        accesses = _random_accesses(seed=3, n=50)
+        batch = AccessBatch.from_accesses(accesses)
+        vectorized = scheme._price_batch_stateless(batch)
+        scheme.reset()
+        expected = _price_per_access(scheme, accesses)
+        assert astuple(vectorized) == astuple(expected)
+
+    def test_out_of_range_batch_rejected(self):
+        from repro.common.errors import ConfigError
+        from repro.core.schemes import make_mgx
+
+        scheme = make_mgx(1 * MIB)
+        batch = AccessBatch.from_accesses(
+            [MemAccess(1 * MIB - 64, 128, AccessKind.READ)]
+        )
+        with pytest.raises(ConfigError):
+            scheme.price_batch(batch)
+
+
+class TestTraceCache:
+    def test_hit_and_miss_accounting(self):
+        cache = TraceCache(max_entries=2)
+        built = []
+        cache.get_or_build("a", lambda: built.append("a") or 1)
+        cache.get_or_build("a", lambda: built.append("a") or 1)
+        assert built == ["a"]
+        assert cache.stats() == {"hits": 1, "misses": 1, "entries": 1}
+
+    def test_lru_eviction(self):
+        cache = TraceCache(max_entries=2)
+        for key in ("a", "b", "c"):
+            cache.get_or_build(key, lambda k=key: k)
+        assert len(cache) == 2
+        calls = []
+        cache.get_or_build("a", lambda: calls.append(1) or "a")  # evicted: rebuilt
+        assert calls == [1]
+
+    def test_disabled_cache_always_builds(self):
+        cache = TraceCache()
+        cache.enabled = False
+        built = []
+        cache.get_or_build("k", lambda: built.append(1))
+        cache.get_or_build("k", lambda: built.append(1))
+        assert len(built) == 2 and len(cache) == 0
+
+    def test_sweep_reuse_across_calls(self):
+        first = dnn_sweep("AlexNet", "Cloud")
+        again = dnn_sweep("AlexNet", "Cloud")
+        assert again is first  # served from the sweep cache
+
+    def test_cached_and_uncached_sweeps_agree(self):
+        cached = dnn_sweep("AlexNet", "Cloud")
+        fresh = dnn_sweep("AlexNet", "Cloud", use_cache=False)
+        assert fresh is not cached
+        for name in SCHEMES:
+            assert fresh.results[name].total_cycles == pytest.approx(
+                cached.results[name].total_cycles
+            )
+            assert (fresh.results[name].traffic.total_bytes
+                    == cached.results[name].traffic.total_bytes)
+
+    def test_workload_trace_shared_between_sweep_and_workload(self):
+        workload = dnn_workload("AlexNet", "Cloud")
+        again = dnn_workload("AlexNet", "Cloud")
+        assert again.trace is workload.trace
+
+    def test_batched_trace_total_accesses(self):
+        workload = dnn_workload("AlexNet", "Cloud")
+        assert workload.trace.total_accesses == sum(
+            len(p.accesses) for p in workload.trace.phases
+        )
+        rebuilt = BatchedTrace.from_phases(workload.trace.phases)
+        assert rebuilt.total_accesses == workload.trace.total_accesses
+
+    def test_global_cache_is_enabled_by_default(self):
+        assert TRACE_CACHE.enabled
+
+
+class TestParallelSweep:
+    def test_parallel_matches_serial(self):
+        serial = graph_sweep("google-plus", "PR", iterations=2, scale_divisor=256,
+                             use_cache=False)
+        parallel = graph_sweep("google-plus", "PR", iterations=2, scale_divisor=256,
+                               use_cache=False, jobs=2)
+        assert set(parallel.results) == set(serial.results)
+        for name in SCHEMES:
+            assert (parallel.results[name].total_cycles
+                    == serial.results[name].total_cycles), name
+            assert astuple(parallel.results[name].traffic) == astuple(
+                serial.results[name].traffic
+            ), name
