@@ -14,7 +14,8 @@ outcomes into DRAM traffic.
 from __future__ import annotations
 
 from collections import OrderedDict
-from dataclasses import dataclass
+from dataclasses import dataclass, field
+from typing import Callable
 
 from repro.common.errors import ConfigError
 from repro.common.stats import StatsGroup
@@ -27,6 +28,29 @@ class CacheOutcome:
 
     hit: bool
     writeback_address: int | None = None
+
+
+@dataclass
+class SegmentProbe:
+    """Result of probing a run of consecutive metadata lines.
+
+    The three lists carry the line addresses of every event the probe
+    produced, in the order the per-line walk would have produced them:
+
+    ``misses``
+        lines of the probed segment that were not resident (each costs
+        one line fetch);
+    ``writebacks``
+        dirty lines evicted while the segment streamed through — both
+        direct victims and lines evicted further down a writeback chain;
+    ``parent_misses``
+        ancestor lines that missed while a writeback chain updated the
+        parents of evicted dirty lines (integrity-tree traffic).
+    """
+
+    misses: list[int] = field(default_factory=list)
+    writebacks: list[int] = field(default_factory=list)
+    parent_misses: list[int] = field(default_factory=list)
 
 
 class MetadataCache:
@@ -94,6 +118,82 @@ class MetadataCache:
                 self.stats.add("writebacks")
         lines[line] = dirty
         return CacheOutcome(hit=False, writeback_address=writeback)
+
+    def probe_segment(
+        self,
+        base_address: int,
+        n_lines: int,
+        *,
+        dirty: bool = False,
+        parent_of: Callable[[int], int | None] | None = None,
+    ) -> SegmentProbe:
+        """Touch ``n_lines`` consecutive lines starting at ``base_address``.
+
+        Semantically identical to calling :meth:`access` once per line in
+        ascending address order and following every dirty eviction's
+        writeback chain (the parent of an evicted dirty line is obtained
+        from ``parent_of`` and accessed dirty, which can itself evict —
+        the chain is followed before the next segment line is touched).
+        The per-line bookkeeping is inlined, so a segment probe is the
+        fast path the batched pricing of cached/tree schemes builds on:
+        one call per sequential run instead of one :class:`CacheOutcome`
+        per line.
+        """
+        probe = SegmentProbe()
+        line = self._align(base_address)
+        hits = 0
+        fully_associative = self.ways is None
+        if fully_associative:
+            lines = self._sets[0]
+        capacity = self._set_capacity()
+        for _ in range(n_lines):
+            if not fully_associative:
+                lines = self._set_of(line)
+            if line in lines:
+                if dirty:
+                    lines[line] = True
+                lines.move_to_end(line)
+                hits += 1
+            else:
+                probe.misses.append(line)
+                victim = None
+                if len(lines) >= capacity:
+                    victim, victim_dirty = lines.popitem(last=False)
+                    if not victim_dirty:
+                        victim = None
+                # Allocate before the writeback chain runs: the per-line
+                # walk inserts inside access() and chains afterwards, and
+                # the chain's parent allocations must see this line.
+                lines[line] = dirty
+                if victim is not None:
+                    self.stats.add("writebacks")
+                    self._follow_chain(victim, parent_of, probe)
+            line += self.line_bytes
+        if hits:
+            self.stats.add("hits", hits)
+        if probe.misses:
+            self.stats.add("misses", len(probe.misses))
+        return probe
+
+    def _follow_chain(
+        self,
+        victim: int,
+        parent_of: Callable[[int], int | None] | None,
+        probe: SegmentProbe,
+    ) -> None:
+        """Write back ``victim`` and update its ancestors, iteratively."""
+        queue = [victim]
+        while queue:
+            address = queue.pop()
+            probe.writebacks.append(address)
+            parent = parent_of(address) if parent_of is not None else None
+            if parent is None:
+                continue
+            outcome = self.access(parent, dirty=True)
+            if not outcome.hit:
+                probe.parent_misses.append(parent)
+            if outcome.writeback_address is not None:
+                queue.append(outcome.writeback_address)
 
     def contains(self, address: int) -> bool:
         """Non-mutating lookup (no recency update); used by tests."""

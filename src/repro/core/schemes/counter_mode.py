@@ -35,8 +35,20 @@ On-chip-VN configurations without a metadata cache are *stateless*: the
 traffic of an access is a pure function of the access.  For those,
 :meth:`CounterModeProtection.price_batch` evaluates the same arithmetic
 as :meth:`~CounterModeProtection.process` over whole NumPy columns at
-once.  Cached/tree configurations are order-dependent (LRU state), so
-they inherit the exact per-access walk from the base class.
+once.
+
+Cached/tree configurations (BP, MGX_MAC) are order-dependent through the
+LRU metadata cache — but only their *sequential* accesses mutate it:
+gathers and per-access-MAC transfers price with closed-form arithmetic
+that never touches LRU state.  :meth:`CounterModeProtection.price_batch`
+therefore decomposes a batch into its pure component (data amplification,
+gather MAC/VN/tree costs — evaluated as NumPy columns) and the ordered
+sequence of *sequential runs*.  The stream-buffer guarantee means a run
+touches each metadata line exactly once in ascending order, so each run
+is priced with one :meth:`~repro.core.metadata_cache.MetadataCache.
+probe_segment` call (the LRU walk happens only at run boundaries).  Both
+batch paths are pinned byte-for-byte against the per-access walk by
+``tests/test_batch_pricing.py``.
 """
 
 from __future__ import annotations
@@ -208,18 +220,23 @@ class CounterModeProtection(ProtectionScheme):
 
     @property
     def vectorizes(self) -> bool:
-        return self._cache is None
+        return True
 
     def price_batch(self, batch: AccessBatch) -> ProtectionTraffic:
-        """Batch pricing: vectorized when stateless, exact walk otherwise.
+        """Batch pricing: fully vectorized when stateless, segment-walked
+        otherwise.
 
-        The metadata cache (and with it the integrity tree) makes pricing
-        order-dependent, so cached configurations take the per-access
-        path; on-chip-VN cacheless configurations evaluate the identical
-        integer arithmetic over whole columns.
+        On-chip-VN cacheless configurations evaluate the identical
+        integer arithmetic over whole columns.  Cached configurations
+        vectorize their pure component (amplification, gather metadata)
+        and replay only the sequential runs against the LRU cache, via
+        segment probes.  Both are byte-for-byte equal to the per-access
+        walk.
         """
-        if self._cache is not None or len(batch) == 0:
+        if len(batch) == 0:
             return super().price_batch(batch)
+        if self._cache is not None:
+            return self._price_batch_cached(batch)
         return self._price_batch_stateless(batch)
 
     def finish(self) -> ProtectionTraffic:
@@ -233,13 +250,13 @@ class CounterModeProtection(ProtectionScheme):
         return traffic
 
     # ------------------------------------------------------------------
-    def _price_batch_stateless(self, batch: AccessBatch) -> ProtectionTraffic:
-        """Columnar evaluation of :meth:`_process_data_and_mac`.
+    def _batch_columns(self, batch: AccessBatch) -> "_BatchColumns":
+        """Vectorized per-access pricing columns shared by both batch paths.
 
         Mirrors the scalar path exactly, branch for branch, in int64:
         per-access-MAC classes, sequential granule spans, and gathered
-        bursts each follow the same formulas, so the result is equal to
-        the per-access walk byte for byte.
+        bursts each follow the same formulas, so every derived column is
+        equal to what the per-access walk computes access by access.
         """
         address, size = batch.address, batch.size
         end = address + size
@@ -295,20 +312,107 @@ class CounterModeProtection(ProtectionScheme):
         gather_mac = n_bursts * lines_per_burst * CACHE_BLOCK
 
         data = size + np.where(per_access, 0, np.where(seq, seq_amp, gather_amp))
-        mac = np.where(per_access, CACHE_BLOCK, np.where(seq, seq_mac, gather_mac))
+        return _BatchColumns(
+            end=end, is_write=is_write, seq=seq, stream=stream,
+            per_access=per_access, first=first, last=last,
+            seq_mac=seq_mac, burst=burst, n_bursts=n_bursts,
+            gather_mac=gather_mac, data=data,
+        )
 
+    def _price_batch_stateless(self, batch: AccessBatch) -> ProtectionTraffic:
+        """Columnar evaluation of :meth:`_process_data_and_mac`."""
+        cols = self._batch_columns(batch)
+        stream = cols.stream
+        mac = np.where(
+            cols.per_access, CACHE_BLOCK,
+            np.where(cols.seq, cols.seq_mac, cols.gather_mac),
+        )
         traffic = ProtectionTraffic(
-            data_seq=int(data[stream].sum()),
-            data_scat=int(data[~stream].sum()),
+            data_seq=int(cols.data[stream].sum()),
+            data_scat=int(cols.data[~stream].sum()),
             mac_seq=int(mac[stream].sum()),
             mac_scat=int(mac[~stream].sum()),
         )
-        self.stats.add("accesses", len(batch))
-        self.stats.add("data_bytes", int(size.sum()))
-        self.stats.add("mac_bytes", traffic.mac_bytes)
-        self.stats.add("vn_bytes", 0)
-        self.stats.add("tree_bytes", 0)
+        self._account_batch(batch, traffic)
         return traffic
+
+    def _price_batch_cached(self, batch: AccessBatch) -> ProtectionTraffic:
+        """Segment-vectorized pricing for cached/tree configurations.
+
+        Pure components — data amplification, per-access MACs, gather
+        MAC/VN/tree costs — are NumPy column sums (gathers never mutate
+        the LRU cache, so hoisting them out of order is exact).  Only the
+        sequential runs touch the metadata cache, each via one
+        :meth:`~repro.core.metadata_cache.MetadataCache.probe_segment`
+        per metadata region, replayed in batch order.
+        """
+        cols = self._batch_columns(batch)
+        stream = cols.stream
+        traffic = ProtectionTraffic(
+            data_seq=int(cols.data[stream].sum()),
+            data_scat=int(cols.data[~stream].sum()),
+        )
+        # Pure MAC component: per-access classes move one line per
+        # transfer; gathers fetch per-burst MAC lines without caching.
+        pure_mac = np.where(
+            cols.per_access, CACHE_BLOCK, np.where(cols.seq, 0, cols.gather_mac)
+        )
+        traffic.mac_seq += int(pure_mac[stream].sum())
+        traffic.mac_scat += int(pure_mac[~stream].sum())
+        if not self.vn_onchip:
+            self._price_vn_gathers(batch, cols, traffic)
+
+        # Ordered replay of the sequential runs against the LRU cache.
+        per_access, first, last = cols.per_access, cols.first, cols.last
+        address, end, is_write = batch.address, cols.end, cols.is_write
+        for i in np.nonzero(cols.seq)[0]:
+            writes = bool(is_write[i])
+            if not per_access[i]:
+                self._mac_segment(traffic, int(first[i]), int(last[i]), writes)
+            if not self.vn_onchip:
+                self._vn_segment(traffic, int(address[i]), int(end[i]), writes)
+        self._account_batch(batch, traffic)
+        return traffic
+
+    def _price_vn_gathers(self, batch: AccessBatch, cols: "_BatchColumns",
+                          traffic: ProtectionTraffic) -> None:
+        """Vectorized :meth:`_vn_gather` over the batch's gather rows."""
+        assert self._cache is not None and self._tree is not None
+        gather = ~cols.seq
+        if not gather.any():
+            return
+        data_per_line = _ENTRIES_PER_LINE * CACHE_BLOCK
+        spread = np.where(batch.spread_bytes > 0, batch.spread_bytes, batch.size)
+        spread_lines = np.maximum(1, -(-spread // data_per_line))
+        lines_per_burst = np.maximum(1, -(-cols.burst // data_per_line))
+        hot_lines = self._cache.capacity_lines // 4
+        per_burst = cols.n_bursts * lines_per_burst
+        vn_misses = np.where(
+            spread_lines <= hot_lines, np.minimum(per_burst, spread_lines), per_burst
+        )
+        factor = np.where(cols.is_write, 2, 1)
+        traffic.vn_scat += int((factor * vn_misses * CACHE_BLOCK)[gather].sum())
+
+        # Tree walk: levels small enough to be cache-hot stop the walk.
+        # Only gather rows participate — sequential rows would otherwise
+        # keep the loop alive for levels whose results are discarded.
+        nodes = spread_lines.copy()
+        fetches = np.zeros(len(batch), dtype=np.int64)
+        active = gather.copy()
+        for _level in range(self._tree.stored_levels):
+            nodes = -(-nodes // self._tree.arity)
+            active &= nodes > hot_lines
+            if not active.any():
+                break
+            fetches += np.where(active, np.minimum(cols.n_bursts, nodes), 0)
+        traffic.tree_scat += int((factor * fetches * CACHE_BLOCK)[gather].sum())
+
+    def _account_batch(self, batch: AccessBatch, traffic: ProtectionTraffic) -> None:
+        self.stats.add("accesses", len(batch))
+        self.stats.add("data_bytes", int(batch.size.sum()))
+        self.stats.add("mac_bytes", traffic.mac_bytes)
+        self.stats.add("vn_bytes", traffic.vn_bytes)
+        self.stats.add("tree_bytes", traffic.tree_bytes)
 
     # ------------------------------------------------------------------
     def _process_data_and_mac(self, access: MemAccess, traffic: ProtectionTraffic) -> None:
@@ -360,7 +464,6 @@ class CounterModeProtection(ProtectionScheme):
         stream: bool,
     ) -> None:
         """Account MAC movement, via the cache when one exists."""
-        writes = access.is_write
         if self._cache is None or first_granule is None:
             # Stream-buffered MAC lines ride alongside the data (MGX) or,
             # for gathers under a cached scheme, miss per burst anyway.
@@ -369,7 +472,17 @@ class CounterModeProtection(ProtectionScheme):
             else:
                 traffic.mac_scat += mac_bytes
             return
-        # Cached path (BP / MGX_MAC): walk the distinct MAC lines.
+        # Cached path (BP / MGX_MAC); sequential spans are always streams.
+        self._mac_segment(traffic, first_granule, last_granule, access.is_write)
+
+    def _mac_segment(self, traffic: ProtectionTraffic, first_granule: int,
+                     last_granule: int, writes: bool) -> None:
+        """One sequential run of MAC lines through the metadata cache.
+
+        The stream buffer guarantees each distinct MAC line is touched
+        once, in ascending order — one segment probe.
+        """
+        assert self._cache is not None
         first_line = (self._mac_base + first_granule * ENTRY_BYTES) // CACHE_BLOCK
         last_line = (self._mac_base + last_granule * ENTRY_BYTES) // CACHE_BLOCK
         n_lines = last_line - first_line + 1
@@ -382,14 +495,31 @@ class CounterModeProtection(ProtectionScheme):
             if writes:
                 traffic.mac_seq += n_lines * CACHE_BLOCK
             return
-        for line_index in range(first_line, last_line + 1):
-            outcome = self._cache.access(line_index * CACHE_BLOCK, dirty=writes)
-            if not outcome.hit:
-                self._route_metadata(
-                    traffic, line_index * CACHE_BLOCK, CACHE_BLOCK, sequential=stream
-                )
-            if outcome.writeback_address is not None:
-                self._handle_writeback(traffic, outcome.writeback_address)
+        probe = self._cache.probe_segment(
+            first_line * CACHE_BLOCK, n_lines, dirty=writes,
+            parent_of=self._parent_of,
+        )
+        self._route_probe(traffic, probe, sequential=True)
+
+    def _route_probe(self, traffic: ProtectionTraffic, probe, sequential: bool,
+                     category: str | None = None) -> None:
+        """Attribute a segment probe's events to the traffic buckets.
+
+        Misses fetch with the stream; writebacks and the ancestor misses
+        of their chains land at effectively random addresses, so both are
+        scattered (exactly as the per-line walk routed them).
+        """
+        for address in probe.misses:
+            self._route_metadata(
+                traffic, address, CACHE_BLOCK, sequential=sequential,
+                category=category,
+            )
+        for address in probe.writebacks:
+            self._route_metadata(traffic, address, CACHE_BLOCK, sequential=False)
+        for address in probe.parent_misses:
+            self._route_metadata(
+                traffic, address, CACHE_BLOCK, sequential=False, category="tree"
+            )
 
     def _flush_as_writebacks(self, traffic: ProtectionTraffic) -> None:
         """Evict everything from the cache ahead of a flooding stream."""
@@ -403,31 +533,28 @@ class CounterModeProtection(ProtectionScheme):
         if not access.sequential:
             self._vn_gather(access, traffic)
             return
-        stream = _is_stream(access)
-        writes = access.is_write
-        first_line = (access.address // CACHE_BLOCK) // _ENTRIES_PER_LINE
-        last_line = ((access.end - 1) // CACHE_BLOCK) // _ENTRIES_PER_LINE
+        self._vn_segment(traffic, access.address, access.end, access.is_write)
+
+    def _vn_segment(self, traffic: ProtectionTraffic, address: int, end: int,
+                    writes: bool) -> None:
+        """One sequential run of VN lines: segment probe + tree walk."""
+        assert self._cache is not None and self._tree is not None
+        first_line = (address // CACHE_BLOCK) // _ENTRIES_PER_LINE
+        last_line = ((end - 1) // CACHE_BLOCK) // _ENTRIES_PER_LINE
         n_lines = last_line - first_line + 1
         if n_lines >= self._cache.capacity_lines:
-            self._vn_flood(traffic, n_lines, writes, stream)
+            self._vn_flood(traffic, n_lines, writes, stream=True)
             return
-
-        missed_leaves: list[int] = []
-        for leaf in range(first_line, last_line + 1):
-            outcome = self._cache.access(self._vn_base + leaf * CACHE_BLOCK, dirty=writes)
-            if not outcome.hit:
-                self._route_metadata(
-                    traffic,
-                    self._vn_base + leaf * CACHE_BLOCK,
-                    CACHE_BLOCK,
-                    sequential=stream,
-                    category="vn",
-                )
-                missed_leaves.append(leaf)
-            if outcome.writeback_address is not None:
-                self._handle_writeback(traffic, outcome.writeback_address)
-        if missed_leaves:
-            self._walk_tree(traffic, missed_leaves, stream)
+        probe = self._cache.probe_segment(
+            self._vn_base + first_line * CACHE_BLOCK, n_lines, dirty=writes,
+            parent_of=self._parent_of,
+        )
+        self._route_probe(traffic, probe, sequential=True, category="vn")
+        if probe.misses:
+            missed_leaves = [
+                (line - self._vn_base) // CACHE_BLOCK for line in probe.misses
+            ]
+            self._walk_tree(traffic, missed_leaves, stream=True)
 
     def _vn_flood(self, traffic: ProtectionTraffic, n_lines: int, writes: bool,
                   stream: bool) -> None:
@@ -598,3 +725,26 @@ class CounterModeProtection(ProtectionScheme):
         self.stats.add("mac_bytes", traffic.mac_bytes)
         self.stats.add("vn_bytes", traffic.vn_bytes)
         self.stats.add("tree_bytes", traffic.tree_bytes)
+
+
+@dataclass(frozen=True)
+class _BatchColumns:
+    """Per-access pricing columns derived once per batch (all int64/bool).
+
+    Every column mirrors a quantity the scalar walk computes per access;
+    the batch paths consume them either as vectorized sums (pure
+    components) or as scalars driving the ordered segment probes.
+    """
+
+    end: np.ndarray
+    is_write: np.ndarray
+    seq: np.ndarray
+    stream: np.ndarray
+    per_access: np.ndarray
+    first: np.ndarray  # first MAC granule per access
+    last: np.ndarray  # last MAC granule per access
+    seq_mac: np.ndarray  # stream-buffered MAC bytes of a sequential span
+    burst: np.ndarray  # gather burst size (default-resolved)
+    n_bursts: np.ndarray
+    gather_mac: np.ndarray  # per-burst MAC line fetches of a gather
+    data: np.ndarray  # payload + verification read amplification

@@ -7,9 +7,17 @@ Usage::
     python -m repro.experiments --only fig13     # a single experiment
     python -m repro.experiments --set ablations  # design-choice sweeps
     python -m repro.experiments --set extras     # beyond-the-figures studies
-    python -m repro.experiments --jobs 4         # parallel scheme sweeps
+    python -m repro.experiments --jobs 4         # cross-workload parallelism
+    python -m repro.experiments --cache-dir .repro-cache   # persistent cache
     python -m repro.experiments --no-cache       # regenerate every trace
     python -m repro.experiments -o EXPERIMENTS_RUN.txt
+
+``--jobs N`` hands every (workload × scheme) pair of the selected
+figures to the sweep scheduler's shared worker pool before the drivers
+run (see :mod:`repro.sim.scheduler`); the report is byte-identical to a
+serial run.  ``--cache-dir`` (or the ``REPRO_CACHE_DIR`` environment
+variable) attaches the trace cache's disk tier, so a second invocation
+restores every trace and finished sweep from disk and prices nothing.
 """
 
 from __future__ import annotations
@@ -20,7 +28,7 @@ import time
 
 from repro.experiments.ablations import ABLATIONS, run_ablation
 from repro.experiments.extras import EXTRAS, run_extra
-from repro.experiments.registry import EXPERIMENTS, run_experiment
+from repro.experiments.registry import EXPERIMENTS, run_experiment, suite_specs
 from repro.sim.runner import TRACE_CACHE
 
 
@@ -32,13 +40,20 @@ def main(argv: list[str] | None = None) -> int:
                         choices=("figures", "ablations", "extras", "all"),
                         help="which experiment family to run")
     parser.add_argument("--jobs", type=int, default=None, metavar="N",
-                        help="run independent schemes across N worker processes "
-                             "(figure experiments only; ablations/extras run serially)")
+                        help="price (workload × scheme) pairs across N worker "
+                             "processes (figure experiments only; "
+                             "ablations/extras run serially)")
+    parser.add_argument("--cache-dir", default=None, metavar="DIR",
+                        help="persist traces and sweep results under DIR "
+                             "(also honours REPRO_CACHE_DIR); a warm rerun "
+                             "prices zero traces")
     parser.add_argument("--no-cache", action="store_true",
                         help="disable the trace/sweep cache (regenerate everything)")
     parser.add_argument("-o", "--output", help="write the report to this file")
     args = parser.parse_args(argv)
 
+    if args.cache_dir:
+        TRACE_CACHE.set_cache_dir(args.cache_dir)
     if args.no_cache:
         TRACE_CACHE.enabled = False
     jobs = args.jobs
@@ -50,7 +65,8 @@ def main(argv: list[str] | None = None) -> int:
     else:
         if args.which in ("figures", "all"):
             runners += [
-                (eid, lambda q, e=eid: run_experiment(e, quick=q, jobs=jobs))
+                (eid, lambda q, e=eid: run_experiment(e, quick=q, jobs=jobs,
+                                                      prefetch=False))
                 for eid in EXPERIMENTS
             ]
         if args.which in ("ablations", "all"):
@@ -64,6 +80,22 @@ def main(argv: list[str] | None = None) -> int:
                 for name in EXTRAS
             ]
 
+    if (jobs is not None and jobs > 1 and not args.only
+            and args.which in ("figures", "all")):
+        # Cross-workload fan-out: price the whole suite's missing sweeps
+        # on the shared pool before any driver runs.
+        from repro.sim.scheduler import prefetch_sweeps
+
+        start = time.time()
+        summary = prefetch_sweeps(suite_specs(EXPERIMENTS, args.quick), jobs=jobs)
+        print(
+            f"prefetch: {summary['workloads']} workloads "
+            f"({summary['cached']} cached, {summary['priced']} priced, "
+            f"{summary['traces_built']} traces built) "
+            f"in {time.time() - start:.1f}s",
+            file=sys.stderr,
+        )
+
     sections = []
     for eid, runner in runners:
         start = time.time()
@@ -73,8 +105,9 @@ def main(argv: list[str] | None = None) -> int:
         print(f"{eid}: done in {elapsed:.1f}s", file=sys.stderr)
     cache = TRACE_CACHE.stats()
     print(
-        f"trace cache: {cache['hits']} hits, {cache['misses']} misses, "
-        f"{cache['entries']} entries",
+        f"trace cache: {cache['hits']} hits, {cache['disk_hits']} disk hits, "
+        f"{cache['misses']} misses ({cache['trace_misses']} trace, "
+        f"{cache['sweep_misses']} sweep), {cache['entries']} entries",
         file=sys.stderr,
     )
     report = ("\n\n" + "=" * 72 + "\n\n").join(sections)

@@ -15,6 +15,7 @@ from __future__ import annotations
 from repro.experiments.base import ExperimentResult
 from repro.graph.generators import GRAPH_BENCHMARKS
 from repro.sim.runner import dnn_sweep, graph_sweep
+from repro.sim.scheduler import SweepSpec, dnn_spec, graph_spec
 
 _INFERENCE = ("VGG", "AlexNet", "GoogleNet", "ResNet", "BERT", "DLRM")
 _TRAINING = ("VGG", "AlexNet", "GoogleNet", "ResNet", "BERT")
@@ -22,6 +23,23 @@ _TRAINING = ("VGG", "AlexNet", "GoogleNet", "ResNet", "BERT")
 _QUICK_INFERENCE = ("AlexNet", "DLRM")
 _QUICK_TRAINING = ("AlexNet",)
 _QUICK_GRAPHS = ("google-plus", "ogbl-ppa")
+
+
+def sweep_specs(quick: bool = False) -> list[SweepSpec]:
+    """The (workload × scheme) sweeps this figure needs, for prefetching."""
+    inference = _QUICK_INFERENCE if quick else _INFERENCE
+    training = _QUICK_TRAINING if quick else _TRAINING
+    graphs = _QUICK_GRAPHS if quick else GRAPH_BENCHMARKS
+    scale = 256 if quick else 64
+    iterations = 2 if quick else 5
+    specs = [dnn_spec(model, "Cloud") for model in inference]
+    specs += [dnn_spec(model, "Cloud", training=True) for model in training]
+    specs += [
+        graph_spec(bench, algo, iterations=iterations, scale_divisor=scale)
+        for algo in ("PR", "BFS")
+        for bench in graphs
+    ]
+    return specs
 
 
 def _breakdown(sweep) -> tuple[float, float, float]:

@@ -10,10 +10,23 @@ from __future__ import annotations
 
 from repro.experiments.base import ExperimentResult
 from repro.sim.runner import dnn_sweep
+from repro.sim.scheduler import SweepSpec, dnn_spec
 
 _INFERENCE = ("VGG", "AlexNet", "GoogleNet", "ResNet", "BERT", "DLRM")
 _TRAINING = ("VGG", "AlexNet", "GoogleNet", "ResNet", "BERT")
 _QUICK = ("AlexNet", "DLRM")
+
+
+def sweep_specs(quick: bool = False) -> list[SweepSpec]:
+    """The (workload × scheme) sweeps this figure needs, for prefetching."""
+    inference = _QUICK if quick else _INFERENCE
+    training = tuple(m for m in _QUICK if m != "DLRM") if quick else _TRAINING
+    return [
+        dnn_spec(model, config, training=training_flag)
+        for training_flag, models in ((False, inference), (True, training))
+        for config in ("Cloud", "Edge")
+        for model in models
+    ]
 
 
 def run(quick: bool = False, jobs: int | None = None) -> ExperimentResult:

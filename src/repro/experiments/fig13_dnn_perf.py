@@ -9,11 +9,23 @@ from __future__ import annotations
 
 from repro.experiments.base import ExperimentResult
 from repro.sim.runner import SCHEMES, dnn_sweep
+from repro.sim.scheduler import SweepSpec
 
 _INFERENCE = ("VGG", "AlexNet", "GoogleNet", "ResNet", "BERT", "DLRM")
 _TRAINING = ("VGG", "AlexNet", "GoogleNet", "ResNet", "BERT")
 _QUICK = ("AlexNet", "DLRM")
 _REPORT_SCHEMES = [s for s in SCHEMES if s != "NP"]
+
+
+def sweep_specs(quick: bool = False) -> list[SweepSpec]:
+    """The (workload × scheme) sweeps this figure needs, for prefetching.
+
+    Fig. 13 (execution time) sweeps exactly the workload grid of Fig. 12
+    (traffic) — one definition, so the two can't silently diverge.
+    """
+    from repro.experiments.fig12_dnn_traffic import sweep_specs as fig12_specs
+
+    return fig12_specs(quick)
 
 
 def run(quick: bool = False, jobs: int | None = None) -> ExperimentResult:

@@ -11,9 +11,22 @@ from __future__ import annotations
 from repro.experiments.base import ExperimentResult
 from repro.graph.generators import GRAPH_BENCHMARKS
 from repro.sim.runner import SCHEMES, graph_sweep
+from repro.sim.scheduler import SweepSpec, graph_spec
 
 _QUICK_GRAPHS = ("google-plus", "ogbl-ppa")
 _REPORT_SCHEMES = [s for s in SCHEMES if s != "NP"]
+
+
+def sweep_specs(quick: bool = False) -> list[SweepSpec]:
+    """The (workload × scheme) sweeps this figure needs, for prefetching."""
+    graphs = _QUICK_GRAPHS if quick else GRAPH_BENCHMARKS
+    scale = 256 if quick else 64
+    iterations = 2 if quick else 5
+    return [
+        graph_spec(bench, algo, iterations=iterations, scale_divisor=scale)
+        for algo in ("PR", "BFS")
+        for bench in graphs
+    ]
 
 
 def run(quick: bool = False, jobs: int | None = None) -> ExperimentResult:

@@ -1,4 +1,13 @@
-"""Experiment registry: one entry per reproduced table/figure."""
+"""Experiment registry: one entry per reproduced table/figure.
+
+Sweep-based experiments also register a ``sweep_specs`` provider, which
+lets :func:`run_all` (and the CLI) hand the whole suite's workloads to
+the sweep scheduler at once: with ``jobs >= 2`` every missing
+(workload × scheme) pair is priced across the shared worker pool before
+the drivers run, and the drivers then assemble their tables from the
+cache — deterministically, so the output is byte-identical to a serial
+run.
+"""
 
 from __future__ import annotations
 
@@ -15,6 +24,7 @@ from repro.experiments import (
     tables,
 )
 from repro.experiments.base import ExperimentResult
+from repro.sim.scheduler import SweepSpec
 
 #: experiment id → run(quick=False) callable
 EXPERIMENTS: dict[str, Callable[..., ExperimentResult]] = {
@@ -27,15 +37,42 @@ EXPERIMENTS: dict[str, Callable[..., ExperimentResult]] = {
     "headline": tables.run,
 }
 
+#: experiment id → sweep_specs(quick) provider (sweep-based figures only;
+#: fig16/fig19 are functional reproductions without scheme sweeps).
+SWEEP_SPECS: dict[str, Callable[[bool], list[SweepSpec]]] = {
+    "fig03": fig03_traffic_breakdown.sweep_specs,
+    "fig12": fig12_dnn_traffic.sweep_specs,
+    "fig13": fig13_dnn_perf.sweep_specs,
+    "fig14": fig14_graph.sweep_specs,
+    "headline": tables.sweep_specs,
+}
+
+
+def suite_specs(experiment_ids, quick: bool = False) -> list[SweepSpec]:
+    """The sweeps the given experiments need (duplicates included;
+    ``prefetch_sweeps`` deduplicates first-seen)."""
+    return [
+        spec
+        for eid in experiment_ids
+        if eid in SWEEP_SPECS
+        for spec in SWEEP_SPECS[eid](quick)
+    ]
+
 
 def run_experiment(experiment_id: str, quick: bool = False,
-                   jobs: int | None = None) -> ExperimentResult:
+                   jobs: int | None = None,
+                   prefetch: bool = True) -> ExperimentResult:
     try:
         runner = EXPERIMENTS[experiment_id]
     except KeyError:
         raise KeyError(
             f"unknown experiment {experiment_id!r}; known: {sorted(EXPERIMENTS)}"
         ) from None
+    if (prefetch and jobs is not None and jobs > 1
+            and experiment_id in SWEEP_SPECS):
+        from repro.sim.scheduler import prefetch_sweeps
+
+        prefetch_sweeps(SWEEP_SPECS[experiment_id](quick), jobs=jobs)
     kwargs: dict = {"quick": quick}
     # Sweep-based figures take ``jobs``; functional ones (fig16/fig19) don't.
     if jobs is not None and "jobs" in inspect.signature(runner).parameters:
@@ -44,4 +81,17 @@ def run_experiment(experiment_id: str, quick: bool = False,
 
 
 def run_all(quick: bool = False, jobs: int | None = None) -> dict[str, ExperimentResult]:
-    return {eid: run_experiment(eid, quick=quick, jobs=jobs) for eid in EXPERIMENTS}
+    """Run every experiment; ``jobs >= 2`` fans the suite's workloads out.
+
+    The cross-workload prefetch happens once, up front, over the union
+    of all experiments' sweeps; the drivers then consume cached results
+    in their own deterministic order.
+    """
+    if jobs is not None and jobs > 1:
+        from repro.sim.scheduler import prefetch_sweeps
+
+        prefetch_sweeps(suite_specs(EXPERIMENTS, quick), jobs=jobs)
+    return {
+        eid: run_experiment(eid, quick=quick, jobs=jobs, prefetch=False)
+        for eid in EXPERIMENTS
+    }

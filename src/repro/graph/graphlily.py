@@ -25,7 +25,7 @@ match the full-size runs.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import astuple, dataclass, field
 
 import numpy as np
 
@@ -55,6 +55,20 @@ class GraphAcceleratorConfig:
     value_bytes: int = 4
     dram: DramConfig = field(default_factory=lambda: DramConfig(channels=4))
     protected_bytes: int = 16 * GIB
+
+    def cache_key(self) -> tuple:
+        """Stable primitive tuple identifying this configuration.
+
+        The trace/sweep caches key workloads on this (not on the config
+        object itself) so equal configurations constructed separately hit
+        the same entry, and the key's ``repr`` is stable across processes
+        — a requirement of the disk cache tier.
+        """
+        return (
+            self.name, self.freq_hz, self.lanes, self.vector_buffer_bytes,
+            self.index_bytes, self.value_bytes, astuple(self.dram),
+            self.protected_bytes,
+        )
 
     @property
     def edge_bytes(self) -> int:

@@ -23,10 +23,12 @@ packages that loop as a pipeline with three levers:
 
 from __future__ import annotations
 
+import hashlib
+import json
 import os
-from collections import OrderedDict
-from concurrent.futures import ProcessPoolExecutor
+from collections import Counter, OrderedDict
 from dataclasses import dataclass, field
+from pathlib import Path
 from typing import Callable, Hashable
 
 from repro.core.access import AccessBatch, Phase
@@ -59,6 +61,53 @@ class BatchedTrace:
         return sum(len(batch) for batch in self.batches)
 
 
+#: Bump when the disk-tier file layout changes (existing spills ignored).
+_DISK_FORMAT_VERSION = 1
+
+
+def _key_digest(key: Hashable) -> str:
+    """Stable content hash of a cache key (tuples of primitives only)."""
+    canonical = f"v{_DISK_FORMAT_VERSION}|{key!r}"
+    return hashlib.sha256(canonical.encode()).hexdigest()[:32]
+
+
+def _encode_trace(value: "BatchedTrace") -> str:
+    from repro.sim.tracefile import phases_to_doc
+
+    return json.dumps({"version": _DISK_FORMAT_VERSION,
+                       "phases": phases_to_doc(value.phases)})
+
+
+def _decode_trace(text: str) -> "BatchedTrace":
+    from repro.sim.tracefile import phases_from_doc
+
+    doc = json.loads(text)
+    if doc.get("version") != _DISK_FORMAT_VERSION:
+        raise ValueError(f"unsupported trace spill version {doc.get('version')!r}")
+    return BatchedTrace.from_phases(phases_from_doc(doc["phases"]))
+
+
+def _encode_sweep(value: "SchemeSweep") -> str:
+    from repro.experiments.storage import dumps_sweep
+
+    return dumps_sweep(value)
+
+
+def _decode_sweep(text: str) -> "SchemeSweep":
+    from repro.experiments.storage import loads_sweep
+
+    return loads_sweep(text)
+
+
+#: Disk codecs by key kind (the suffix of a key's leading tag, e.g.
+#: ``("dnn-trace", ...)`` → ``trace``).  Kinds without a codec stay
+#: memory-only.
+_DISK_CODECS: dict[str, tuple[Callable[[object], str], Callable[[str], object]]] = {
+    "trace": (_encode_trace, _decode_trace),
+    "sweep": (_encode_sweep, _decode_sweep),
+}
+
+
 class TraceCache:
     """Process-wide LRU cache of generated traces and sweep results.
 
@@ -67,44 +116,165 @@ class TraceCache:
     one experiment or across the whole figure suite — reuses the entry
     instead of regenerating.  Entries are treated as immutable by every
     consumer.
+
+    An optional **disk tier** (``cache_dir`` / :meth:`set_cache_dir`,
+    opt-in via ``--cache-dir`` or ``REPRO_CACHE_DIR``) spills generated
+    traces and finished sweeps as JSON keyed by a content hash of the
+    workload configuration, so a fresh process restores them instead of
+    regenerating — a warm rerun of the whole figure suite prices zero
+    traces.  Writes are atomic (tmp + rename), making the directory safe
+    to share between the sweep workers and the parent.
     """
 
-    def __init__(self, max_entries: int = 512) -> None:
+    def __init__(self, max_entries: int = 512,
+                 cache_dir: str | os.PathLike | None = None) -> None:
         self.max_entries = max_entries
         self.enabled = True
         self.hits = 0
         self.misses = 0
+        self.disk_hits = 0
+        self.miss_kinds: Counter[str] = Counter()
         self._entries: "OrderedDict[Hashable, object]" = OrderedDict()
+        self._cache_dir: Path | None = None
+        if cache_dir:
+            self.set_cache_dir(cache_dir)
 
-    def get_or_build(self, key: Hashable, builder: Callable[[], object]) -> object:
-        """Return the cached value for ``key``, building it on a miss."""
-        if not self.enabled:
-            return builder()
+    # -- disk tier -----------------------------------------------------
+    @property
+    def cache_dir(self) -> Path | None:
+        return self._cache_dir
+
+    def set_cache_dir(self, cache_dir: str | os.PathLike | None) -> None:
+        """Attach (or detach, with ``None``) the persistent disk tier."""
+        if cache_dir is None:
+            self._cache_dir = None
+            return
+        path = Path(cache_dir)
+        path.mkdir(parents=True, exist_ok=True)
+        self._cache_dir = path
+
+    @staticmethod
+    def _kind(key: Hashable) -> str:
+        if isinstance(key, tuple) and key and isinstance(key[0], str):
+            return key[0].rsplit("-", 1)[-1]
+        return "other"
+
+    def _disk_path(self, key: Hashable) -> Path | None:
+        if self._cache_dir is None:
+            return None
+        kind = self._kind(key)
+        if kind not in _DISK_CODECS:
+            return None
+        return self._cache_dir / f"{kind}-{_key_digest(key)}.json"
+
+    def _disk_load(self, key: Hashable) -> object | None:
+        path = self._disk_path(key)
+        if path is None:
+            return None
+        try:
+            text = path.read_text()
+        except OSError:
+            return None
+        try:
+            return _DISK_CODECS[self._kind(key)][1](text)
+        except (ValueError, KeyError, TypeError, AttributeError):
+            return None  # stale, truncated or foreign spill: rebuild
+
+    def _disk_store(self, key: Hashable, value: object) -> None:
+        path = self._disk_path(key)
+        if path is None:
+            return
+        try:
+            text = _DISK_CODECS[self._kind(key)][0](value)
+            tmp = path.with_suffix(f".tmp.{os.getpid()}")
+            tmp.write_text(text)
+            os.replace(tmp, path)
+        except (OSError, TypeError, ValueError):
+            pass  # the disk tier is best-effort; the value stays in memory
+
+    # -- lookup --------------------------------------------------------
+    def _lookup(self, key: Hashable) -> object | None:
+        """Two-tier lookup: memory, then disk (promoted to memory)."""
         if key in self._entries:
             self.hits += 1
             self._entries.move_to_end(key)
             return self._entries[key]
-        self.misses += 1
-        value = builder()
-        self._entries[key] = value
-        while len(self._entries) > self.max_entries:
-            self._entries.popitem(last=False)
+        value = self._disk_load(key)
+        if value is not None:
+            self.disk_hits += 1
+            self._store_mem(key, value)
         return value
 
+    def get_or_build(self, key: Hashable, builder: Callable[[], object]) -> object:
+        """Return the cached value for ``key``, building it on a miss.
+
+        Lookup order: memory tier, then disk tier (restored values are
+        promoted to memory), then ``builder()`` — whose result is stored
+        in both tiers.
+        """
+        if not self.enabled:
+            return builder()
+        value = self._lookup(key)
+        if value is not None:
+            return value
+        self.misses += 1
+        self.miss_kinds[self._kind(key)] += 1
+        value = builder()
+        self._store_mem(key, value)
+        self._disk_store(key, value)
+        return value
+
+    def peek(self, key: Hashable) -> object | None:
+        """Non-building lookup of both tiers (no miss is recorded)."""
+        if not self.enabled:
+            return None
+        return self._lookup(key)
+
+    def put(self, key: Hashable, value: object, built: bool = True) -> None:
+        """Insert a value computed elsewhere (e.g. by a sweep worker).
+
+        ``built`` keeps the miss accounting honest: a value priced by a
+        worker this run still counts as a miss of its kind.
+        """
+        if not self.enabled:
+            return
+        if built:
+            self.misses += 1
+            self.miss_kinds[self._kind(key)] += 1
+        self._store_mem(key, value)
+        self._disk_store(key, value)
+
+    def _store_mem(self, key: Hashable, value: object) -> None:
+        self._entries[key] = value
+        self._entries.move_to_end(key)
+        while len(self._entries) > self.max_entries:
+            self._entries.popitem(last=False)
+
     def clear(self) -> None:
+        """Drop the memory tier and reset counters (disk entries persist)."""
         self._entries.clear()
         self.hits = 0
         self.misses = 0
+        self.disk_hits = 0
+        self.miss_kinds.clear()
 
     def __len__(self) -> int:
         return len(self._entries)
 
     def stats(self) -> dict[str, int]:
-        return {"hits": self.hits, "misses": self.misses, "entries": len(self)}
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "disk_hits": self.disk_hits,
+            "trace_misses": self.miss_kinds.get("trace", 0),
+            "sweep_misses": self.miss_kinds.get("sweep", 0),
+            "entries": len(self),
+        }
 
 
-#: The default cache every workload constructor consults.
-TRACE_CACHE = TraceCache()
+#: The default cache every workload constructor consults.  The disk tier
+#: starts attached when ``REPRO_CACHE_DIR`` is set.
+TRACE_CACHE = TraceCache(cache_dir=os.environ.get("REPRO_CACHE_DIR") or None)
 
 
 @dataclass
@@ -144,26 +314,6 @@ class SchemeSweep:
         return 100.0 * (self.normalized_time(scheme) - 1.0)
 
 
-#: Per-worker sweep context set by :func:`_init_sweep_worker`; shipping the
-#: trace once per worker (instead of once per scheme submission) keeps the
-#: serialization cost independent of the scheme count.
-_WORKER_CONTEXT: tuple[PerformanceModel, list[Phase], list[AccessBatch] | None] | None = None
-
-
-def _init_sweep_worker(
-    context: tuple[PerformanceModel, list[Phase], list[AccessBatch] | None],
-) -> None:
-    global _WORKER_CONTEXT
-    _WORKER_CONTEXT = context
-
-
-def _run_scheme_job(scheme: ProtectionScheme) -> SimResult:
-    """Worker entry point for parallel sweeps (must be picklable)."""
-    assert _WORKER_CONTEXT is not None
-    model, phases, batches = _WORKER_CONTEXT
-    return model.run(phases, scheme, batches=batches)
-
-
 def sweep_schemes(
     workload: str,
     phases: list[Phase],
@@ -176,10 +326,14 @@ def sweep_schemes(
     """Run every scheme over ``phases`` and collect normalized results.
 
     ``batches`` shares precomputed per-phase columns across the schemes.
-    ``jobs >= 2`` distributes independent schemes over that many worker
-    processes; the scheme objects are mutated in the workers, so the
-    caller's instances stay untouched and results are collected in
-    presentation order.  ``None`` (or ``jobs <= 1``) runs serially.
+    ``jobs >= 2`` distributes independent schemes over the suite-wide
+    shared worker pool (see :mod:`repro.sim.scheduler`): the trace is
+    spilled once to the scheduler's store and each scheme job loads it by
+    content digest, so the per-job payload stays small and the pool is
+    reused across every sweep of the run.  Scheme objects are mutated in
+    the workers, the caller's instances stay untouched, and results are
+    collected in presentation order — bit-identical to the serial path.
+    ``None`` (or ``jobs <= 1``) runs serially.
     """
     suite = schemes if schemes is not None else scheme_suite(protected_bytes)
     names = [name for name in SCHEMES if name in suite]
@@ -187,20 +341,14 @@ def sweep_schemes(
     if batches is None and any(suite[name].vectorizes for name in names):
         # Convert once here rather than per vectorizing scheme in run().
         batches = [AccessBatch.from_phase(phase) for phase in phases]
-    sweep = SchemeSweep(workload=workload)
     if jobs is not None and jobs > 1 and len(names) > 1:
-        workers = min(jobs, os.cpu_count() or 1, len(names))
-        with ProcessPoolExecutor(
-            max_workers=workers,
-            initializer=_init_sweep_worker,
-            initargs=((model, phases, batches),),
-        ) as pool:
-            futures = {
-                name: pool.submit(_run_scheme_job, suite[name]) for name in names
-            }
-            for name in names:
-                sweep.results[name] = futures[name].result()
-        return sweep
+        from repro.sim.scheduler import effective_workers, parallel_sweep
+
+        if effective_workers(jobs) >= 2:
+            return parallel_sweep(workload, phases, model, suite, names,
+                                  batches, jobs)
+        # Single core: a pool would only add spill + pickling overhead.
+    sweep = SchemeSweep(workload=workload)
     for name in names:
         sweep.results[name] = model.run(phases, suite[name], batches=batches)
     return sweep
@@ -243,7 +391,15 @@ def graph_workload(benchmark: str, algorithm: str = "PR",
     config = config or GraphAcceleratorConfig()
 
     def build() -> BatchedTrace:
-        graph = build_benchmark_graph(benchmark, scale_divisor=scale_divisor)
+        # The CSR graph is shared by every algorithm over this benchmark
+        # (PR and BFS sweep the same six graphs), so it gets its own
+        # memory-tier cache entry under the trace that uses it.
+        graph = TRACE_CACHE.get_or_build(
+            ("graph-csr", benchmark, scale_divisor),
+            lambda: build_benchmark_graph(benchmark, scale_divisor=scale_divisor),
+        ) if use_cache else build_benchmark_graph(
+            benchmark, scale_divisor=scale_divisor
+        )
         generator = GraphTraceGenerator(graph, config)
         if algorithm == "PR":
             trace = generator.pagerank_trace(iterations=iterations)
@@ -257,7 +413,8 @@ def graph_workload(benchmark: str, algorithm: str = "PR",
             raise ValueError(f"unknown algorithm {algorithm!r}")
         return BatchedTrace.from_phases(trace.phases)
 
-    key = ("graph-trace", benchmark, algorithm, iterations, scale_divisor, config)
+    key = ("graph-trace", benchmark, algorithm, iterations, scale_divisor,
+           config.cache_key())
     trace = (
         TRACE_CACHE.get_or_build(key, build) if use_cache else build()
     )
@@ -270,10 +427,17 @@ def graph_workload(benchmark: str, algorithm: str = "PR",
     )
 
 
-def _sweep_workload(workload: Workload, sweep_key: Hashable | None,
+def _sweep_workload(build_workload: Callable[[], Workload],
+                    sweep_key: Hashable | None,
                     use_cache: bool, jobs: int | None) -> SchemeSweep:
-    """Sweep the five-scheme suite over a workload, reusing cached results."""
+    """Sweep the five-scheme suite over a workload, reusing cached results.
+
+    The workload (and with it the trace) is only constructed when the
+    sweep itself is missing from both cache tiers, so a warm rerun never
+    touches trace generation at all.
+    """
     def run() -> SchemeSweep:
+        workload = build_workload()
         return sweep_schemes(
             workload.label,
             workload.trace.phases,
@@ -292,10 +456,12 @@ def dnn_sweep(model_name: str, config_name: str = "Cloud", training: bool = Fals
               batch: int = 1, use_cache: bool = True,
               jobs: int | None = None) -> SchemeSweep:
     """Sweep all schemes over one DNN workload (Fig. 12/13 data points)."""
-    workload = dnn_workload(model_name, config_name, training, batch,
-                            use_cache=use_cache)
     key = ("dnn-sweep", model_name, config_name, training, batch)
-    return _sweep_workload(workload, key, use_cache, jobs)
+    return _sweep_workload(
+        lambda: dnn_workload(model_name, config_name, training, batch,
+                             use_cache=use_cache),
+        key, use_cache, jobs,
+    )
 
 
 def graph_sweep(benchmark: str, algorithm: str = "PR", iterations: int | None = None,
@@ -305,7 +471,10 @@ def graph_sweep(benchmark: str, algorithm: str = "PR", iterations: int | None = 
                 jobs: int | None = None) -> SchemeSweep:
     """Sweep all schemes over one graph workload (Fig. 14 data points)."""
     config = config or GraphAcceleratorConfig()
-    workload = graph_workload(benchmark, algorithm, iterations, scale_divisor,
-                              config=config, use_cache=use_cache)
-    key = ("graph-sweep", benchmark, algorithm, iterations, scale_divisor, config)
-    return _sweep_workload(workload, key, use_cache, jobs)
+    key = ("graph-sweep", benchmark, algorithm, iterations, scale_divisor,
+           config.cache_key())
+    return _sweep_workload(
+        lambda: graph_workload(benchmark, algorithm, iterations, scale_divisor,
+                               config=config, use_cache=use_cache),
+        key, use_cache, jobs,
+    )

@@ -1,0 +1,378 @@
+"""Sweep scheduler: the suite's (workload × scheme) job graph.
+
+PR 1 parallelized *within* one sweep — a fresh process pool per
+``sweep_schemes`` call, schemes fanned out, pool torn down.  The figure
+suite, however, is a batch of many workloads, each priced under the same
+five schemes, with heavy overlap between experiments.  This module
+treats that whole batch as a single job graph executed on **one shared
+process pool**:
+
+* a **warm node** per workload generates (or restores) the trace and
+  spills it through the trace cache's disk tier, so every worker can
+  reach it without re-shipping it over the pipe;
+* a **price node** per (workload × scheme) pair loads the spilled trace
+  and prices one scheme — these are submitted as soon as their
+  workload's warm node completes, so pricing of workload A overlaps
+  trace generation of workload B;
+* results are collected **deterministically** (workload submission order
+  × scheme presentation order) and inserted into
+  :data:`~repro.sim.runner.TRACE_CACHE` under the exact keys the serial
+  drivers use, so the figure tables are byte-identical to a serial run.
+
+Single-workload parallel sweeps (``sweep_schemes(..., jobs=N)``, the
+trace-file CLI) ride the same shared pool: the trace is spilled once to
+the scheduler's store and each scheme job references it by content
+digest.
+
+Prefetch spills go through :data:`~repro.sim.runner.TRACE_CACHE`'s
+``cache_dir`` when one is attached (so they persist across runs) and a
+process-lifetime temporary directory otherwise; one-off external traces
+always use the temporary store, which :func:`shutdown` removes.
+"""
+
+from __future__ import annotations
+
+import atexit
+import hashlib
+import os
+import shutil
+import tempfile
+from collections import OrderedDict
+from concurrent.futures import FIRST_COMPLETED, Future, ProcessPoolExecutor, wait
+from dataclasses import dataclass
+from pathlib import Path
+from typing import TYPE_CHECKING, Hashable, Iterable, Sequence
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.sim.perf import PerformanceModel, SimResult
+    from repro.sim.runner import BatchedTrace, SchemeSweep, Workload
+
+# ---------------------------------------------------------------------------
+# Shared process pool
+# ---------------------------------------------------------------------------
+
+_POOLS: dict[int, ProcessPoolExecutor] = {}
+
+
+def effective_workers(jobs: int | None) -> int:
+    """Worker processes a ``jobs`` request can actually keep busy."""
+    if jobs is None:
+        return 1
+    return max(1, min(jobs, os.cpu_count() or 1))
+
+
+def shared_pool(jobs: int) -> ProcessPoolExecutor:
+    """The process pool shared by every sweep of the suite.
+
+    Pools are keyed by worker count and live until process exit (or
+    :func:`shutdown`), so repeated ``sweep_schemes(jobs=N)`` calls and
+    whole-suite prefetches reuse warm workers instead of forking a fresh
+    pool per sweep.
+    """
+    workers = effective_workers(jobs)
+    pool = _POOLS.get(workers)
+    if pool is None:
+        pool = ProcessPoolExecutor(max_workers=workers)
+        _POOLS[workers] = pool
+    return pool
+
+
+def shutdown() -> None:
+    """Tear down the shared pools and the temporary trace store."""
+    global _SPILL_DIR
+    for pool in _POOLS.values():
+        pool.shutdown(wait=False, cancel_futures=True)
+    _POOLS.clear()
+    if _SPILL_DIR is not None:
+        shutil.rmtree(_SPILL_DIR, ignore_errors=True)
+        _SPILL_DIR = None
+
+
+atexit.register(shutdown)
+
+# ---------------------------------------------------------------------------
+# Trace store
+# ---------------------------------------------------------------------------
+
+_SPILL_DIR: Path | None = None
+
+
+def _temp_store_dir() -> Path:
+    """Process-lifetime spill directory (removed by :func:`shutdown`)."""
+    global _SPILL_DIR
+    if _SPILL_DIR is None:
+        _SPILL_DIR = Path(tempfile.mkdtemp(prefix="repro-sweep-store-"))
+    return _SPILL_DIR
+
+
+def trace_store_dir() -> Path:
+    """Directory workload traces are spilled to for cross-worker sharing."""
+    from repro.sim.runner import TRACE_CACHE
+
+    if TRACE_CACHE.cache_dir is not None:
+        return TRACE_CACHE.cache_dir
+    return _temp_store_dir()
+
+
+def store_trace(trace: "BatchedTrace") -> str:
+    """Spill a one-off external trace; returns its content digest.
+
+    External traces always land in the temporary store (cleaned at
+    shutdown), never the persistent cache dir: their cache-key spill
+    would duplicate them there with nothing ever reclaiming the space.
+    """
+    from repro.sim.runner import _encode_trace
+
+    text = _encode_trace(trace)
+    digest = hashlib.sha256(text.encode()).hexdigest()[:32]
+    path = _temp_store_dir() / f"xtrace-{digest}.json"
+    if not path.exists():
+        tmp = path.with_suffix(f".tmp.{os.getpid()}")
+        tmp.write_text(text)
+        os.replace(tmp, path)
+    return digest
+
+
+#: Worker-side memo of external traces, keyed by content digest, so a
+#: worker pricing several schemes of one trace parses the spill once.
+#: Bounded: workers are long-lived (the pool is shared suite-wide), so
+#: an unbounded memo would pin every trace ever priced in every worker.
+_TRACE_MEMO: "OrderedDict[str, BatchedTrace]" = OrderedDict()
+_TRACE_MEMO_ENTRIES = 8
+
+
+def _load_stored_trace(digest: str, store_dir: str) -> "BatchedTrace":
+    from repro.sim.runner import _decode_trace
+
+    trace = _TRACE_MEMO.get(digest)
+    if trace is None:
+        text = (Path(store_dir) / f"xtrace-{digest}.json").read_text()
+        trace = _decode_trace(text)
+        _TRACE_MEMO[digest] = trace
+        while len(_TRACE_MEMO) > _TRACE_MEMO_ENTRIES:
+            _TRACE_MEMO.popitem(last=False)
+    else:
+        _TRACE_MEMO.move_to_end(digest)
+    return trace
+
+
+# ---------------------------------------------------------------------------
+# Workload specifications
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class SweepSpec:
+    """A (workload, all-schemes) sweep request the scheduler can ship.
+
+    Specs are tiny and picklable: workers rebuild the workload from the
+    spec through their own trace cache (memory tier, then the shared
+    disk store, then regeneration), so no trace crosses the pipe.
+    """
+
+    kind: str  # "dnn" | "graph"
+    params: tuple
+
+    def sweep_key(self) -> Hashable:
+        """The exact TRACE_CACHE key the serial drivers use."""
+        if self.kind == "dnn":
+            return ("dnn-sweep", *self.params)
+        from repro.graph.graphlily import GraphAcceleratorConfig
+
+        return ("graph-sweep", *self.params, GraphAcceleratorConfig().cache_key())
+
+    def build_workload(self) -> "Workload":
+        from repro.sim import runner
+
+        if self.kind == "dnn":
+            model, config, training, batch = self.params
+            return runner.dnn_workload(model, config, training=training,
+                                       batch=batch)
+        benchmark, algorithm, iterations, scale_divisor = self.params
+        return runner.graph_workload(benchmark, algorithm,
+                                     iterations=iterations,
+                                     scale_divisor=scale_divisor)
+
+    def run_inline(self) -> "SchemeSweep":
+        """Serial fallback: the ordinary cached sweep in this process."""
+        from repro.sim import runner
+
+        if self.kind == "dnn":
+            model, config, training, batch = self.params
+            return runner.dnn_sweep(model, config, training=training, batch=batch)
+        benchmark, algorithm, iterations, scale_divisor = self.params
+        return runner.graph_sweep(benchmark, algorithm, iterations=iterations,
+                                  scale_divisor=scale_divisor)
+
+
+def dnn_spec(model: str, config: str = "Cloud", training: bool = False,
+             batch: int = 1) -> SweepSpec:
+    return SweepSpec("dnn", (model, config, training, batch))
+
+
+def graph_spec(benchmark: str, algorithm: str = "PR",
+               iterations: int | None = None,
+               scale_divisor: int = 64) -> SweepSpec:
+    return SweepSpec("graph", (benchmark, algorithm, iterations, scale_divisor))
+
+
+# ---------------------------------------------------------------------------
+# Worker entry points (must be picklable module functions)
+# ---------------------------------------------------------------------------
+
+def _attach_store(store_dir: str) -> None:
+    """Point the worker's trace cache at the shared trace store.
+
+    Workers are long-lived (the pool is shared suite-wide), so their
+    memory tier is also tightened: the disk store is the system of
+    record, and a small hot set per worker prevents every worker from
+    pinning the whole suite's traces in memory.
+    """
+    from repro.sim.runner import TRACE_CACHE
+
+    TRACE_CACHE.max_entries = min(TRACE_CACHE.max_entries, 32)
+    if TRACE_CACHE.cache_dir is None or str(TRACE_CACHE.cache_dir) != store_dir:
+        TRACE_CACHE.set_cache_dir(store_dir)
+
+
+def _warm_job(spec: SweepSpec, store_dir: str) -> dict:
+    """Warm node: ensure the spec's trace exists in the shared store."""
+    from repro.sim.runner import TRACE_CACHE
+
+    _attach_store(store_dir)
+    before = TRACE_CACHE.miss_kinds.get("trace", 0)
+    workload = spec.build_workload()
+    return {
+        "label": workload.label,
+        "accesses": workload.trace.total_accesses,
+        "built": TRACE_CACHE.miss_kinds.get("trace", 0) > before,
+    }
+
+
+def _price_spec_job(spec: SweepSpec, scheme_name: str, store_dir: str) -> "SimResult":
+    """Price node: one scheme over one workload's (stored) trace."""
+    from repro.core.schemes import scheme_suite
+
+    _attach_store(store_dir)
+    workload = spec.build_workload()
+    scheme = scheme_suite(workload.protected_bytes)[scheme_name]
+    model = workload.performance_model()
+    return model.run(workload.trace.phases, scheme, batches=workload.trace.batches)
+
+
+def _price_stored_job(digest: str, store_dir: str, model: "PerformanceModel",
+                      scheme) -> "SimResult":
+    """Price node for an externally-supplied (spilled) trace."""
+    trace = _load_stored_trace(digest, store_dir)
+    return model.run(trace.phases, scheme, batches=trace.batches)
+
+
+# ---------------------------------------------------------------------------
+# Scheduling
+# ---------------------------------------------------------------------------
+
+def parallel_sweep(workload: str, phases, model: "PerformanceModel", suite: dict,
+                   names: Sequence[str], batches, jobs: int) -> "SchemeSweep":
+    """All schemes of one workload across the shared pool.
+
+    The trace is spilled once to the scheduler store; each scheme job
+    references it by digest, so the per-job payload is the (small)
+    scheme object and performance model.  Results are collected in
+    presentation order — bit-identical to the serial path.
+    """
+    from repro.core.access import AccessBatch
+    from repro.sim.runner import BatchedTrace, SchemeSweep
+
+    if batches is None:
+        batches = [AccessBatch.from_phase(phase) for phase in phases]
+    digest = store_trace(BatchedTrace(list(phases), list(batches)))
+    store = str(_temp_store_dir())
+    pool = shared_pool(jobs)
+    futures = {
+        name: pool.submit(_price_stored_job, digest, store, model, suite[name])
+        for name in names
+    }
+    sweep = SchemeSweep(workload=workload)
+    for name in names:
+        sweep.results[name] = futures[name].result()
+    return sweep
+
+
+def prefetch_sweeps(specs: Iterable[SweepSpec], jobs: int | None = None) -> dict:
+    """Price every spec's missing full-suite sweep; returns a summary.
+
+    This is the cross-workload fan-out: warm nodes run for all missing
+    workloads concurrently, and each workload's scheme-price nodes are
+    submitted the moment its warm node finishes.  Finished sweeps are
+    inserted into :data:`~repro.sim.runner.TRACE_CACHE` (and spilled to
+    its disk tier when attached) under the serial drivers' keys, so the
+    drivers afterwards run entirely from cache — deterministically.
+    Sweeps always cover the full scheme suite: the cache keys are the
+    drivers' full-sweep keys, so a partial sweep must never land there.
+    """
+    from repro.sim.runner import SCHEMES, TRACE_CACHE, SchemeSweep
+
+    names = list(SCHEMES)
+    unique: list[SweepSpec] = []
+    seen: set[SweepSpec] = set()
+    for spec in specs:
+        if spec not in seen:
+            seen.add(spec)
+            unique.append(spec)
+    pending = [s for s in unique if TRACE_CACHE.peek(s.sweep_key()) is None]
+    summary = {
+        "workloads": len(unique),
+        "cached": len(unique) - len(pending),
+        "priced": 0,
+        "traces_built": 0,
+    }
+    if not pending:
+        return summary
+    if not TRACE_CACHE.enabled:
+        # Nowhere to put prefetched results; the drivers will price (and
+        # parallelize per sweep) themselves.
+        return summary
+    if effective_workers(jobs) < 2:
+        # One core (or jobs <= 1): a worker pool would only add pickling
+        # and process churn, so price inline — the cache still fills.
+        for spec in pending:
+            before = TRACE_CACHE.miss_kinds.get("trace", 0)
+            spec.run_inline()
+            summary["traces_built"] += (
+                TRACE_CACHE.miss_kinds.get("trace", 0) > before
+            )
+            summary["priced"] += 1
+        return summary
+
+    store = str(trace_store_dir())
+    pool = shared_pool(jobs)
+    warm: dict[Future, SweepSpec] = {
+        pool.submit(_warm_job, spec, store): spec for spec in pending
+    }
+    price: dict[Future, tuple[SweepSpec, str]] = {}
+    labels: dict[SweepSpec, str] = {}
+    results: dict[tuple[SweepSpec, str], "SimResult"] = {}
+    outstanding: set[Future] = set(warm)
+    while outstanding:
+        done, outstanding = wait(outstanding, return_when=FIRST_COMPLETED)
+        for future in done:
+            if future in warm:
+                spec = warm[future]
+                meta = future.result()
+                labels[spec] = meta["label"]
+                summary["traces_built"] += bool(meta["built"])
+                for name in names:
+                    job = pool.submit(_price_spec_job, spec, name, store)
+                    price[job] = (spec, name)
+                    outstanding.add(job)
+            else:
+                spec, name = price[future]
+                results[spec, name] = future.result()
+
+    # Deterministic collection: submission order × presentation order.
+    for spec in pending:
+        sweep = SchemeSweep(workload=labels[spec])
+        for name in names:
+            sweep.results[name] = results[spec, name]
+        TRACE_CACHE.put(spec.sweep_key(), sweep)
+        summary["priced"] += 1
+    return summary

@@ -40,7 +40,7 @@ from dataclasses import dataclass
 
 from repro.common.errors import ConfigError
 from repro.common.units import MHZ, MIB
-from repro.core.access import AccessKind, DataClass, MemAccess, Phase
+from repro.core.access import AccessBatch, AccessKind, DataClass, MemAccess, Phase
 from repro.dram.model import DramConfig, DramModel
 from repro.sim.perf import PerfConfig, PerformanceModel
 from repro.sim.runner import SCHEMES, SchemeSweep, sweep_schemes
@@ -84,16 +84,10 @@ def _parse_access(raw: dict) -> MemAccess:
     )
 
 
-def loads(text: str) -> TraceFile:
-    """Parse a JSON trace document."""
-    try:
-        doc = json.loads(text)
-    except json.JSONDecodeError as exc:
-        raise ConfigError(f"invalid trace JSON: {exc}") from exc
-    if "phases" not in doc or not isinstance(doc["phases"], list):
-        raise ConfigError("trace must contain a 'phases' list")
-    phases = []
-    for raw_phase in doc["phases"]:
+def phases_from_doc(doc: list[dict]) -> list[Phase]:
+    """Decode a list of phase dictionaries (inverse of :func:`phases_to_doc`)."""
+    phases: list[Phase] = []
+    for raw_phase in doc:
         accesses = [_parse_access(a) for a in raw_phase.get("accesses", [])]
         phases.append(
             Phase(
@@ -102,6 +96,47 @@ def loads(text: str) -> TraceFile:
                 accesses=accesses,
             )
         )
+    return phases
+
+
+def phases_to_doc(phases: list[Phase]) -> list[dict]:
+    """Encode phases as JSON-serializable dictionaries.
+
+    The schema is the ``"phases"`` section of the trace-file format, and
+    also what the trace cache's disk tier spills, so externally-supplied
+    and internally-generated traces share one codec.
+    """
+    return [
+        {
+            "name": phase.name,
+            "compute_cycles": phase.compute_cycles,
+            "accesses": [
+                {
+                    "address": a.address,
+                    "size": a.size,
+                    "kind": a.kind.value,
+                    "class": a.data_class.value,
+                    "sequential": a.sequential,
+                    "vn": a.vn,
+                    "burst_bytes": a.burst_bytes,
+                    "spread_bytes": a.spread_bytes,
+                }
+                for a in phase.accesses
+            ],
+        }
+        for phase in phases
+    ]
+
+
+def loads(text: str) -> TraceFile:
+    """Parse a JSON trace document."""
+    try:
+        doc = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise ConfigError(f"invalid trace JSON: {exc}") from exc
+    if "phases" not in doc or not isinstance(doc["phases"], list):
+        raise ConfigError("trace must contain a 'phases' list")
+    phases = phases_from_doc(doc["phases"])
     if not phases:
         raise ConfigError("trace contains no phases")
     return TraceFile(
@@ -125,37 +160,26 @@ def dumps(trace: TraceFile) -> str:
         "accel_freq_mhz": trace.accel_freq_hz / MHZ,
         "dram_channels": trace.dram_channels,
         "protected_mib": trace.protected_bytes // MIB,
-        "phases": [
-            {
-                "name": phase.name,
-                "compute_cycles": phase.compute_cycles,
-                "accesses": [
-                    {
-                        "address": a.address,
-                        "size": a.size,
-                        "kind": a.kind.value,
-                        "class": a.data_class.value,
-                        "sequential": a.sequential,
-                        "vn": a.vn,
-                        "burst_bytes": a.burst_bytes,
-                        "spread_bytes": a.spread_bytes,
-                    }
-                    for a in phase.accesses
-                ],
-            }
-            for phase in trace.phases
-        ],
+        "phases": phases_to_doc(trace.phases),
     }
     return json.dumps(doc, indent=2)
 
 
-def evaluate(trace: TraceFile) -> SchemeSweep:
-    """Run all protection schemes over a parsed trace."""
+def evaluate(trace: TraceFile, jobs: int | None = None) -> SchemeSweep:
+    """Run all protection schemes over a parsed trace.
+
+    External traces go through the same batched pipeline as the built-in
+    workloads: the phases are converted to structure-of-arrays columns
+    once and shared across all schemes, and ``jobs >= 2`` fans the
+    schemes out over the shared sweep worker pool.
+    """
     perf = PerformanceModel(
         DramModel(DramConfig(channels=trace.dram_channels)),
         PerfConfig(accel_freq_hz=trace.accel_freq_hz),
     )
-    return sweep_schemes(trace.name, trace.phases, perf, trace.protected_bytes)
+    batches = [AccessBatch.from_phase(phase) for phase in trace.phases]
+    return sweep_schemes(trace.name, trace.phases, perf, trace.protected_bytes,
+                         batches=batches, jobs=jobs)
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -166,6 +190,9 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("trace", help="path to the JSON trace file")
     parser.add_argument("--scheme", nargs="*", choices=list(SCHEMES),
                         help="schemes to report (default: all)")
+    parser.add_argument("--jobs", type=int, default=None, metavar="N",
+                        help="price independent schemes across N worker "
+                             "processes (shared sweep pool)")
     parser.add_argument("--validate", action="store_true",
                         help="check the trace's VN discipline first")
     args = parser.parse_args(argv)
@@ -180,7 +207,7 @@ def main(argv: list[str] | None = None) -> int:
             print(f"  {violation}")
         if not report.ok:
             return 1
-    sweep = evaluate(trace)
+    sweep = evaluate(trace, jobs=args.jobs)
     schemes = args.scheme or [s for s in SCHEMES if s != "NP"]
     print(f"{trace.name}: {len(trace.phases)} phases, "
           f"{sum(p.total_bytes() for p in trace.phases) / (1 << 20):.1f} MiB")

@@ -161,6 +161,79 @@ class TestBatchPricingEquivalence:
         expected = _price_per_access(scheme, accesses)
         assert astuple(vectorized) == astuple(expected)
 
+    @pytest.mark.parametrize("name", ["BP", "MGX_MAC"])
+    def test_cached_schemes_never_fall_back_to_process(self, name, monkeypatch):
+        """BP/MGX_MAC batch pricing takes the segment path, not the walk."""
+        scheme = scheme_suite(_PROTECTED)[name]
+        batch = AccessBatch.from_accesses(_random_accesses(seed=11, n=40))
+
+        def boom(access):
+            raise AssertionError("price_batch fell back to process()")
+
+        monkeypatch.setattr(scheme, "process", boom)
+        traffic = scheme.price_batch(batch)
+        assert traffic.total_bytes > 0
+
+    def test_all_schemes_vectorize(self):
+        """Every suite scheme advertises a batched fast path, so sweeps
+        convert each trace to columns exactly once."""
+        for name, scheme in scheme_suite(_PROTECTED).items():
+            assert scheme.vectorizes, name
+
+    @pytest.mark.parametrize("seed", range(6))
+    @pytest.mark.parametrize("cache_bytes", [1024, 4096])
+    def test_tiny_caches_stress_evictions_and_chains(self, seed, cache_bytes):
+        """Adversarial configs: caches small enough that every segment
+        evicts, floods trigger, and writeback chains climb the tree —
+        the segment-vectorized path must still match byte for byte."""
+        from repro.core.schemes.counter_mode import (
+            FINE_MAC_POLICY,
+            CounterModeProtection,
+        )
+
+        def make():
+            return CounterModeProtection(
+                name="tiny",
+                vn_onchip=False,
+                mac_policy=FINE_MAC_POLICY,
+                protected_bytes=_PROTECTED,
+                cache_bytes=cache_bytes,
+            )
+
+        accesses = _random_accesses(seed, n=80)
+        expected = _price_per_access(make(), accesses)
+        actual = _price_batched(make(), AccessBatch.from_accesses(accesses))
+        assert astuple(actual) == astuple(expected)
+
+    @pytest.mark.parametrize("name", ["BP", "MGX_MAC"])
+    def test_cached_schemes_on_dnn_trace(self, name):
+        """Per-acceptance: BP and MGX_MAC pinned on a real DNN trace."""
+        workload = dnn_workload("AlexNet", "Cloud", training=True)
+        accesses = [a for p in workload.trace.phases for a in p.accesses]
+        expected = _price_per_access(
+            scheme_suite(workload.protected_bytes)[name], accesses
+        )
+        actual = _price_batched(
+            scheme_suite(workload.protected_bytes)[name],
+            AccessBatch.from_accesses(accesses),
+        )
+        assert astuple(actual) == astuple(expected)
+
+    @pytest.mark.parametrize("name", ["BP", "MGX_MAC"])
+    def test_cached_schemes_on_graph_trace(self, name):
+        """Per-acceptance: BP and MGX_MAC pinned on a real graph trace."""
+        workload = graph_workload("ogbl-ppa", "BFS", iterations=2,
+                                  scale_divisor=256)
+        accesses = [a for p in workload.trace.phases for a in p.accesses]
+        expected = _price_per_access(
+            scheme_suite(workload.protected_bytes)[name], accesses
+        )
+        actual = _price_batched(
+            scheme_suite(workload.protected_bytes)[name],
+            AccessBatch.from_accesses(accesses),
+        )
+        assert astuple(actual) == astuple(expected)
+
     def test_out_of_range_batch_rejected(self):
         from repro.common.errors import ConfigError
         from repro.core.schemes import make_mgx
@@ -180,7 +253,9 @@ class TestTraceCache:
         cache.get_or_build("a", lambda: built.append("a") or 1)
         cache.get_or_build("a", lambda: built.append("a") or 1)
         assert built == ["a"]
-        assert cache.stats() == {"hits": 1, "misses": 1, "entries": 1}
+        stats = cache.stats()
+        assert (stats["hits"], stats["misses"], stats["entries"]) == (1, 1, 1)
+        assert stats["disk_hits"] == 0
 
     def test_lru_eviction(self):
         cache = TraceCache(max_entries=2)

@@ -1,0 +1,237 @@
+"""Sweep scheduler and disk-tier cache: determinism and round trips.
+
+The scheduler's contract is that fan-out is *invisible* in the results:
+``run_all(jobs=N)`` must render byte-identical figure tables to the
+serial run, prefetched sweeps must land under the exact cache keys the
+drivers use, and a sweep restored from the disk tier must compare equal
+— float for float — to the one that was spilled.
+"""
+
+from __future__ import annotations
+
+from dataclasses import astuple
+
+import pytest
+
+from repro.sim.runner import SCHEMES, TRACE_CACHE, dnn_sweep, graph_sweep
+from repro.sim.scheduler import (
+    SweepSpec,
+    dnn_spec,
+    effective_workers,
+    graph_spec,
+    prefetch_sweeps,
+)
+
+
+@pytest.fixture
+def fresh_cache():
+    """Run with an empty, memory-only TRACE_CACHE; restore state after."""
+    saved_dir = TRACE_CACHE.cache_dir
+    TRACE_CACHE.set_cache_dir(None)
+    TRACE_CACHE.clear()
+    yield TRACE_CACHE
+    TRACE_CACHE.set_cache_dir(saved_dir)
+    TRACE_CACHE.clear()
+
+
+@pytest.fixture
+def disk_cache(tmp_path):
+    """TRACE_CACHE with a disk tier under a temporary directory."""
+    saved_dir = TRACE_CACHE.cache_dir
+    TRACE_CACHE.clear()
+    TRACE_CACHE.set_cache_dir(tmp_path / "cache")
+    yield TRACE_CACHE
+    TRACE_CACHE.set_cache_dir(saved_dir)
+    TRACE_CACHE.clear()
+
+
+def _sweeps_equal(a, b) -> None:
+    assert set(a.results) == set(b.results)
+    for name in a.results:
+        assert a.results[name].total_cycles == b.results[name].total_cycles, name
+        assert astuple(a.results[name].traffic) == astuple(b.results[name].traffic), name
+
+
+class TestSweepSpecKeys:
+    def test_dnn_spec_key_matches_driver_key(self, fresh_cache):
+        spec = dnn_spec("AlexNet", "Cloud")
+        prefetch_sweeps([spec], jobs=1)
+        sweep = dnn_sweep("AlexNet", "Cloud")
+        assert fresh_cache.peek(spec.sweep_key()) is sweep
+
+    def test_graph_spec_key_matches_driver_key(self, fresh_cache):
+        spec = graph_spec("google-plus", "PR", iterations=2, scale_divisor=256)
+        prefetch_sweeps([spec], jobs=1)
+        sweep = graph_sweep("google-plus", "PR", iterations=2, scale_divisor=256)
+        assert fresh_cache.peek(spec.sweep_key()) is sweep
+
+    def test_equal_graph_configs_share_cache_entries(self, fresh_cache):
+        """Separately-constructed equal configs hit the same entries."""
+        from repro.graph.graphlily import GraphAcceleratorConfig
+
+        first = graph_sweep("google-plus", "PR", iterations=2, scale_divisor=256,
+                            config=GraphAcceleratorConfig())
+        again = graph_sweep("google-plus", "PR", iterations=2, scale_divisor=256,
+                            config=GraphAcceleratorConfig())
+        assert again is first
+        assert (GraphAcceleratorConfig().cache_key()
+                == GraphAcceleratorConfig().cache_key())
+
+    def test_specs_dedup_in_prefetch(self, fresh_cache):
+        spec = dnn_spec("AlexNet", "Cloud")
+        summary = prefetch_sweeps([spec, spec, spec], jobs=1)
+        assert summary["workloads"] == 1
+        assert summary["priced"] == 1
+
+
+class TestPrefetchParallel:
+    def test_pool_prefetch_matches_inline(self, fresh_cache, monkeypatch):
+        """The worker-pool job graph produces bit-identical sweeps."""
+        specs = [
+            dnn_spec("AlexNet", "Cloud"),
+            dnn_spec("AlexNet", "Cloud", training=True),
+            graph_spec("google-plus", "PR", iterations=2, scale_divisor=256),
+        ]
+        reference = {}
+        for spec in specs:
+            reference[spec] = spec.run_inline()
+        fresh_cache.clear()
+        # Force the pool path even on single-core machines.
+        monkeypatch.setattr("repro.sim.scheduler.os.cpu_count", lambda: 2)
+        summary = prefetch_sweeps(specs, jobs=2)
+        assert summary["priced"] == len(specs)
+        for spec in specs:
+            cached = fresh_cache.peek(spec.sweep_key())
+            assert cached is not None
+            _sweeps_equal(cached, reference[spec])
+
+    def test_prefetch_skips_cached_sweeps(self, fresh_cache):
+        spec = dnn_spec("AlexNet", "Cloud")
+        prefetch_sweeps([spec], jobs=1)
+        summary = prefetch_sweeps([spec], jobs=1)
+        assert summary == {"workloads": 1, "cached": 1, "priced": 0,
+                           "traces_built": 0}
+
+    def test_effective_workers_clamps_to_cores(self):
+        assert effective_workers(None) == 1
+        assert effective_workers(1) == 1
+        assert effective_workers(64) >= 1
+
+
+class TestRunAllDeterminism:
+    def test_parallel_run_all_tables_identical_to_serial(self, fresh_cache):
+        """run_all(jobs=4) renders byte-identical tables to the serial run."""
+        from repro.experiments.registry import run_all
+
+        serial = {eid: result.to_text()
+                  for eid, result in run_all(quick=True).items()}
+        fresh_cache.clear()
+        parallel = {eid: result.to_text()
+                    for eid, result in run_all(quick=True, jobs=4).items()}
+        assert parallel == serial
+
+
+class TestDiskTier:
+    def test_sweep_spill_and_restore_round_trip(self, disk_cache):
+        """Spill, simulate a new process via clear(), restore: same sweep."""
+        first = dnn_sweep("AlexNet", "Cloud")
+        assert disk_cache.stats()["sweep_misses"] == 1
+        disk_cache.clear()  # drop the memory tier; disk files persist
+        restored = dnn_sweep("AlexNet", "Cloud")
+        stats = disk_cache.stats()
+        assert stats["disk_hits"] == 1
+        assert stats["trace_misses"] == 0  # the trace was never rebuilt
+        assert stats["sweep_misses"] == 0
+        assert restored is not first
+        _sweeps_equal(restored, first)
+
+    def test_trace_spill_and_restore_round_trip(self, disk_cache):
+        from repro.sim.runner import dnn_workload
+
+        workload = dnn_workload("AlexNet", "Cloud")
+        disk_cache.clear()
+        restored = dnn_workload("AlexNet", "Cloud")
+        assert disk_cache.stats()["disk_hits"] == 1
+        assert restored.trace is not workload.trace
+        original = [a for p in workload.trace.phases for a in p.accesses]
+        roundtrip = [a for p in restored.trace.phases for a in p.accesses]
+        assert roundtrip == original
+        assert [p.name for p in restored.trace.phases] == [
+            p.name for p in workload.trace.phases
+        ]
+        assert [p.compute_cycles for p in restored.trace.phases] == [
+            p.compute_cycles for p in workload.trace.phases
+        ]
+
+    def test_restored_sweep_renders_identical_tables(self, disk_cache):
+        """A disk-restored sweep must produce the same figure numbers."""
+        from repro.experiments.registry import run_experiment
+
+        cold = run_experiment("fig13", quick=True).to_text()
+        disk_cache.clear()
+        warm = run_experiment("fig13", quick=True).to_text()
+        assert disk_cache.stats()["trace_misses"] == 0
+        assert warm == cold
+
+    def test_corrupt_spill_falls_back_to_rebuild(self, disk_cache):
+        dnn_sweep("AlexNet", "Cloud")
+        for spill in disk_cache.cache_dir.glob("*.json"):
+            spill.write_text("{not json")
+        disk_cache.clear()
+        sweep = dnn_sweep("AlexNet", "Cloud")  # rebuilt, not crashed
+        assert set(sweep.results) == set(SCHEMES)
+        assert disk_cache.stats()["sweep_misses"] == 1
+
+    def test_sweep_codec_round_trip_is_exact(self, fresh_cache):
+        from repro.experiments.storage import loads_sweep, dumps_sweep
+
+        sweep = dnn_sweep("AlexNet", "Cloud")
+        restored = loads_sweep(dumps_sweep(sweep))
+        assert restored.workload == sweep.workload
+        _sweeps_equal(restored, sweep)
+
+
+class TestExternalTraceJobs:
+    def test_parallel_sweep_pool_path_matches_serial(self, fresh_cache,
+                                                     monkeypatch):
+        """Force the shared-pool path (even on one core): bit-identical."""
+        monkeypatch.setattr("repro.sim.scheduler.os.cpu_count", lambda: 2)
+        serial = graph_sweep("google-plus", "PR", iterations=2,
+                             scale_divisor=256, use_cache=False)
+        pooled = graph_sweep("google-plus", "PR", iterations=2,
+                             scale_divisor=256, use_cache=False, jobs=2)
+        _sweeps_equal(pooled, serial)
+
+    def test_single_core_jobs_degrade_to_serial(self, fresh_cache, monkeypatch):
+        """With one effective worker, jobs=N must not spawn a pool."""
+        monkeypatch.setattr("repro.sim.scheduler.os.cpu_count", lambda: 1)
+
+        def boom(*args, **kwargs):
+            raise AssertionError("pool used despite one effective worker")
+
+        monkeypatch.setattr("repro.sim.scheduler.shared_pool", boom)
+        sweep = dnn_sweep("AlexNet", "Cloud", use_cache=False, jobs=4)
+        assert set(sweep.results) == set(SCHEMES)
+
+    def test_tracefile_evaluate_routes_through_batched_sweep(self, fresh_cache):
+        from repro.sim import tracefile
+
+        doc = """
+        {"name": "ext", "accel_freq_mhz": 800, "dram_channels": 4,
+         "protected_mib": 64,
+         "phases": [
+           {"name": "p0", "compute_cycles": 1000,
+            "accesses": [
+              {"address": 0, "size": 1048576, "kind": "read"},
+              {"address": 1048576, "size": 524288, "kind": "write"},
+              {"address": 0, "size": 65536, "kind": "read",
+               "sequential": false, "burst_bytes": 64,
+               "spread_bytes": 1048576}
+            ]}
+         ]}
+        """
+        trace = tracefile.loads(doc)
+        serial = tracefile.evaluate(trace)
+        parallel = tracefile.evaluate(trace, jobs=2)
+        _sweeps_equal(parallel, serial)
+        assert set(serial.results) == set(SCHEMES)
