@@ -1,0 +1,88 @@
+"""Compare two pytest-benchmark JSON files and fail on regressions.
+
+Usage::
+
+    python benchmarks/bench_trend.py BASELINE.json CURRENT.json \
+        [--threshold 0.25] [--filter scheduler sweep]
+
+Benchmarks are matched by ``fullname``; only names containing one of the
+``--filter`` substrings are compared (all benchmarks when no filter is
+given).  A benchmark regresses when its current mean exceeds the
+baseline mean by more than ``--threshold`` (a fraction).  A missing
+baseline file exits 0 — the first run of a branch has nothing to
+compare against — and benchmarks present on only one side are reported
+but never fail the build (renames must not break CI).
+
+Exit status: 0 when no compared benchmark regressed, 1 otherwise.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+
+def load_means(path: Path) -> dict[str, float]:
+    doc = json.loads(path.read_text())
+    return {
+        bench["fullname"]: bench["stats"]["mean"]
+        for bench in doc.get("benchmarks", [])
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("baseline", type=Path)
+    parser.add_argument("current", type=Path)
+    parser.add_argument("--threshold", type=float, default=0.25,
+                        help="allowed fractional mean-time increase "
+                             "(default 0.25 = +25%%)")
+    parser.add_argument("--filter", nargs="*", default=[], metavar="SUBSTR",
+                        help="only compare benchmarks whose fullname contains "
+                             "one of these substrings")
+    args = parser.parse_args(argv)
+
+    if not args.baseline.exists():
+        print(f"bench-trend: no baseline at {args.baseline}; skipping "
+              "comparison (first run)")
+        return 0
+    baseline = load_means(args.baseline)
+    current = load_means(args.current)
+
+    def selected(name: str) -> bool:
+        return not args.filter or any(term in name for term in args.filter)
+
+    regressions = []
+    print(f"bench-trend: threshold +{args.threshold:.0%}, "
+          f"filter {args.filter or 'ALL'}")
+    for name in sorted(set(baseline) | set(current)):
+        if not selected(name):
+            continue
+        old, new = baseline.get(name), current.get(name)
+        if old is None or new is None:
+            side = "current run" if old is None else "baseline"
+            print(f"  [only in {side}] {name}")
+            continue
+        ratio = new / old if old > 0 else float("inf")
+        verdict = "ok"
+        if ratio > 1.0 + args.threshold:
+            verdict = "REGRESSION"
+            regressions.append((name, old, new, ratio))
+        print(f"  [{verdict:>10s}] {name}: {old * 1e3:.2f} ms -> "
+              f"{new * 1e3:.2f} ms ({ratio:.2f}x baseline)")
+
+    if regressions:
+        print(f"bench-trend: {len(regressions)} benchmark(s) regressed by "
+              f"more than {args.threshold:.0%}:", file=sys.stderr)
+        for name, old, new, ratio in regressions:
+            print(f"  {name}: {old * 1e3:.2f} ms -> {new * 1e3:.2f} ms "
+                  f"({ratio:.2f}x)", file=sys.stderr)
+        return 1
+    print("bench-trend: no regressions")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

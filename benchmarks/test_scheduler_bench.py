@@ -12,7 +12,14 @@ from __future__ import annotations
 import pytest
 
 from repro.sim.runner import TRACE_CACHE, dnn_sweep
-from repro.sim.scheduler import dnn_spec, graph_spec, prefetch_sweeps
+from repro.sim.scheduler import (
+    dnn_spec,
+    gact_profile_spec,
+    gop_profile_spec,
+    graph_spec,
+    prefetch_artifacts,
+    prefetch_sweeps,
+)
 
 _QUICK_SPECS = (
     dnn_spec("AlexNet", "Cloud"),
@@ -21,6 +28,13 @@ _QUICK_SPECS = (
     dnn_spec("DLRM", "Cloud"),
     graph_spec("google-plus", "PR", iterations=2, scale_divisor=256),
     graph_spec("google-plus", "BFS", iterations=2, scale_divisor=256),
+)
+
+#: The quick sweeps plus the functional-pipeline artifacts (fig16/fig19).
+_QUICK_ARTIFACTS = _QUICK_SPECS + (
+    gact_profile_spec("chrY", "PacBio", 2),
+    gact_profile_spec("chrY", "ONT1D", 2),
+    gop_profile_spec("IBPB", 8, 8),
 )
 
 
@@ -61,6 +75,23 @@ def test_cross_workload_prefetch_cold(benchmark, disk_cache):
 
     summary = benchmark(cold_prefetch)
     assert summary["priced"] == len(_QUICK_SPECS)
+
+
+def test_warm_artifact_graph_rerun(benchmark, disk_cache):
+    """Full artifact graph (sweeps + functional profiles) from a warm disk
+    cache: restores everything, computes nothing."""
+    prefetch_artifacts(_QUICK_ARTIFACTS, jobs=1)  # cold pass fills both tiers
+
+    def warm_rerun():
+        disk_cache.clear()  # simulate a fresh process: memory tier gone
+        return prefetch_artifacts(_QUICK_ARTIFACTS, jobs=1)
+
+    summary = benchmark(warm_rerun)
+    assert summary["cached"] == len(_QUICK_ARTIFACTS)
+    assert summary["priced"] == 0
+    assert summary["profiles_built"] == 0
+    assert disk_cache.stats()["trace_misses"] == 0
+    assert disk_cache.miss_kinds.get("profile", 0) == 0
 
 
 def test_prefetched_sweeps_serve_the_drivers(disk_cache):

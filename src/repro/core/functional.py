@@ -27,7 +27,7 @@ import numpy as np
 
 from repro.common.errors import ConfigError, IntegrityError, ReplayError
 from repro.common.units import CACHE_BLOCK, ceil_div
-from repro.core.counters import counter_block
+from repro.core.counters import counter_block_array
 from repro.core.merkle import FunctionalMerkleTree
 from repro.core.vngen import UniquenessGuard
 from repro.crypto.aes_batch import AesBatch
@@ -39,11 +39,14 @@ _LANE = 16
 
 
 def _keystream(aes: AesBatch, address: int, vn: int, nbytes: int) -> np.ndarray:
-    """CTR keystream: one counter block per 16-byte lane at its address."""
+    """CTR keystream: one counter block per 16-byte lane at its address.
+
+    All lane counters are built as one vectorized array (byte-identical
+    to per-lane :func:`~repro.core.counters.counter_block` calls, pinned
+    by the test-suite); this is the hot path of the functional engines.
+    """
     lanes = ceil_div(nbytes, _LANE)
-    counters = np.empty((lanes, _LANE), dtype=np.uint8)
-    for i in range(lanes):
-        counters[i] = np.frombuffer(counter_block(address + i * _LANE, vn), dtype=np.uint8)
+    counters = counter_block_array(address, vn, lanes, _LANE)
     return aes.encrypt_blocks(counters).reshape(-1)[:nbytes]
 
 

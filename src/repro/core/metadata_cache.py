@@ -84,6 +84,9 @@ class MetadataCache:
             OrderedDict() for _ in range(self._n_sets)
         ]
         self.stats = StatsGroup("metadata_cache")
+        #: Segment probes answered by the closed-form resident fast path
+        #: (diagnostic only; not part of the hit/miss stats contract).
+        self.fast_probes = 0
 
     def _align(self, address: int) -> int:
         return address - (address % self.line_bytes)
@@ -141,6 +144,8 @@ class MetadataCache:
         """
         probe = SegmentProbe()
         line = self._align(base_address)
+        if self._probe_resident_fast_path(line, n_lines, dirty):
+            return probe
         hits = 0
         fully_associative = self.ways is None
         if fully_associative:
@@ -174,6 +179,34 @@ class MetadataCache:
         if probe.misses:
             self.stats.add("misses", len(probe.misses))
         return probe
+
+    def _probe_resident_fast_path(self, line: int, n_lines: int,
+                                  dirty: bool) -> bool:
+        """Closed-form probe of a segment that sits entirely in the hot set.
+
+        When every line of the segment is already resident, the general
+        walk degenerates: no misses, no evictions, no writeback chains —
+        the only state change is recency (each line moves to MRU in
+        ascending order) and the dirty bits.  This is the common case for
+        metadata segments smaller than the cache's hot-set size that are
+        re-touched every iteration (e.g. a DNN layer's VN lines), so it
+        is handled here without the per-line miss/eviction bookkeeping.
+        Returns False (leaving the cache untouched) when any line is
+        absent; the caller then runs the general walk.
+        """
+        if n_lines > self.capacity_lines:
+            return False
+        segment = range(line, line + n_lines * self.line_bytes, self.line_bytes)
+        if not all(l in self._set_of(l) for l in segment):
+            return False
+        for l in segment:
+            lines = self._set_of(l)
+            if dirty:
+                lines[l] = True
+            lines.move_to_end(l)
+        self.stats.add("hits", n_lines)
+        self.fast_probes += 1
+        return True
 
     def _follow_chain(
         self,

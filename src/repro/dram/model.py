@@ -70,6 +70,22 @@ class DramConfig:
         if not 0.5 <= self.stream_efficiency <= 1.0:
             raise ConfigError(f"stream_efficiency out of range: {self.stream_efficiency}")
 
+    def cache_key(self) -> tuple:
+        """Stable primitive tuple identifying this memory system.
+
+        Field names are spelled out (never ``astuple``) so reordering a
+        dataclass field cannot silently change artifact keys, and floats
+        are encoded with :meth:`float.hex` so keys never depend on float
+        ``repr`` formatting.
+        """
+        t = self.timing
+        return (
+            t.name, t.clock_hz.hex(), t.cl, t.rcd, t.rp, t.ras, t.wr,
+            t.ccd, t.rrd, t.faw, t.rfc, t.refi, t.burst_cycles,
+            self.channels, self.ranks, self.banks, self.row_bytes,
+            self.stream_efficiency.hex(),
+        )
+
     def address_map(self) -> AddressMap:
         return AddressMap(
             channels=self.channels,

@@ -10,14 +10,22 @@ Usage::
     python -m repro.experiments --jobs 4         # cross-workload parallelism
     python -m repro.experiments --cache-dir .repro-cache   # persistent cache
     python -m repro.experiments --no-cache       # regenerate every trace
+    python -m repro.experiments --workers 2      # distributed artifact drain
     python -m repro.experiments -o EXPERIMENTS_RUN.txt
 
-``--jobs N`` hands every (workload × scheme) pair of the selected
-figures to the sweep scheduler's shared worker pool before the drivers
-run (see :mod:`repro.sim.scheduler`); the report is byte-identical to a
-serial run.  ``--cache-dir`` (or the ``REPRO_CACHE_DIR`` environment
-variable) attaches the trace cache's disk tier, so a second invocation
-restores every trace and finished sweep from disk and prices nothing.
+``--jobs N`` hands the selected figures' artifact graph — every
+(workload × scheme) pair plus the functional fig16/fig19 pipelines — to
+the scheduler's shared worker pool before the drivers run (see
+:mod:`repro.sim.scheduler`); the report is byte-identical to a serial
+run.  ``--cache-dir`` (or the ``REPRO_CACHE_DIR`` environment variable)
+attaches the trace cache's disk tier, so a second invocation restores
+every artifact from disk and computes nothing.
+
+``--workers N`` drains the same graph through the file-lock work queue
+in the shared cache directory (see :mod:`repro.sim.queue`): N local
+processes — and any other ``--workers`` invocations on machines sharing
+the cache dir — claim jobs cooperatively, and every participant renders
+identical tables afterwards.  Requires a cache dir.
 """
 
 from __future__ import annotations
@@ -43,6 +51,13 @@ def main(argv: list[str] | None = None) -> int:
                         help="price (workload × scheme) pairs across N worker "
                              "processes (figure experiments only; "
                              "ablations/extras run serially)")
+    parser.add_argument("--workers", type=int, default=None, metavar="N",
+                        help="drain the figures' artifact graph via the "
+                             "file-lock queue in the shared cache dir with N "
+                             "local worker processes, cooperating with any "
+                             "other --workers invocations (even on other "
+                             "machines) sharing the same cache dir; requires "
+                             "--cache-dir or REPRO_CACHE_DIR")
     parser.add_argument("--cache-dir", default=None, metavar="DIR",
                         help="persist traces and sweep results under DIR "
                              "(also honours REPRO_CACHE_DIR); a warm rerun "
@@ -80,18 +95,47 @@ def main(argv: list[str] | None = None) -> int:
                 for name in EXTRAS
             ]
 
-    if (jobs is not None and jobs > 1 and not args.only
-            and args.which in ("figures", "all")):
-        # Cross-workload fan-out: price the whole suite's missing sweeps
-        # on the shared pool before any driver runs.
-        from repro.sim.scheduler import prefetch_sweeps
+    figure_ids = [args.only] if args.only else (
+        list(EXPERIMENTS) if args.which in ("figures", "all") else []
+    )
+    if args.workers is not None and not figure_ids:
+        parser.error("--workers drains the figure experiments' artifact "
+                     "graph; --set ablations/extras have none and always "
+                     "run serially")
+    if args.workers is not None and figure_ids:
+        # Distributed drain: claim jobs from the file-lock queue in the
+        # shared cache dir, cooperating with local helper processes and
+        # any peers on other machines pointed at the same directory.
+        if TRACE_CACHE.cache_dir is None or not TRACE_CACHE.enabled:
+            parser.error("--workers needs a shared cache dir "
+                         "(--cache-dir or REPRO_CACHE_DIR, without --no-cache)")
+        from repro.experiments.registry import suite_graph
+        from repro.sim.queue import QUEUE_SUBDIR, run_workers
 
         start = time.time()
-        summary = prefetch_sweeps(suite_specs(EXPERIMENTS, args.quick), jobs=jobs)
+        graph = suite_graph(figure_ids, args.quick)
+        summary = run_workers(graph, TRACE_CACHE.cache_dir, args.workers)
+        print(
+            f"drain: {summary['computed']}/{summary['jobs']} jobs computed "
+            f"here ({summary['reclaimed']} stale locks reclaimed, "
+            f"queue {TRACE_CACHE.cache_dir / QUEUE_SUBDIR}) "
+            f"in {time.time() - start:.1f}s",
+            file=sys.stderr,
+        )
+    elif (jobs is not None and jobs > 1 and not args.only
+            and args.which in ("figures", "all")):
+        # Cross-workload fan-out: compute the whole suite's missing
+        # artifacts on the shared pool before any driver runs.
+        from repro.sim.scheduler import prefetch_artifacts
+
+        start = time.time()
+        summary = prefetch_artifacts(suite_specs(EXPERIMENTS, args.quick),
+                                     jobs=jobs)
         print(
             f"prefetch: {summary['workloads']} workloads "
             f"({summary['cached']} cached, {summary['priced']} priced, "
-            f"{summary['traces_built']} traces built) "
+            f"{summary['traces_built']} traces built, "
+            f"{summary['profiles_built']} profiles built) "
             f"in {time.time() - start:.1f}s",
             file=sys.stderr,
         )

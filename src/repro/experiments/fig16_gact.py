@@ -6,6 +6,13 @@ load per read is *measured* by running the functional pipeline: D-SOFT
 filters candidates over the synthetic reference, and the candidate count
 feeds the timing model.
 
+The measurement is the figure's expensive part, so it lives in the
+artifact graph: each (chromosome, sequencer) pair is a ``profile``
+artifact (:func:`~repro.genome.profile.measure_tile_profile`) that the
+scheduler can prefetch across the worker pool — or another machine —
+and that a warm cache restores without touching the pipeline.  The
+timing model itself is closed-form and recomputed each run.
+
 Paper reference: BP 14% average (traffic +34%); MGX_VN 4% (traffic
 +12.5%).
 """
@@ -14,20 +21,31 @@ from __future__ import annotations
 
 from repro.experiments.base import ExperimentResult
 from repro.genome.darwin import DarwinConfig, simulate_gact_workload
-from repro.genome.dsoft import DsoftConfig, SeedIndex, dsoft_filter
-from repro.genome.sequences import CHROMOSOMES, SEQUENCERS, make_reference, simulate_reads
+from repro.genome.sequences import CHROMOSOMES, SEQUENCERS
+from repro.sim.scheduler import ProfileSpec, gact_profile_spec
 
 _QUICK_WORKLOADS = (("chrY", "PacBio"), ("chrY", "ONT1D"))
 
 
-def _measured_tile_factor(chromosome: str, sequencer: str, n_probe_reads: int) -> float:
-    """Average D-SOFT candidates per read from the functional pipeline."""
-    reference = make_reference(chromosome)
-    index = SeedIndex(reference, DsoftConfig().seed_length)
-    profile = SEQUENCERS[sequencer]
-    reads = simulate_reads(reference, profile, n_probe_reads, seed=11)
-    candidates = [len(dsoft_filter(index, read.bases)) for read in reads]
-    return max(1.0, sum(candidates) / len(candidates))
+def _workloads(quick: bool) -> tuple[tuple[tuple[str, str], ...], int, int]:
+    """(workload pairs, aligned reads, functional probe reads) per mode."""
+    if quick:
+        return _QUICK_WORKLOADS, 50, 2
+    workloads = tuple(
+        (chromosome, sequencer)
+        for chromosome in CHROMOSOMES
+        for sequencer in SEQUENCERS
+    )
+    return workloads, 500, 4
+
+
+def profile_specs(quick: bool = False) -> list[ProfileSpec]:
+    """The functional-pipeline artifacts this figure needs (prefetchable)."""
+    workloads, _n_reads, probe_reads = _workloads(quick)
+    return [
+        gact_profile_spec(chromosome, sequencer, probe_reads)
+        for chromosome, sequencer in workloads
+    ]
 
 
 def run(quick: bool = False) -> ExperimentResult:
@@ -38,20 +56,12 @@ def run(quick: bool = False) -> ExperimentResult:
                  "tiles_per_read"],
         notes="tiles_per_read factor measured via the functional D-SOFT filter.",
     )
-    if quick:
-        workloads = _QUICK_WORKLOADS
-        n_reads, probe_reads = 50, 2
-    else:
-        workloads = tuple(
-            (chromosome, sequencer)
-            for chromosome in CHROMOSOMES
-            for sequencer in SEQUENCERS
-        )
-        n_reads, probe_reads = 500, 4
+    workloads, n_reads, probe_reads = _workloads(quick)
 
     bp_values, vn_values = [], []
     for chromosome, sequencer in workloads:
-        factor = _measured_tile_factor(chromosome, sequencer, probe_reads)
+        profile = gact_profile_spec(chromosome, sequencer, probe_reads).fetch()
+        factor = profile["tiles_per_read"]
         config = DarwinConfig(tiles_per_read_factor=factor)
         res = simulate_gact_workload(n_reads, sequencer, config,
                                      schemes=("NP", "BP", "MGX_VN"))

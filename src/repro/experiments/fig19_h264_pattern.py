@@ -6,65 +6,58 @@ location written once per frame), reference reads are dynamic and
 irregular, and everything decrypts correctly — verified end-to-end with
 the real crypto engine on a scaled-down frame size.
 
+The whole computation — trace, invariants, AES-CTR+MAC round-trip — is
+one per-GOP ``profile`` artifact (:func:`~repro.video.profile.
+decode_profile`) in the artifact graph: the scheduler can prefetch it
+across the worker pool or another machine, and a warm cache restores
+the figure without re-running the decoder or the crypto.
+
 The rows *are* the figure: one per buffer access, in decode order, with
 the VN used; the summary records the invariant checks.
 """
 
 from __future__ import annotations
 
-from repro.common.units import KIB
-from repro.core.functional import MgxFunctionalEngine
-from repro.crypto.keys import SessionKeys
 from repro.experiments.base import ExperimentResult
-from repro.mem.backing import BackingStore
-from repro.video.decoder import DecoderConfig, H264Decoder
-from repro.video.gop import GopStructure
+from repro.sim.scheduler import ProfileSpec, gop_profile_spec
+
+_GOP_PATTERN = "IBPB"
+
+
+def _gop_params(quick: bool) -> tuple[str, int, int]:
+    """(pattern, traced frames, functionally-decoded frames) per mode."""
+    n_frames = 8 if quick else 24
+    return _GOP_PATTERN, n_frames, min(n_frames, 16)
+
+
+def profile_specs(quick: bool = False) -> list[ProfileSpec]:
+    """The functional-pipeline artifacts this figure needs (prefetchable)."""
+    return [gop_profile_spec(*_gop_params(quick))]
 
 
 def run(quick: bool = False) -> ExperimentResult:
-    n_frames = 8 if quick else 24
-    gop = GopStructure("IBPB", n_frames)
-    decoder = H264Decoder(gop, DecoderConfig())
-    trace = decoder.decode_trace()
+    profile = gop_profile_spec(*_gop_params(quick)).fetch()
 
     result = ExperimentResult(
         experiment_id="fig19",
         title="Fig. 19 — H.264 decoder access pattern (writes non-overlapping)",
         columns=["step", "frame", "type", "buffer", "kind", "vn"],
     )
-    for record in trace.records:
+    for record in profile["records"]:
         result.add_row(
-            step=record.step,
-            frame=record.display_number,
-            type=record.frame_type,
-            buffer=record.buffer_index,
-            kind=record.kind,
-            vn=f"{record.vn:#x}",
+            step=record["step"],
+            frame=record["frame"],
+            type=record["type"],
+            buffer=record["buffer"],
+            kind=record["kind"],
+            vn=f"{record['vn']:#x}",
         )
 
-    # Invariant 1: one write per (buffer, step) — non-overlapping writes.
-    writes = trace.writes_per_buffer_step()
-    write_once = all(count == 1 for count in writes.values())
-    # Invariant 2: VNs strictly increase per buffer across writes.
-    per_buffer: dict[int, list[int]] = {}
-    for record in trace.records:
-        if record.kind == "write":
-            per_buffer.setdefault(record.buffer_index, []).append(record.vn)
-    vn_monotonic = all(
-        all(a < b for a, b in zip(vns, vns[1:])) for vns in per_buffer.values()
+    result.summary["write_once_per_frame"] = float(profile["write_once_per_frame"])
+    result.summary["vn_monotonic_per_buffer"] = float(
+        profile["vn_monotonic_per_buffer"]
     )
-    # Invariant 3: functional decode round-trips through real AES-CTR+MAC.
-    keys = SessionKeys.derive(b"fig19-root", b"fig19-session")
-    store = BackingStore(1 << 20)
-    engine = MgxFunctionalEngine(keys, store, data_bytes=64 * KIB,
-                                 mac_granularity=512)
-    functional_ok = H264Decoder(
-        GopStructure("IBPB", min(n_frames, 16)), DecoderConfig()
-    ).functional_decode(engine)
-
-    result.summary["write_once_per_frame"] = float(write_once)
-    result.summary["vn_monotonic_per_buffer"] = float(vn_monotonic)
-    result.summary["functional_roundtrip"] = float(functional_ok)
+    result.summary["functional_roundtrip"] = float(profile["functional_roundtrip"])
     result.paper.update(
         write_once_per_frame=1.0, vn_monotonic_per_buffer=1.0,
         functional_roundtrip=1.0,

@@ -1,12 +1,16 @@
 """Experiment registry: one entry per reproduced table/figure.
 
-Sweep-based experiments also register a ``sweep_specs`` provider, which
-lets :func:`run_all` (and the CLI) hand the whole suite's workloads to
-the sweep scheduler at once: with ``jobs >= 2`` every missing
-(workload × scheme) pair is priced across the shared worker pool before
-the drivers run, and the drivers then assemble their tables from the
-cache — deterministically, so the output is byte-identical to a serial
-run.
+Experiments also register artifact-spec providers, which let
+:func:`run_all` (and the CLI) hand the whole suite's job graph to the
+scheduler at once: sweep-based figures contribute ``sweep_specs``
+(trace + per-scheme price + assembled-sweep nodes) and the functional
+figures contribute ``profile_specs`` (fig16's measured tile factors,
+fig19's per-GOP decode profiles).  With ``jobs >= 2`` every missing
+artifact is computed across the shared worker pool before the drivers
+run; with ``--workers`` the same graph is drained cooperatively by
+processes sharing a cache directory.  Either way the drivers then
+assemble their tables from the cache — deterministically, so the output
+is byte-identical to a serial run.
 """
 
 from __future__ import annotations
@@ -24,7 +28,7 @@ from repro.experiments import (
     tables,
 )
 from repro.experiments.base import ExperimentResult
-from repro.sim.scheduler import SweepSpec
+from repro.sim.scheduler import ProfileSpec, SweepSpec
 
 #: experiment id → run(quick=False) callable
 EXPERIMENTS: dict[str, Callable[..., ExperimentResult]] = {
@@ -37,8 +41,7 @@ EXPERIMENTS: dict[str, Callable[..., ExperimentResult]] = {
     "headline": tables.run,
 }
 
-#: experiment id → sweep_specs(quick) provider (sweep-based figures only;
-#: fig16/fig19 are functional reproductions without scheme sweeps).
+#: experiment id → sweep_specs(quick) provider (sweep-based figures).
 SWEEP_SPECS: dict[str, Callable[[bool], list[SweepSpec]]] = {
     "fig03": fig03_traffic_breakdown.sweep_specs,
     "fig12": fig12_dnn_traffic.sweep_specs,
@@ -47,16 +50,37 @@ SWEEP_SPECS: dict[str, Callable[[bool], list[SweepSpec]]] = {
     "headline": tables.sweep_specs,
 }
 
+#: experiment id → profile_specs(quick) provider (functional figures,
+#: whose expensive pipelines are ``profile`` artifacts in the job graph).
+PROFILE_SPECS: dict[str, Callable[[bool], list[ProfileSpec]]] = {
+    "fig16": fig16_gact.profile_specs,
+    "fig19": fig19_h264_pattern.profile_specs,
+}
 
-def suite_specs(experiment_ids, quick: bool = False) -> list[SweepSpec]:
-    """The sweeps the given experiments need (duplicates included;
-    ``prefetch_sweeps`` deduplicates first-seen)."""
-    return [
-        spec
-        for eid in experiment_ids
-        if eid in SWEEP_SPECS
-        for spec in SWEEP_SPECS[eid](quick)
-    ]
+
+def suite_specs(experiment_ids,
+                quick: bool = False) -> list["SweepSpec | ProfileSpec"]:
+    """All artifacts the given experiments need (duplicates included;
+    the scheduler deduplicates first-seen)."""
+    specs: list = []
+    for eid in experiment_ids:
+        if eid in SWEEP_SPECS:
+            specs.extend(SWEEP_SPECS[eid](quick))
+        if eid in PROFILE_SPECS:
+            specs.extend(PROFILE_SPECS[eid](quick))
+    return specs
+
+
+def suite_graph(experiment_ids, quick: bool = False):
+    """The experiments' full artifact-job graph (for distributed drains).
+
+    Deterministic in ``(experiment_ids, quick)``: every process that
+    computes it — on any machine — gets the identical job list, which is
+    what lets the file-lock queue coordinate by job id alone.
+    """
+    from repro.sim.scheduler import build_graph
+
+    return build_graph(suite_specs(experiment_ids, quick))
 
 
 def run_experiment(experiment_id: str, quick: bool = False,
@@ -69,10 +93,10 @@ def run_experiment(experiment_id: str, quick: bool = False,
             f"unknown experiment {experiment_id!r}; known: {sorted(EXPERIMENTS)}"
         ) from None
     if (prefetch and jobs is not None and jobs > 1
-            and experiment_id in SWEEP_SPECS):
-        from repro.sim.scheduler import prefetch_sweeps
+            and (experiment_id in SWEEP_SPECS or experiment_id in PROFILE_SPECS)):
+        from repro.sim.scheduler import prefetch_artifacts
 
-        prefetch_sweeps(SWEEP_SPECS[experiment_id](quick), jobs=jobs)
+        prefetch_artifacts(suite_specs([experiment_id], quick), jobs=jobs)
     kwargs: dict = {"quick": quick}
     # Sweep-based figures take ``jobs``; functional ones (fig16/fig19) don't.
     if jobs is not None and "jobs" in inspect.signature(runner).parameters:
@@ -81,16 +105,16 @@ def run_experiment(experiment_id: str, quick: bool = False,
 
 
 def run_all(quick: bool = False, jobs: int | None = None) -> dict[str, ExperimentResult]:
-    """Run every experiment; ``jobs >= 2`` fans the suite's workloads out.
+    """Run every experiment; ``jobs >= 2`` fans the suite's artifacts out.
 
     The cross-workload prefetch happens once, up front, over the union
-    of all experiments' sweeps; the drivers then consume cached results
-    in their own deterministic order.
+    of all experiments' artifact specs; the drivers then consume cached
+    results in their own deterministic order.
     """
     if jobs is not None and jobs > 1:
-        from repro.sim.scheduler import prefetch_sweeps
+        from repro.sim.scheduler import prefetch_artifacts
 
-        prefetch_sweeps(suite_specs(EXPERIMENTS, quick), jobs=jobs)
+        prefetch_artifacts(suite_specs(EXPERIMENTS, quick), jobs=jobs)
     return {
         eid: run_experiment(eid, quick=quick, jobs=jobs, prefetch=False)
         for eid in EXPERIMENTS

@@ -25,8 +25,47 @@ from repro.core.schemes import ProtectionTraffic, make_baseline, make_mgx, \
     make_mgx_mac, make_mgx_vn
 from repro.experiments.base import ExperimentResult
 
-#: Bump when the sweep document layout changes (invalidates disk entries).
+#: Bump when the sweep/result document layout changes (invalidates disk
+#: entries; per-scheme results and assembled sweeps share one layout).
 SWEEP_CODEC_VERSION = 1
+
+#: Bump when the functional-profile document layout changes.  Profiles
+#: are opaque JSON-primitive dicts produced by the pure pipeline entry
+#: points (``repro.genome.profile``, ``repro.video.profile``); the
+#: version covers the envelope, the entry points version their own keys.
+PROFILE_CODEC_VERSION = 1
+
+
+def result_to_doc(result) -> dict:
+    """Encode one :class:`~repro.sim.perf.SimResult` as JSON-able data."""
+    return {
+        "scheme": result.scheme,
+        "total_cycles": result.total_cycles,
+        "traffic": asdict(result.traffic),
+        "phase_results": [
+            {
+                "name": phase.name,
+                "compute_cycles": phase.compute_cycles,
+                "memory_cycles": phase.memory_cycles,
+            }
+            for phase in result.phase_results
+        ],
+    }
+
+
+def result_from_doc(raw: dict):
+    """Decode :func:`result_to_doc` output back into a ``SimResult``."""
+    from repro.sim.perf import PhaseResult, SimResult
+
+    return SimResult(
+        scheme=raw["scheme"],
+        total_cycles=raw["total_cycles"],
+        traffic=ProtectionTraffic(**raw["traffic"]),
+        phase_results=[
+            PhaseResult(p["name"], p["compute_cycles"], p["memory_cycles"])
+            for p in raw["phase_results"]
+        ],
+    )
 
 
 def sweep_to_doc(sweep) -> dict:
@@ -35,19 +74,7 @@ def sweep_to_doc(sweep) -> dict:
         "version": SWEEP_CODEC_VERSION,
         "workload": sweep.workload,
         "results": {
-            name: {
-                "scheme": result.scheme,
-                "total_cycles": result.total_cycles,
-                "traffic": asdict(result.traffic),
-                "phase_results": [
-                    {
-                        "name": phase.name,
-                        "compute_cycles": phase.compute_cycles,
-                        "memory_cycles": phase.memory_cycles,
-                    }
-                    for phase in result.phase_results
-                ],
-            }
+            name: result_to_doc(result)
             for name, result in sweep.results.items()
         },
     }
@@ -55,22 +82,13 @@ def sweep_to_doc(sweep) -> dict:
 
 def sweep_from_doc(doc: dict):
     """Decode :func:`sweep_to_doc` output back into a ``SchemeSweep``."""
-    from repro.sim.perf import PhaseResult, SimResult
     from repro.sim.runner import SchemeSweep
 
     if doc.get("version") != SWEEP_CODEC_VERSION:
         raise ValueError(f"unsupported sweep codec version {doc.get('version')!r}")
     sweep = SchemeSweep(workload=doc["workload"])
     for name, raw in doc["results"].items():
-        sweep.results[name] = SimResult(
-            scheme=raw["scheme"],
-            total_cycles=raw["total_cycles"],
-            traffic=ProtectionTraffic(**raw["traffic"]),
-            phase_results=[
-                PhaseResult(p["name"], p["compute_cycles"], p["memory_cycles"])
-                for p in raw["phase_results"]
-            ],
-        )
+        sweep.results[name] = result_from_doc(raw)
     return sweep
 
 
@@ -80,6 +98,40 @@ def dumps_sweep(sweep) -> str:
 
 def loads_sweep(text: str):
     return sweep_from_doc(json.loads(text))
+
+
+def dumps_result(result) -> str:
+    """Serialize one per-scheme result (an artifact of the job graph)."""
+    return json.dumps({"version": SWEEP_CODEC_VERSION,
+                       "result": result_to_doc(result)})
+
+
+def loads_result(text: str):
+    doc = json.loads(text)
+    if doc.get("version") != SWEEP_CODEC_VERSION:
+        raise ValueError(f"unsupported result codec version {doc.get('version')!r}")
+    return result_from_doc(doc["result"])
+
+
+def dumps_profile(profile: dict) -> str:
+    """Serialize a functional-pipeline profile (fig16/fig19 artifacts).
+
+    Profiles must already be JSON-primitive; the encoding is exact
+    (ints stay ints, floats round-trip via shortest ``repr``), so a
+    restored profile renders byte-identical figure tables.
+    """
+    if not isinstance(profile, dict):
+        raise TypeError(f"profile must be a dict, got {type(profile).__name__}")
+    return json.dumps({"version": PROFILE_CODEC_VERSION, "profile": profile})
+
+
+def loads_profile(text: str) -> dict:
+    doc = json.loads(text)
+    if doc.get("version") != PROFILE_CODEC_VERSION:
+        raise ValueError(
+            f"unsupported profile codec version {doc.get('version')!r}"
+        )
+    return doc["profile"]
 
 
 def run(quick: bool = False) -> ExperimentResult:

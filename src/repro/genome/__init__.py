@@ -8,6 +8,7 @@ from repro.genome.darwin import (
 )
 from repro.genome.dsoft import Candidate, DsoftConfig, SeedIndex, dsoft_filter
 from repro.genome.gact import GactConfig, GactTimingModel, TileAlignment, align_tile
+from repro.genome.profile import measure_tile_profile
 from repro.genome.sequences import (
     CHROMOSOMES,
     ONT1D,
@@ -32,6 +33,7 @@ __all__ = [
     "dsoft_filter",
     "GactConfig",
     "GactTimingModel",
+    "measure_tile_profile",
     "TileAlignment",
     "align_tile",
     "CHROMOSOMES",

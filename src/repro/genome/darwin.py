@@ -52,6 +52,21 @@ class DarwinConfig:
     #: functional pipeline; overridable per workload).
     tiles_per_read_factor: float = 1.25
 
+    def cache_key(self) -> tuple:
+        """Stable primitive tuple for content-addressed artifact keys.
+
+        Fields are spelled out (never ``astuple``, so field order cannot
+        silently change the key) and floats are encoded with
+        :meth:`float.hex` (so the key never depends on float ``repr``).
+        """
+        g = self.gact
+        return (
+            "darwin", self.arrays, self.pes_per_array, self.freq_hz.hex(),
+            g.tile_bases, g.overlap, g.match, g.mismatch, g.gap,
+            self.dram.cache_key(), self.protected_bytes,
+            self.tiles_per_read_factor.hex(),
+        )
+
 
 @dataclass
 class DarwinResult:

@@ -30,6 +30,16 @@ class DsoftConfig:
     #: Minimum distinct query bases covered by hits in one band.
     threshold: int = 24
 
+    def cache_key(self) -> tuple:
+        """Stable primitive tuple for content-addressed artifact keys.
+
+        Fields are spelled out (never ``astuple``) so a dataclass
+        reordering cannot silently change the key of every cached
+        D-SOFT measurement.
+        """
+        return ("dsoft", self.seed_length, self.stride, self.band,
+                self.threshold)
+
 
 class SeedIndex:
     """Exact k-mer position index over a reference sequence."""

@@ -1,0 +1,282 @@
+"""File-lock distributed work queue over the shared artifact cache.
+
+The artifact graph (:mod:`repro.sim.scheduler`) is a pure function of
+the experiment selection, so every process pointed at the same cache
+directory derives the *same* job list.  That makes distribution almost
+trivial: the only coordination needed is "who computes which missing
+artifact", and a shared filesystem can answer it with lock files —
+
+* **claim** — atomically create ``<job-id>.lock`` (``O_CREAT | O_EXCL``)
+  in the queue directory; the winner computes the job, everyone else
+  moves on to other jobs;
+* **heartbeat** — a daemon thread touches the lock's mtime while the
+  job runs, so long jobs are distinguishable from dead owners;
+* **orphan reclaim** — a lock whose mtime has gone stale (killed
+  worker, rebooted machine) is removed by any waiting worker, and the
+  job becomes claimable again;
+* **done** — an artifact's existence *is* its completion marker (the
+  cache writes are atomic tmp+rename), so stale state can never
+  deadlock a fresh run: a lock without a live heartbeat expires, and a
+  lock racing an existing artifact is skipped outright.
+
+Because every job is deterministic and artifacts are content-addressed,
+duplicate computation after a reclaim race is harmless — both workers
+write byte-identical bytes.  ``python -m repro.experiments --workers N``
+drains the graph this way; processes on separate machines sharing
+``REPRO_CACHE_DIR`` cooperate with no other channel, and the figure
+tables rendered afterwards are byte-identical to a serial run.
+"""
+
+from __future__ import annotations
+
+import os
+import socket
+import threading
+import time
+from pathlib import Path
+from typing import Sequence
+
+from repro.common.errors import ConfigError
+from repro.sim.scheduler import ArtifactJob, compute_job
+
+#: Subdirectory of the shared cache dir that holds the lock files.
+QUEUE_SUBDIR = "queue"
+
+
+class Claim:
+    """An exclusive claim on one job, kept alive by a heartbeat thread.
+
+    The heartbeat is a daemon thread touching the lock file's mtime; if
+    the owning process dies (even ``SIGKILL``), the heartbeat stops with
+    it and the lock goes stale, which is exactly the signal
+    :meth:`WorkQueue.reclaim_stale` keys on.
+
+    ``token`` is the unique line :meth:`WorkQueue.try_claim` wrote into
+    the lock file; both the heartbeat and :meth:`release` verify it
+    before touching the path, so a claim that was reclaimed while its
+    owner stalled (and possibly re-claimed by a peer) can neither
+    keep-alive nor delete the peer's lock.
+    """
+
+    def __init__(self, path: Path, token: str, heartbeat_seconds: float) -> None:
+        self.path = path
+        self.token = token
+        self._stop = threading.Event()
+        self._thread = threading.Thread(
+            target=self._beat, args=(heartbeat_seconds,), daemon=True
+        )
+        self._thread.start()
+
+    def _owns_lock(self) -> bool:
+        try:
+            return self.path.read_text() == self.token
+        except OSError:
+            return False  # reclaimed and not (yet) re-claimed
+
+    def _beat(self, interval: float) -> None:
+        while not self._stop.wait(interval):
+            if not self._owns_lock():
+                break  # lock was reclaimed under us; stop beating
+            try:
+                os.utime(self.path)
+            except OSError:
+                break
+
+    def release(self) -> None:
+        """Stop the heartbeat and remove the lock file (if still ours)."""
+        self._stop.set()
+        self._thread.join(timeout=1.0)
+        if not self._owns_lock():
+            return  # reclaimed by a peer, possibly re-claimed: leave it
+        try:
+            self.path.unlink()
+        except OSError:
+            pass
+
+    def __enter__(self) -> "Claim":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.release()
+
+
+class WorkQueue:
+    """Lock-file claims over a shared directory (no daemon, no sockets).
+
+    ``stale_seconds`` must comfortably exceed ``heartbeat_seconds`` —
+    the gap is the tolerance for filesystem latency on a shared mount.
+    """
+
+    def __init__(
+        self,
+        queue_dir: str | os.PathLike,
+        worker_id: str | None = None,
+        heartbeat_seconds: float = 2.0,
+        stale_seconds: float = 30.0,
+        poll_seconds: float = 0.1,
+    ) -> None:
+        if stale_seconds <= heartbeat_seconds:
+            raise ConfigError(
+                f"stale_seconds ({stale_seconds}) must exceed "
+                f"heartbeat_seconds ({heartbeat_seconds})"
+            )
+        self.queue_dir = Path(queue_dir)
+        self.queue_dir.mkdir(parents=True, exist_ok=True)
+        self.worker_id = worker_id or f"{socket.gethostname()}-{os.getpid()}"
+        self.heartbeat_seconds = heartbeat_seconds
+        self.stale_seconds = stale_seconds
+        self.poll_seconds = poll_seconds
+
+    def lock_path(self, job_id: str) -> Path:
+        return self.queue_dir / f"{job_id}.lock"
+
+    def try_claim(self, job_id: str) -> Claim | None:
+        """Atomically claim a job; ``None`` if a peer holds it."""
+        path = self.lock_path(job_id)
+        try:
+            fd = os.open(path, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+        except FileExistsError:
+            return None
+        token = f"{self.worker_id} {os.getpid()} {time.monotonic_ns()}\n"
+        with os.fdopen(fd, "w") as f:
+            f.write(token)
+        return Claim(path, token, self.heartbeat_seconds)
+
+    def is_claimed(self, job_id: str) -> bool:
+        return self.lock_path(job_id).exists()
+
+    def reclaim_stale(self) -> list[str]:
+        """Remove locks whose heartbeat stopped; returns reclaimed job ids.
+
+        Safe to race: ``unlink`` failures (a peer reclaimed first, or
+        the owner released) are ignored, and a reclaimed job is still
+        guarded by the artifact-existence check before recomputation.
+        """
+        reclaimed: list[str] = []
+        now = time.time()
+        for lock in sorted(self.queue_dir.glob("*.lock")):
+            try:
+                mtime = lock.stat().st_mtime
+            except OSError:
+                continue  # released between glob and stat
+            if now - mtime <= self.stale_seconds:
+                continue
+            try:
+                lock.unlink()
+            except OSError:
+                continue
+            reclaimed.append(lock.stem)
+        return reclaimed
+
+
+def drain_graph(
+    jobs: Sequence[ArtifactJob],
+    queue: WorkQueue,
+    timeout: float | None = None,
+) -> dict:
+    """Cooperatively compute every missing artifact of one job graph.
+
+    Each pass walks the (topologically ordered) job list: jobs whose
+    artifact already exists are done — whether this process or a peer
+    made them — jobs with missing dependencies wait, and buildable jobs
+    are raced for via lock-file claims.  When a pass makes no progress
+    the worker reclaims stale locks and naps briefly; the loop ends when
+    every artifact exists.  Returns a summary of this worker's share.
+
+    ``timeout`` bounds the total wait (``RuntimeError`` on expiry) —
+    mainly a test/CI guard against a peer that claimed work and then
+    hangs while still heartbeating.
+    """
+    from repro.sim.runner import TRACE_CACHE
+
+    if not TRACE_CACHE.enabled:
+        raise ConfigError("the trace cache is disabled; a distributed drain "
+                          "needs it as the shared artifact substrate")
+    if TRACE_CACHE.cache_dir is None:
+        raise ConfigError("no cache dir attached (use --cache-dir or "
+                          "REPRO_CACHE_DIR); a distributed drain needs a "
+                          "shared artifact directory")
+    summary = {"jobs": len(jobs), "computed": 0, "reclaimed": 0, "waits": 0}
+    deadline = None if timeout is None else time.monotonic() + timeout
+    pending = list(jobs)
+    while pending:
+        progressed = False
+        still_pending: list[ArtifactJob] = []
+        for job in pending:
+            if TRACE_CACHE.has(job.key):
+                continue  # done — by us on an earlier pass, or by a peer
+            if not all(TRACE_CACHE.has(dep) for dep in job.deps):
+                still_pending.append(job)
+                continue
+            claim = queue.try_claim(job.job_id())
+            if claim is None:
+                still_pending.append(job)  # a peer is on it; check back
+                continue
+            try:
+                # Re-check under the lock: the artifact may have landed
+                # between our presence check and the claim.
+                if not TRACE_CACHE.has(job.key):
+                    compute_job(job)
+                    summary["computed"] += 1
+            finally:
+                claim.release()
+            progressed = True
+        pending = still_pending
+        if pending and not progressed:
+            summary["reclaimed"] += len(queue.reclaim_stale())
+            summary["waits"] += 1
+            if deadline is not None and time.monotonic() > deadline:
+                raise RuntimeError(
+                    f"distributed drain timed out with {len(pending)} jobs "
+                    f"pending (first: {pending[0].job_id()})"
+                )
+            time.sleep(queue.poll_seconds)
+    return summary
+
+
+def _drain_worker(jobs: Sequence[ArtifactJob], cache_dir: str,
+                  worker_id: str) -> None:
+    """Entry point for a local drain subprocess (picklable, top-level)."""
+    from repro.sim.runner import TRACE_CACHE
+
+    TRACE_CACHE.set_cache_dir(cache_dir)
+    queue = WorkQueue(Path(cache_dir) / QUEUE_SUBDIR, worker_id=worker_id)
+    drain_graph(jobs, queue)
+
+
+def run_workers(jobs: Sequence[ArtifactJob], cache_dir: str | os.PathLike,
+                workers: int, timeout: float | None = 3600.0) -> dict:
+    """Drain one graph with ``workers`` local processes (plus any peers).
+
+    The calling process is worker 0 (so ``workers=1`` degrades to a
+    plain in-process drain); the rest are spawned subprocesses.  All of
+    them — and any ``--workers`` processes on other machines sharing the
+    cache dir — coordinate purely through the queue directory.
+
+    The default ``timeout`` is a guard against a *live but hung* peer —
+    one that holds a claim and keeps heartbeating without ever
+    finishing; dead peers are handled by stale-lock reclaim long before
+    it fires, and the ``RuntimeError`` names the stuck job.
+    """
+    if workers < 1:
+        raise ConfigError(f"workers must be >= 1, got {workers}")
+    import multiprocessing as mp
+
+    cache_dir = str(cache_dir)
+    queue = WorkQueue(Path(cache_dir) / QUEUE_SUBDIR)
+    helpers = [
+        mp.Process(target=_drain_worker,
+                   args=(list(jobs), cache_dir, f"{queue.worker_id}-w{i}"),
+                   daemon=True)
+        for i in range(1, workers)
+    ]
+    for helper in helpers:
+        helper.start()
+    try:
+        summary = drain_graph(jobs, queue, timeout=timeout)
+    finally:
+        for helper in helpers:
+            helper.join(timeout=60.0)
+            if helper.is_alive():
+                helper.terminate()
+    return summary

@@ -45,6 +45,22 @@ from repro.sim.perf import PerfConfig, PerformanceModel, SimResult
 SCHEMES = ("NP", "BP", "MGX", "MGX_VN", "MGX_MAC")
 
 
+def dnn_label(model_name: str, config_name: str, training: bool) -> str:
+    """One DNN workload's display label.
+
+    The single source of truth: sweeps are cached under tables keyed by
+    this string, and the scheduler's assembly nodes
+    (:meth:`~repro.sim.scheduler.SweepSpec.label`) must render the exact
+    label the serial drivers do.
+    """
+    return f"{model_name}-{'Train' if training else 'Inf'}-{config_name}"
+
+
+def graph_label(benchmark: str, algorithm: str) -> str:
+    """One graph workload's display label (see :func:`dnn_label`)."""
+    return f"{algorithm}-{benchmark}"
+
+
 @dataclass
 class BatchedTrace:
     """A phase list plus its once-converted structure-of-arrays columns."""
@@ -99,12 +115,40 @@ def _decode_sweep(text: str) -> "SchemeSweep":
     return loads_sweep(text)
 
 
+def _encode_result(value) -> str:
+    from repro.experiments.storage import dumps_result
+
+    return dumps_result(value)
+
+
+def _decode_result(text: str):
+    from repro.experiments.storage import loads_result
+
+    return loads_result(text)
+
+
+def _encode_profile(value) -> str:
+    from repro.experiments.storage import dumps_profile
+
+    return dumps_profile(value)
+
+
+def _decode_profile(text: str):
+    from repro.experiments.storage import loads_profile
+
+    return loads_profile(text)
+
+
 #: Disk codecs by key kind (the suffix of a key's leading tag, e.g.
 #: ``("dnn-trace", ...)`` → ``trace``).  Kinds without a codec stay
-#: memory-only.
+#: memory-only.  ``result`` entries are the artifact graph's per-scheme
+#: price nodes and ``profile`` entries its functional-pipeline nodes
+#: (fig16 tile factors, fig19 GOP profiles).
 _DISK_CODECS: dict[str, tuple[Callable[[object], str], Callable[[str], object]]] = {
     "trace": (_encode_trace, _decode_trace),
     "sweep": (_encode_sweep, _decode_sweep),
+    "result": (_encode_result, _decode_result),
+    "profile": (_encode_profile, _decode_profile),
 }
 
 
@@ -229,6 +273,22 @@ class TraceCache:
         if not self.enabled:
             return None
         return self._lookup(key)
+
+    def has(self, key: Hashable) -> bool:
+        """Cheap presence check: memory tier, or a spill file on disk.
+
+        Unlike :meth:`peek` this never parses a spill, so the distributed
+        work queue can poll artifact availability without repeatedly
+        decoding multi-megabyte traces.  A truncated/corrupt spill can
+        make ``has`` report True where ``peek`` would return ``None``;
+        consumers fall back to rebuilding via :meth:`get_or_build`.
+        """
+        if not self.enabled:
+            return False
+        if key in self._entries:
+            return True
+        path = self._disk_path(key)
+        return path is not None and path.exists()
 
     def put(self, key: Hashable, value: object, built: bool = True) -> None:
         """Insert a value computed elsewhere (e.g. by a sweep worker).
@@ -363,7 +423,7 @@ def dnn_workload(model_name: str, config_name: str = "Cloud",
                  use_cache: bool = True) -> Workload:
     """Build (or fetch from the cache) one DNN workload's batched trace."""
     config: DnnAcceleratorConfig = CONFIGS[config_name]
-    label = f"{model_name}-{'Train' if training else 'Inf'}-{config_name}"
+    label = dnn_label(model_name, config_name, training)
 
     def build() -> BatchedTrace:
         generator = DnnTraceGenerator(build_model(model_name), config, batch=batch)
@@ -419,7 +479,7 @@ def graph_workload(benchmark: str, algorithm: str = "PR",
         TRACE_CACHE.get_or_build(key, build) if use_cache else build()
     )
     return Workload(
-        label=f"{algorithm}-{benchmark}",
+        label=graph_label(benchmark, algorithm),
         trace=trace,
         protected_bytes=config.protected_bytes,
         accel_freq_hz=config.freq_hz,

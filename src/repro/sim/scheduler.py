@@ -1,23 +1,34 @@
-"""Sweep scheduler: the suite's (workload × scheme) job graph.
+"""Artifact-graph scheduler: the suite's content-addressed job graph.
 
-PR 1 parallelized *within* one sweep — a fresh process pool per
-``sweep_schemes`` call, schemes fanned out, pool torn down.  The figure
-suite, however, is a batch of many workloads, each priced under the same
-five schemes, with heavy overlap between experiments.  This module
-treats that whole batch as a single job graph executed on **one shared
-process pool**:
+The whole evaluation — timing sweeps *and* functionally-verified crypto
+pipelines — is modelled as one **artifact graph**.  A job is
+``(kind, content key, dependencies)`` and produces a codec-serialized
+artifact in the shared cache (:data:`~repro.sim.runner.TRACE_CACHE`,
+whose disk tier is the cross-process / cross-machine substrate):
 
-* a **warm node** per workload generates (or restores) the trace and
-  spills it through the trace cache's disk tier, so every worker can
-  reach it without re-shipping it over the pipe;
-* a **price node** per (workload × scheme) pair loads the spilled trace
-  and prices one scheme — these are submitted as soon as their
-  workload's warm node completes, so pricing of workload A overlaps
-  trace generation of workload B;
-* results are collected **deterministically** (workload submission order
-  × scheme presentation order) and inserted into
-  :data:`~repro.sim.runner.TRACE_CACHE` under the exact keys the serial
-  drivers use, so the figure tables are byte-identical to a serial run.
+* ``trace`` — a workload's generated trace, spilled through the trace
+  cache so every consumer can reach it without re-shipping it;
+* ``result`` — one (workload × scheme) pricing, depending on its trace;
+* ``sweep`` — the assembled five-scheme sweep under the exact cache key
+  the serial drivers use, depending on its five results;
+* ``profile`` — a functional-pipeline artifact: fig16's measured
+  per-(chromosome, sequencer) D-SOFT tile factors and fig19's per-GOP
+  decode/traffic profiles (see :mod:`repro.genome.profile` and
+  :mod:`repro.video.profile`).
+
+Two executors drain the graph:
+
+* :func:`prefetch_artifacts` — **one shared process pool** inside a
+  single run.  Trace and profile nodes fan out immediately; each
+  workload's result nodes are submitted the moment its trace lands, so
+  pricing of workload A overlaps trace generation of workload B.
+  Results are collected **deterministically** (spec submission order ×
+  scheme presentation order), so figure tables are byte-identical to a
+  serial run.
+* :func:`repro.sim.queue.drain_graph` — a **file-lock work queue** over
+  the shared cache directory, letting ``--workers`` processes on
+  separate machines pointed at the same ``REPRO_CACHE_DIR`` drain one
+  graph cooperatively.
 
 Single-workload parallel sweeps (``sweep_schemes(..., jobs=N)``, the
 trace-file CLI) ride the same shared pool: the trace is spilled once to
@@ -33,7 +44,6 @@ always use the temporary store, which :func:`shutdown` removes.
 from __future__ import annotations
 
 import atexit
-import hashlib
 import os
 import shutil
 import tempfile
@@ -122,9 +132,10 @@ def store_trace(trace: "BatchedTrace") -> str:
     would duplicate them there with nothing ever reclaiming the space.
     """
     from repro.sim.runner import _encode_trace
+    from repro.sim.tracefile import doc_digest
 
     text = _encode_trace(trace)
-    digest = hashlib.sha256(text.encode()).hexdigest()[:32]
+    digest = doc_digest(text)
     path = _temp_store_dir() / f"xtrace-{digest}.json"
     if not path.exists():
         tmp = path.with_suffix(f".tmp.{os.getpid()}")
@@ -180,6 +191,32 @@ class SweepSpec:
 
         return ("graph-sweep", *self.params, GraphAcceleratorConfig().cache_key())
 
+    def trace_key(self) -> Hashable:
+        """The workload's trace-artifact key (the warm node's output)."""
+        if self.kind == "dnn":
+            return ("dnn-trace", *self.params)
+        from repro.graph.graphlily import GraphAcceleratorConfig
+
+        return ("graph-trace", *self.params, GraphAcceleratorConfig().cache_key())
+
+    def result_key(self, scheme: str) -> Hashable:
+        """The (workload × scheme) result-artifact key (a price node)."""
+        if self.kind == "dnn":
+            return ("dnn-result", *self.params, scheme)
+        from repro.graph.graphlily import GraphAcceleratorConfig
+
+        return ("graph-result", *self.params,
+                GraphAcceleratorConfig().cache_key(), scheme)
+
+    def label(self) -> str:
+        """The workload label, computed without building the trace."""
+        from repro.sim.runner import dnn_label, graph_label
+
+        if self.kind == "dnn":
+            model, config, training, _batch = self.params
+            return dnn_label(model, config, training)
+        return graph_label(self.params[0], self.params[1])
+
     def build_workload(self) -> "Workload":
         from repro.sim import runner
 
@@ -215,6 +252,166 @@ def graph_spec(benchmark: str, algorithm: str = "PR",
     return SweepSpec("graph", (benchmark, algorithm, iterations, scale_divisor))
 
 
+@dataclass(frozen=True)
+class ProfileSpec:
+    """A functional-pipeline artifact request (fig16/fig19 graph nodes).
+
+    Like :class:`SweepSpec`, a profile spec is tiny, picklable and
+    hashable; its artifact is a JSON-primitive dict produced by a pure
+    entry point (:mod:`repro.genome.profile`, :mod:`repro.video.profile`)
+    and keyed on the full configuration content, so equal configurations
+    share one cached measurement across processes and machines.
+    """
+
+    kind: str  # "gact" | "gop"
+    params: tuple
+
+    def artifact_key(self) -> Hashable:
+        if self.kind == "gact":
+            from repro.genome.dsoft import DsoftConfig
+
+            chromosome, sequencer, probe_reads, seed = self.params
+            return ("gact-profile", chromosome, sequencer, probe_reads,
+                    seed, DsoftConfig().cache_key())
+        from repro.video.decoder import DecoderConfig
+        from repro.video.profile import (
+            FUNCTIONAL_DATA_BYTES,
+            FUNCTIONAL_MAC_GRANULARITY,
+        )
+
+        pattern, n_frames, functional_frames = self.params
+        return ("gop-profile", pattern, n_frames, functional_frames,
+                FUNCTIONAL_DATA_BYTES, FUNCTIONAL_MAC_GRANULARITY,
+                DecoderConfig().cache_key())
+
+    def build_profile(self) -> dict:
+        """Run the functional pipeline (the expensive, cacheable part)."""
+        if self.kind == "gact":
+            from repro.genome.profile import measure_tile_profile
+
+            chromosome, sequencer, probe_reads, seed = self.params
+            return measure_tile_profile(chromosome, sequencer, probe_reads,
+                                        seed=seed)
+        from repro.video.profile import decode_profile
+
+        pattern, n_frames, functional_frames = self.params
+        return decode_profile(pattern, n_frames, functional_frames)
+
+    def fetch(self) -> dict:
+        """The cached profile, built on a miss — the figure drivers' entry."""
+        from repro.sim.runner import TRACE_CACHE
+
+        return TRACE_CACHE.get_or_build(self.artifact_key(), self.build_profile)
+
+
+def gact_profile_spec(chromosome: str, sequencer: str, probe_reads: int,
+                      seed: int = 11) -> ProfileSpec:
+    """Fig. 16's measured D-SOFT tile factor for one (chromosome, sequencer)."""
+    return ProfileSpec("gact", (chromosome, sequencer, probe_reads, seed))
+
+
+def gop_profile_spec(pattern: str, n_frames: int,
+                     functional_frames: int) -> ProfileSpec:
+    """Fig. 19's decode/traffic profile for one GOP configuration."""
+    return ProfileSpec("gop", (pattern, n_frames, functional_frames))
+
+
+# ---------------------------------------------------------------------------
+# The artifact graph
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class ArtifactJob:
+    """One node of the content-addressed job graph.
+
+    ``key`` is the artifact's exact :data:`~repro.sim.runner.TRACE_CACHE`
+    key (its content address — the disk-tier file name is a stable digest
+    of it); ``deps`` are the keys whose artifacts must exist before this
+    job can run.  Jobs are tiny, picklable and hashable, so the same
+    graph can be drained by the in-process pool or by the file-lock
+    queue across machines.
+    """
+
+    kind: str  # "trace" | "result" | "sweep" | "profile"
+    key: tuple
+    spec: "SweepSpec | ProfileSpec"
+    scheme: str | None = None
+    deps: tuple = ()
+
+    def job_id(self) -> str:
+        """Filesystem-safe stable identity (the queue's lock-file name)."""
+        from repro.sim.runner import _key_digest
+
+        return f"{self.kind}-{_key_digest(self.key)}"
+
+
+def build_graph(specs: Iterable["SweepSpec | ProfileSpec"]) -> list[ArtifactJob]:
+    """Expand specs into a deterministic, topologically-ordered job list.
+
+    Every sweep spec becomes a ``trace`` node, one ``result`` node per
+    suite scheme (depending on the trace) and a ``sweep`` assembly node
+    (depending on the results); profile specs are single dependency-free
+    ``profile`` nodes.  Dependencies always precede their dependents, and
+    the order is a pure function of the spec sequence — every cooperating
+    process derives the identical graph.
+    """
+    from repro.sim.runner import SCHEMES
+
+    jobs: list[ArtifactJob] = []
+    seen: set = set()
+    for spec in specs:
+        if spec in seen:
+            continue
+        seen.add(spec)
+        if isinstance(spec, ProfileSpec):
+            jobs.append(ArtifactJob("profile", spec.artifact_key(), spec))
+            continue
+        trace_key = spec.trace_key()
+        jobs.append(ArtifactJob("trace", trace_key, spec))
+        result_keys = tuple(spec.result_key(name) for name in SCHEMES)
+        for name, key in zip(SCHEMES, result_keys):
+            jobs.append(
+                ArtifactJob("result", key, spec, scheme=name, deps=(trace_key,))
+            )
+        jobs.append(ArtifactJob("sweep", spec.sweep_key(), spec,
+                                deps=result_keys))
+    return jobs
+
+
+def compute_job(job: ArtifactJob) -> None:
+    """Execute one job inline, storing its artifact in the shared cache.
+
+    This is the single execution path the file-lock queue workers use;
+    every kind stores under its content key through
+    :data:`~repro.sim.runner.TRACE_CACHE`, whose disk tier (atomic
+    tmp+rename writes) makes concurrent duplicate computation harmless —
+    deterministic jobs produce byte-identical artifacts.
+    """
+    from repro.sim.runner import SCHEMES, TRACE_CACHE, SchemeSweep
+
+    if job.kind == "trace":
+        job.spec.build_workload()  # get_or_build spills under the trace key
+    elif job.kind == "result":
+        TRACE_CACHE.put(job.key, _price_spec(job.spec, job.scheme))
+    elif job.kind == "profile":
+        TRACE_CACHE.put(job.key, job.spec.build_profile())
+    elif job.kind == "sweep":
+        sweep = SchemeSweep(workload=job.spec.label())
+        for name, key in zip(SCHEMES, job.deps):
+            result = TRACE_CACHE.peek(key)
+            if result is None:
+                # The dep passed the queue's existence check but does not
+                # decode (stale codec version, truncated spill) — or was
+                # never spilled at all.  Rebuild transparently, exactly
+                # as the serial get_or_build path would.
+                result = _price_spec(job.spec, name)
+                TRACE_CACHE.put(key, result)
+            sweep.results[name] = result
+        TRACE_CACHE.put(job.key, sweep)
+    else:
+        raise ValueError(f"unknown artifact job kind {job.kind!r}")
+
+
 # ---------------------------------------------------------------------------
 # Worker entry points (must be picklable module functions)
 # ---------------------------------------------------------------------------
@@ -240,23 +437,29 @@ def _warm_job(spec: SweepSpec, store_dir: str) -> dict:
 
     _attach_store(store_dir)
     before = TRACE_CACHE.miss_kinds.get("trace", 0)
-    workload = spec.build_workload()
-    return {
-        "label": workload.label,
-        "accesses": workload.trace.total_accesses,
-        "built": TRACE_CACHE.miss_kinds.get("trace", 0) > before,
-    }
+    spec.build_workload()
+    return {"built": TRACE_CACHE.miss_kinds.get("trace", 0) > before}
 
 
-def _price_spec_job(spec: SweepSpec, scheme_name: str, store_dir: str) -> "SimResult":
-    """Price node: one scheme over one workload's (stored) trace."""
+def _price_spec(spec: SweepSpec, scheme_name: str) -> "SimResult":
+    """One (workload × scheme) pricing; the workload comes via the cache."""
     from repro.core.schemes import scheme_suite
 
-    _attach_store(store_dir)
     workload = spec.build_workload()
     scheme = scheme_suite(workload.protected_bytes)[scheme_name]
     model = workload.performance_model()
     return model.run(workload.trace.phases, scheme, batches=workload.trace.batches)
+
+
+def _price_spec_job(spec: SweepSpec, scheme_name: str, store_dir: str) -> "SimResult":
+    """Price node: one scheme over one workload's (stored) trace."""
+    _attach_store(store_dir)
+    return _price_spec(spec, scheme_name)
+
+
+def _profile_job(spec: ProfileSpec) -> dict:
+    """Profile node: run one functional pipeline; the parent stores it."""
+    return spec.build_profile()
 
 
 def _price_stored_job(digest: str, store_dir: str, model: "PerformanceModel",
@@ -297,35 +500,47 @@ def parallel_sweep(workload: str, phases, model: "PerformanceModel", suite: dict
     return sweep
 
 
-def prefetch_sweeps(specs: Iterable[SweepSpec], jobs: int | None = None) -> dict:
-    """Price every spec's missing full-suite sweep; returns a summary.
+def prefetch_artifacts(specs: Iterable["SweepSpec | ProfileSpec"],
+                       jobs: int | None = None) -> dict:
+    """Compute every spec's missing artifact; returns a summary.
 
-    This is the cross-workload fan-out: warm nodes run for all missing
-    workloads concurrently, and each workload's scheme-price nodes are
-    submitted the moment its warm node finishes.  Finished sweeps are
-    inserted into :data:`~repro.sim.runner.TRACE_CACHE` (and spilled to
-    its disk tier when attached) under the serial drivers' keys, so the
-    drivers afterwards run entirely from cache — deterministically.
-    Sweeps always cover the full scheme suite: the cache keys are the
-    drivers' full-sweep keys, so a partial sweep must never land there.
+    This is the cross-workload fan-out over the artifact graph: trace
+    and profile nodes run for all missing specs concurrently, and each
+    workload's scheme-price nodes are submitted the moment its trace
+    lands.  Finished sweeps and profiles are inserted into
+    :data:`~repro.sim.runner.TRACE_CACHE` (and spilled to its disk tier
+    when attached) under the serial drivers' keys, so the drivers
+    afterwards run entirely from cache — deterministically.  Sweeps
+    always cover the full scheme suite: the cache keys are the drivers'
+    full-sweep keys, so a partial sweep must never land there.
     """
     from repro.sim.runner import SCHEMES, TRACE_CACHE, SchemeSweep
 
     names = list(SCHEMES)
-    unique: list[SweepSpec] = []
-    seen: set[SweepSpec] = set()
+    sweep_specs: list[SweepSpec] = []
+    profile_specs: list[ProfileSpec] = []
+    seen: set = set()
     for spec in specs:
-        if spec not in seen:
-            seen.add(spec)
-            unique.append(spec)
-    pending = [s for s in unique if TRACE_CACHE.peek(s.sweep_key()) is None]
+        if spec in seen:
+            continue
+        seen.add(spec)
+        if isinstance(spec, ProfileSpec):
+            profile_specs.append(spec)
+        else:
+            sweep_specs.append(spec)
+    pending = [s for s in sweep_specs if TRACE_CACHE.peek(s.sweep_key()) is None]
+    pending_profiles = [
+        p for p in profile_specs if TRACE_CACHE.peek(p.artifact_key()) is None
+    ]
     summary = {
-        "workloads": len(unique),
-        "cached": len(unique) - len(pending),
+        "workloads": len(sweep_specs) + len(profile_specs),
+        "cached": (len(sweep_specs) - len(pending)
+                   + len(profile_specs) - len(pending_profiles)),
         "priced": 0,
         "traces_built": 0,
+        "profiles_built": 0,
     }
-    if not pending:
+    if not pending and not pending_profiles:
         return summary
     if not TRACE_CACHE.enabled:
         # Nowhere to put prefetched results; the drivers will price (and
@@ -333,7 +548,7 @@ def prefetch_sweeps(specs: Iterable[SweepSpec], jobs: int | None = None) -> dict
         return summary
     if effective_workers(jobs) < 2:
         # One core (or jobs <= 1): a worker pool would only add pickling
-        # and process churn, so price inline — the cache still fills.
+        # and process churn, so compute inline — the cache still fills.
         for spec in pending:
             before = TRACE_CACHE.miss_kinds.get("trace", 0)
             spec.run_inline()
@@ -341,6 +556,9 @@ def prefetch_sweeps(specs: Iterable[SweepSpec], jobs: int | None = None) -> dict
                 TRACE_CACHE.miss_kinds.get("trace", 0) > before
             )
             summary["priced"] += 1
+        for profile_spec in pending_profiles:
+            profile_spec.fetch()
+            summary["profiles_built"] += 1
         return summary
 
     store = str(trace_store_dir())
@@ -348,31 +566,41 @@ def prefetch_sweeps(specs: Iterable[SweepSpec], jobs: int | None = None) -> dict
     warm: dict[Future, SweepSpec] = {
         pool.submit(_warm_job, spec, store): spec for spec in pending
     }
+    profiling: dict[Future, ProfileSpec] = {
+        pool.submit(_profile_job, spec): spec for spec in pending_profiles
+    }
     price: dict[Future, tuple[SweepSpec, str]] = {}
-    labels: dict[SweepSpec, str] = {}
     results: dict[tuple[SweepSpec, str], "SimResult"] = {}
-    outstanding: set[Future] = set(warm)
+    outstanding: set[Future] = set(warm) | set(profiling)
     while outstanding:
         done, outstanding = wait(outstanding, return_when=FIRST_COMPLETED)
         for future in done:
             if future in warm:
                 spec = warm[future]
                 meta = future.result()
-                labels[spec] = meta["label"]
                 summary["traces_built"] += bool(meta["built"])
                 for name in names:
                     job = pool.submit(_price_spec_job, spec, name, store)
                     price[job] = (spec, name)
                     outstanding.add(job)
+            elif future in profiling:
+                profile_spec = profiling[future]
+                TRACE_CACHE.put(profile_spec.artifact_key(), future.result())
+                summary["profiles_built"] += 1
             else:
                 spec, name = price[future]
                 results[spec, name] = future.result()
 
     # Deterministic collection: submission order × presentation order.
     for spec in pending:
-        sweep = SchemeSweep(workload=labels[spec])
+        sweep = SchemeSweep(workload=spec.label())
         for name in names:
             sweep.results[name] = results[spec, name]
         TRACE_CACHE.put(spec.sweep_key(), sweep)
         summary["priced"] += 1
     return summary
+
+
+#: Back-compat name from the PR-2 sweep-only scheduler; sweep specs are
+#: now just one artifact kind among several.
+prefetch_sweeps = prefetch_artifacts

@@ -35,6 +35,7 @@ rest default to a sequential bulk transfer with scheme-managed VNs.
 
 from __future__ import annotations
 
+import hashlib
 import json
 from dataclasses import dataclass
 
@@ -126,6 +127,17 @@ def phases_to_doc(phases: list[Phase]) -> list[dict]:
         }
         for phase in phases
     ]
+
+
+def doc_digest(text: str) -> str:
+    """Stable content digest of a serialized trace/artifact document.
+
+    This is the content-addressing primitive shared by the scheduler's
+    spill store and the distributed work queue: equal documents get equal
+    names on every machine, so a shared cache directory deduplicates by
+    construction.
+    """
+    return hashlib.sha256(text.encode()).hexdigest()[:32]
 
 
 def loads(text: str) -> TraceFile:

@@ -7,6 +7,7 @@ from repro.video.decoder import (
     H264Decoder,
 )
 from repro.video.gop import FrameInfo, FrameType, GopStructure
+from repro.video.profile import decode_profile
 
 __all__ = [
     "AccessRecord",
@@ -16,4 +17,5 @@ __all__ = [
     "FrameInfo",
     "FrameType",
     "GopStructure",
+    "decode_profile",
 ]

@@ -45,6 +45,19 @@ class DecoderConfig:
     bitstream_bits_per_pixel: float = 0.8
     protected_bytes: int = 1 * GIB
 
+    def cache_key(self) -> tuple:
+        """Stable primitive tuple for content-addressed artifact keys.
+
+        Fields are spelled out (never ``astuple``, so field order cannot
+        silently change the key) and floats are encoded with
+        :meth:`float.hex` (so the key never depends on float ``repr``).
+        """
+        return (
+            "h264", self.width, self.height, self.bytes_per_pixel,
+            self.frame_buffers, self.freq_hz.hex(),
+            self.bitstream_bits_per_pixel.hex(), self.protected_bytes,
+        )
+
     @property
     def frame_bytes(self) -> int:
         return self.width * self.height * self.bytes_per_pixel

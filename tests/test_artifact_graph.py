@@ -1,0 +1,272 @@
+"""Artifact graph: structure, functional profile artifacts, key stability.
+
+The graph's contract: every spec expands into the same deterministic,
+topologically-ordered job list on every process; executing jobs through
+``compute_job`` is result-identical to the serial drivers; and the
+fig16/fig19 functional pipelines become disk artifacts that a warm
+rerun restores without recomputation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import astuple
+
+import pytest
+
+from repro.sim.runner import SCHEMES, TRACE_CACHE, dnn_sweep
+from repro.sim.scheduler import (
+    ArtifactJob,
+    build_graph,
+    compute_job,
+    dnn_spec,
+    gact_profile_spec,
+    gop_profile_spec,
+    graph_spec,
+)
+
+
+@pytest.fixture
+def fresh_cache():
+    saved_dir = TRACE_CACHE.cache_dir
+    TRACE_CACHE.set_cache_dir(None)
+    TRACE_CACHE.clear()
+    yield TRACE_CACHE
+    TRACE_CACHE.set_cache_dir(saved_dir)
+    TRACE_CACHE.clear()
+
+
+@pytest.fixture
+def disk_cache(tmp_path):
+    saved_dir = TRACE_CACHE.cache_dir
+    TRACE_CACHE.clear()
+    TRACE_CACHE.set_cache_dir(tmp_path / "cache")
+    yield TRACE_CACHE
+    TRACE_CACHE.set_cache_dir(saved_dir)
+    TRACE_CACHE.clear()
+
+
+class TestGraphStructure:
+    def test_sweep_spec_expands_to_trace_results_sweep(self):
+        spec = dnn_spec("AlexNet", "Cloud")
+        jobs = build_graph([spec])
+        assert [j.kind for j in jobs] == (
+            ["trace"] + ["result"] * len(SCHEMES) + ["sweep"]
+        )
+        trace, *results, sweep = jobs
+        assert trace.deps == ()
+        for result, scheme in zip(results, SCHEMES):
+            assert result.scheme == scheme
+            assert result.deps == (trace.key,)
+        assert sweep.deps == tuple(r.key for r in results)
+        assert sweep.key == spec.sweep_key()
+
+    def test_profile_spec_is_one_dependency_free_node(self):
+        jobs = build_graph([gact_profile_spec("chrY", "PacBio", 2)])
+        assert len(jobs) == 1
+        assert jobs[0].kind == "profile"
+        assert jobs[0].deps == ()
+
+    def test_dependencies_precede_dependents(self):
+        jobs = build_graph([
+            dnn_spec("AlexNet", "Cloud"),
+            graph_spec("google-plus", "PR", iterations=2, scale_divisor=256),
+            gop_profile_spec("IBPB", 8, 8),
+        ])
+        seen: set = set()
+        for job in jobs:
+            assert all(dep in seen for dep in job.deps), job.kind
+            seen.add(job.key)
+
+    def test_duplicate_specs_dedup_first_seen(self):
+        spec = dnn_spec("AlexNet", "Cloud")
+        assert len(build_graph([spec, spec, spec])) == len(SCHEMES) + 2
+
+    def test_graph_is_deterministic_and_picklable(self):
+        import pickle
+
+        specs = [dnn_spec("AlexNet", "Cloud"), gop_profile_spec("IBPB", 8, 8)]
+        first, again = build_graph(specs), build_graph(specs)
+        assert first == again
+        assert pickle.loads(pickle.dumps(first)) == first
+
+    def test_job_ids_are_unique_and_filesystem_safe(self):
+        jobs = build_graph([
+            dnn_spec("AlexNet", "Cloud"),
+            dnn_spec("AlexNet", "Edge"),
+            gact_profile_spec("chrY", "PacBio", 2),
+        ])
+        ids = [job.job_id() for job in jobs]
+        assert len(set(ids)) == len(ids)
+        for job_id in ids:
+            assert job_id.replace("-", "").isalnum()
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError):
+            compute_job(ArtifactJob("mystery", ("x",), dnn_spec("AlexNet")))
+
+
+class TestComputeJob:
+    def test_graph_execution_matches_serial_sweep(self, disk_cache):
+        """trace → results → sweep through compute_job ≡ dnn_sweep."""
+        spec = dnn_spec("AlexNet", "Cloud")
+        for job in build_graph([spec]):
+            compute_job(job)
+        assembled = disk_cache.peek(spec.sweep_key())
+        assert assembled is not None
+        disk_cache.set_cache_dir(None)
+        disk_cache.clear()
+        reference = dnn_sweep("AlexNet", "Cloud")
+        assert assembled.workload == reference.workload
+        assert set(assembled.results) == set(reference.results)
+        for name in reference.results:
+            assert (assembled.results[name].total_cycles
+                    == reference.results[name].total_cycles)
+            assert (astuple(assembled.results[name].traffic)
+                    == astuple(reference.results[name].traffic))
+
+    def test_sweep_assembly_self_heals_missing_results(self, fresh_cache):
+        """Undecodable/missing result deps are rebuilt, like get_or_build."""
+        spec = dnn_spec("AlexNet", "Cloud")
+        jobs = build_graph([spec])
+        compute_job(jobs[-1])  # no result artifacts exist yet
+        assembled = fresh_cache.peek(spec.sweep_key())
+        assert assembled is not None
+        assert set(assembled.results) == set(SCHEMES)
+
+    def test_stale_result_spill_is_rebuilt_not_fatal(self, disk_cache):
+        """A codec-version bump must not wedge a shared cache dir: stale
+        result spills pass the existence check but rebuild on decode."""
+        spec = dnn_spec("AlexNet", "Cloud")
+        jobs = build_graph([spec])
+        for job in jobs:
+            compute_job(job)
+        reference = disk_cache.peek(spec.sweep_key())
+        for spill in disk_cache.cache_dir.glob("result-*.json"):
+            spill.write_text('{"version": -1}')  # stale codec
+        for spill in disk_cache.cache_dir.glob("sweep-*.json"):
+            spill.unlink()
+        disk_cache.clear()  # fresh process over the litter-y shared dir
+        compute_job(jobs[-1])
+        rebuilt = disk_cache.peek(spec.sweep_key())
+        assert rebuilt.workload == reference.workload
+        for name in reference.results:
+            assert (rebuilt.results[name].total_cycles
+                    == reference.results[name].total_cycles)
+
+
+class TestProfileArtifacts:
+    def test_fig16_warm_rerun_restores_profiles(self, disk_cache):
+        from repro.experiments.registry import run_experiment
+
+        cold = run_experiment("fig16", quick=True).to_text()
+        assert disk_cache.miss_kinds.get("profile", 0) == 2
+        assert list(disk_cache.cache_dir.glob("profile-*.json"))
+        disk_cache.clear()  # fresh process: memory tier gone, disk stays
+        warm = run_experiment("fig16", quick=True).to_text()
+        assert warm == cold
+        assert disk_cache.miss_kinds.get("profile", 0) == 0
+        assert disk_cache.disk_hits == 2
+
+    def test_fig19_warm_rerun_skips_decoder_and_crypto(self, disk_cache,
+                                                       monkeypatch):
+        from repro.experiments.registry import run_experiment
+
+        cold = run_experiment("fig19", quick=True).to_text()
+        disk_cache.clear()
+        # A warm rerun must not touch the functional pipeline at all.
+        monkeypatch.setattr(
+            "repro.video.profile.decode_profile",
+            lambda *a, **k: pytest.fail("functional pipeline recomputed"),
+        )
+        warm = run_experiment("fig19", quick=True).to_text()
+        assert warm == cold
+
+    def test_profile_prefetch_serves_the_drivers(self, fresh_cache):
+        from repro.experiments.fig16_gact import profile_specs
+        from repro.sim.scheduler import prefetch_artifacts
+
+        summary = prefetch_artifacts(profile_specs(quick=True), jobs=1)
+        assert summary["profiles_built"] == 2
+        before = fresh_cache.misses
+        from repro.experiments.registry import run_experiment
+
+        run_experiment("fig16", quick=True)
+        assert fresh_cache.misses == before  # pure cache hits
+
+    def test_pool_prefetch_of_profiles_matches_inline(self, fresh_cache,
+                                                      monkeypatch):
+        from repro.sim.scheduler import prefetch_artifacts
+
+        spec = gop_profile_spec("IBPB", 8, 8)
+        reference = spec.build_profile()
+        monkeypatch.setattr("repro.sim.scheduler.os.cpu_count", lambda: 2)
+        summary = prefetch_artifacts([spec], jobs=2)
+        assert summary["profiles_built"] == 1
+        assert fresh_cache.peek(spec.artifact_key()) == reference
+
+
+class TestProfileCodecs:
+    def test_profile_round_trip_is_exact(self):
+        from repro.experiments.storage import dumps_profile, loads_profile
+
+        profile = gop_profile_spec("IBPB", 8, 8).build_profile()
+        assert loads_profile(dumps_profile(profile)) == profile
+
+    def test_result_round_trip_is_exact(self, fresh_cache):
+        from repro.experiments.storage import dumps_result, loads_result
+
+        sweep = dnn_sweep("AlexNet", "Cloud")
+        for result in sweep.results.values():
+            restored = loads_result(dumps_result(result))
+            assert restored.total_cycles == result.total_cycles
+            assert astuple(restored.traffic) == astuple(result.traffic)
+
+    def test_version_mismatch_rejected(self):
+        from repro.experiments.storage import loads_profile, loads_result
+
+        with pytest.raises(ValueError):
+            loads_profile('{"version": 999, "profile": {}}')
+        with pytest.raises(ValueError):
+            loads_result('{"version": 999, "result": {}}')
+
+
+class TestStableCacheKeys:
+    def test_equal_configs_share_keys(self):
+        from repro.genome.darwin import DarwinConfig
+        from repro.genome.dsoft import DsoftConfig
+        from repro.video.decoder import DecoderConfig
+
+        for cls in (DarwinConfig, DsoftConfig, DecoderConfig):
+            assert cls().cache_key() == cls().cache_key()
+
+    def test_field_changes_change_keys(self):
+        from repro.genome.darwin import DarwinConfig
+        from repro.genome.dsoft import DsoftConfig
+        from repro.video.decoder import DecoderConfig
+
+        assert (DarwinConfig(tiles_per_read_factor=2.0).cache_key()
+                != DarwinConfig().cache_key())
+        assert DsoftConfig(band=128).cache_key() != DsoftConfig().cache_key()
+        assert DecoderConfig(width=1280).cache_key() != DecoderConfig().cache_key()
+
+    def test_floats_are_hex_encoded_not_repr(self):
+        """Float fields must appear as exact hex strings, never bare floats
+        (artifact keys go through ``repr``; hex is format-proof)."""
+        from repro.genome.darwin import DarwinConfig
+        from repro.video.decoder import DecoderConfig
+
+        def flatten(key):
+            for item in key:
+                if isinstance(item, tuple):
+                    yield from flatten(item)
+                else:
+                    yield item
+
+        for config in (DarwinConfig(), DecoderConfig()):
+            values = list(flatten(config.cache_key()))
+            assert not any(isinstance(v, float) for v in values)
+            assert any(isinstance(v, str) and "0x" in v for v in values)
+
+    def test_profile_keys_are_repr_stable(self):
+        key = gact_profile_spec("chrY", "PacBio", 2).artifact_key()
+        assert eval(repr(key)) == key  # primitives only round-trip repr

@@ -10,6 +10,7 @@ from repro.core.counters import (
     VN_PAYLOAD_BITS,
     VnSpace,
     counter_block,
+    counter_block_array,
     pack_fields,
     space_for,
     tag_vn,
@@ -114,3 +115,34 @@ class TestCounterBlock:
     def test_injective_property(self, address, vn):
         block = counter_block(address, vn)
         assert int.from_bytes(block, "big") == (address << 64) | vn
+
+
+class TestCounterBlockArray:
+    @given(st.integers(min_value=0, max_value=(1 << 60)),
+           st.integers(min_value=0, max_value=(1 << 64) - 1),
+           st.integers(min_value=1, max_value=40))
+    @settings(max_examples=40, deadline=None)
+    def test_rows_match_scalar_counter_block(self, address, vn, lanes):
+        blocks = counter_block_array(address, vn, lanes)
+        assert blocks.shape == (lanes, 16)
+        for i in range(lanes):
+            assert blocks[i].tobytes() == counter_block(address + i * 16, vn)
+
+    def test_custom_stride(self):
+        blocks = counter_block_array(0x1000, 9, 3, stride=64)
+        for i in range(3):
+            assert blocks[i].tobytes() == counter_block(0x1000 + i * 64, 9)
+
+    def test_high_address_bytes(self):
+        """Addresses above 2**32 must decompose correctly per byte."""
+        address = 0xDEAD_BEEF_CAFE_F00D - 15 * 16
+        blocks = counter_block_array(address, 1, 16)
+        assert blocks[15].tobytes() == counter_block(0xDEAD_BEEF_CAFE_F00D, 1)
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            counter_block_array(0, 0, 0)
+        with pytest.raises(ConfigError):
+            counter_block_array((1 << 64) - 8, 0, 2)  # last lane overflows
+        with pytest.raises(ConfigError):
+            counter_block_array(0, 1 << 64, 1)

@@ -196,3 +196,52 @@ class TestProbeSegment:
         cache.probe_segment(0, 2, dirty=True)
         probe = cache.probe_segment(4 * 64, 2, dirty=False)
         assert probe.writebacks == [0, 64]
+
+
+class TestResidentFastPath:
+    """The closed-form path for segments entirely under the hot-set size
+    must be state-identical to the general walk (and actually trigger)."""
+
+    def test_fast_path_triggers_on_resident_segment(self):
+        cache = MetadataCache(8 * 64)
+        cache.probe_segment(0, 6, dirty=False)   # cold: general walk
+        assert cache.fast_probes == 0
+        probe = cache.probe_segment(0, 6, dirty=False)  # hot: fast path
+        assert cache.fast_probes == 1
+        assert probe.misses == [] and probe.writebacks == []
+
+    def test_fast_path_state_matches_general_walk(self):
+        fast = MetadataCache(8 * 64)
+        slow = MetadataCache(8 * 64)
+        for c in (fast, slow):
+            c.probe_segment(0, 8, dirty=False)
+        fast.probe_segment(2 * 64, 4, dirty=True)   # resident: fast path
+        for i in range(2, 6):                        # reference: per-line
+            slow.access(i * 64, dirty=True)
+        assert fast.fast_probes == 1
+        assert fast._sets == slow._sets  # identical LRU order and dirt
+        assert fast.stats.as_dict() == slow.stats.as_dict()
+
+    def test_fast_path_skipped_when_any_line_absent(self):
+        cache = MetadataCache(8 * 64)
+        cache.probe_segment(0, 4, dirty=False)
+        cache.probe_segment(0, 5, dirty=False)  # line 4 missing: general walk
+        assert cache.fast_probes == 0
+
+    def test_fast_path_skipped_on_oversized_segment(self):
+        cache = MetadataCache(4 * 64)
+        cache.probe_segment(0, 8, dirty=False)
+        cache.probe_segment(0, 8, dirty=False)
+        assert cache.fast_probes == 0
+
+    def test_set_associative_fast_path(self):
+        fast = MetadataCache(16 * 64, ways=4)
+        slow = MetadataCache(16 * 64, ways=4)
+        for c in (fast, slow):
+            c.probe_segment(0, 12, dirty=True)
+        fast.probe_segment(0, 12, dirty=True)
+        for i in range(12):
+            slow.access(i * 64, dirty=True)
+        assert fast.fast_probes == 1
+        assert fast._sets == slow._sets
+        assert fast.stats.as_dict() == slow.stats.as_dict()

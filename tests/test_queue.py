@@ -1,0 +1,217 @@
+"""File-lock work queue: claims, heartbeats, orphan reclaim, cooperation.
+
+The distributed contract mirrors the scheduler's: fan-out must be
+invisible in the results.  Two worker processes draining one artifact
+graph over a shared cache directory must leave the drivers rendering
+byte-identical tables to a serial run; killed workers' claims must be
+reclaimed; stale lock files from a crashed run must never deadlock a
+fresh one.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import time
+
+import pytest
+
+from repro.common.errors import ConfigError
+from repro.sim.queue import QUEUE_SUBDIR, WorkQueue, _drain_worker, drain_graph
+from repro.sim.runner import TRACE_CACHE
+from repro.sim.scheduler import (
+    build_graph,
+    dnn_spec,
+    gact_profile_spec,
+    gop_profile_spec,
+)
+
+
+@pytest.fixture
+def disk_cache(tmp_path):
+    """TRACE_CACHE with a disk tier under a temporary directory."""
+    saved_dir = TRACE_CACHE.cache_dir
+    TRACE_CACHE.clear()
+    TRACE_CACHE.set_cache_dir(tmp_path / "cache")
+    yield TRACE_CACHE
+    TRACE_CACHE.set_cache_dir(saved_dir)
+    TRACE_CACHE.clear()
+
+
+def _fast_queue(tmp_path, **overrides) -> WorkQueue:
+    options = dict(heartbeat_seconds=0.05, stale_seconds=0.4, poll_seconds=0.02)
+    options.update(overrides)
+    return WorkQueue(tmp_path / "cache" / QUEUE_SUBDIR, **options)
+
+
+def _small_specs():
+    """A cheap mixed graph: one sweep family plus functional profiles."""
+    return [
+        dnn_spec("AlexNet", "Cloud"),
+        gact_profile_spec("chrY", "PacBio", 2),
+        gop_profile_spec("IBPB", 8, 8),
+    ]
+
+
+class TestClaims:
+    def test_claim_is_exclusive_until_released(self, tmp_path, disk_cache):
+        queue = _fast_queue(tmp_path)
+        with queue.try_claim("job-1") as claim:
+            assert claim is not None
+            assert queue.try_claim("job-1") is None
+            assert queue.is_claimed("job-1")
+        assert not queue.is_claimed("job-1")
+        assert queue.try_claim("job-1") is not None
+
+    def test_heartbeat_keeps_claim_fresh(self, tmp_path, disk_cache):
+        queue = _fast_queue(tmp_path, stale_seconds=0.3)
+        claim = queue.try_claim("job-1")
+        time.sleep(0.6)  # well past stale_seconds, but the heartbeat ticks
+        assert queue.reclaim_stale() == []
+        assert queue.is_claimed("job-1")
+        claim.release()
+
+    def test_dead_claim_goes_stale_and_is_reclaimed(self, tmp_path, disk_cache):
+        queue = _fast_queue(tmp_path)
+        claim = queue.try_claim("job-1")
+        # Simulate a killed worker: the heartbeat stops, the lock stays.
+        claim._stop.set()
+        claim._thread.join()
+        old = time.time() - 10.0
+        os.utime(claim.path, (old, old))
+        assert queue.reclaim_stale() == ["job-1"]
+        assert queue.try_claim("job-1") is not None
+
+    def test_release_after_reclaim_leaves_peer_lock_alone(self, tmp_path,
+                                                          disk_cache):
+        """A stalled owner whose claim was reclaimed and re-claimed by a
+        peer must neither delete nor keep-alive the peer's lock."""
+        queue = _fast_queue(tmp_path)
+        stalled = queue.try_claim("job-1")
+        stalled._stop.set()
+        stalled._thread.join()  # owner stalls: heartbeat stops, lock stays
+        old = time.time() - 10.0
+        os.utime(stalled.path, (old, old))
+        assert queue.reclaim_stale() == ["job-1"]
+        peer_claim = queue.try_claim("job-1")  # a peer takes the job over
+        assert peer_claim is not None
+        stalled.release()  # the stalled owner resumes and releases
+        assert queue.is_claimed("job-1")  # peer's lock survived
+        peer_claim.release()
+        assert not queue.is_claimed("job-1")
+
+    def test_stale_must_exceed_heartbeat(self, tmp_path):
+        with pytest.raises(ConfigError):
+            WorkQueue(tmp_path / "q", heartbeat_seconds=5.0, stale_seconds=2.0)
+
+
+class TestDrain:
+    def test_single_process_drain_fills_cache(self, tmp_path, disk_cache):
+        jobs = build_graph(_small_specs())
+        summary = drain_graph(jobs, _fast_queue(tmp_path), timeout=120.0)
+        assert summary["computed"] == len(jobs)
+        for job in jobs:
+            assert disk_cache.has(job.key)
+        # A second drain finds everything present and computes nothing.
+        summary = drain_graph(jobs, _fast_queue(tmp_path), timeout=120.0)
+        assert summary["computed"] == 0
+
+    def test_drain_requires_cache_dir(self, tmp_path):
+        saved = TRACE_CACHE.cache_dir
+        TRACE_CACHE.set_cache_dir(None)
+        try:
+            with pytest.raises(ConfigError):
+                drain_graph([], _fast_queue(tmp_path))
+        finally:
+            TRACE_CACHE.set_cache_dir(saved)
+
+    def test_pre_existing_stale_locks_do_not_deadlock(self, tmp_path, disk_cache):
+        """Lock litter from a crashed previous run must not block a fresh one."""
+        jobs = build_graph(_small_specs())
+        queue = _fast_queue(tmp_path)
+        old = time.time() - 3600.0
+        for job in jobs:
+            path = queue.lock_path(job.job_id())
+            path.write_text("crashed-worker 0\n")
+            os.utime(path, (old, old))
+        summary = drain_graph(jobs, queue, timeout=120.0)
+        assert summary["computed"] == len(jobs)
+        assert summary["reclaimed"] >= 1
+
+    def test_orphaned_claim_from_killed_worker_is_reclaimed(
+            self, tmp_path, disk_cache):
+        """A worker that dies mid-job leaves a lock another worker takes over."""
+        jobs = build_graph([gop_profile_spec("IBPB", 4, 4)])
+        queue = _fast_queue(tmp_path)
+
+        def claim_and_die(queue_dir):
+            victim = WorkQueue(queue_dir, heartbeat_seconds=0.05,
+                               stale_seconds=0.4)
+            victim.try_claim(jobs[0].job_id())
+            os._exit(1)  # SIGKILL-style: no release, heartbeat dies too
+
+        ctx = multiprocessing.get_context("fork")
+        worker = ctx.Process(target=claim_and_die, args=(queue.queue_dir,))
+        worker.start()
+        worker.join(timeout=30.0)
+        assert queue.is_claimed(jobs[0].job_id())
+        summary = drain_graph(jobs, queue, timeout=120.0)
+        assert summary["computed"] == len(jobs)
+        assert summary["reclaimed"] == 1
+
+    def test_live_peer_holding_a_job_times_out_not_spins(
+            self, tmp_path, disk_cache):
+        """A healthy-but-slow peer's claim is respected until the timeout."""
+        jobs = build_graph([gop_profile_spec("IBPB", 4, 4)])
+        queue = _fast_queue(tmp_path)
+        peer = _fast_queue(tmp_path)
+        claim = peer.try_claim(jobs[0].job_id())
+        try:
+            with pytest.raises(RuntimeError, match="timed out"):
+                drain_graph(jobs, queue, timeout=0.5)
+        finally:
+            claim.release()
+
+
+class TestTwoWorkerDeterminism:
+    def test_two_processes_drain_one_graph_byte_identical(
+            self, tmp_path, disk_cache):
+        """Two cooperating workers ⇒ drivers render byte-identical tables."""
+        from repro.experiments.registry import run_experiment, suite_specs
+
+        experiment_ids = ("fig13", "fig16", "fig19")
+        # Serial reference, computed with the cache detached so nothing
+        # of it leaks into the distributed run.
+        TRACE_CACHE.set_cache_dir(None)
+        reference = {
+            eid: run_experiment(eid, quick=True).to_text()
+            for eid in experiment_ids
+        }
+        TRACE_CACHE.clear()
+        TRACE_CACHE.set_cache_dir(tmp_path / "cache")
+
+        jobs = build_graph(suite_specs(experiment_ids, quick=True))
+        ctx = multiprocessing.get_context("fork")
+        workers = [
+            ctx.Process(target=_drain_worker,
+                        args=(jobs, str(tmp_path / "cache"), f"w{i}"))
+            for i in range(2)
+        ]
+        for worker in workers:
+            worker.start()
+        for worker in workers:
+            worker.join(timeout=300.0)
+            assert worker.exitcode == 0
+        # Every artifact must now be on disk; the parent never computed.
+        for job in jobs:
+            assert disk_cache.has(job.key)
+
+        before = dict(disk_cache.miss_kinds)
+        rendered = {
+            eid: run_experiment(eid, quick=True).to_text()
+            for eid in experiment_ids
+        }
+        assert rendered == reference
+        assert disk_cache.miss_kinds.get("trace", 0) == before.get("trace", 0)
+        assert disk_cache.miss_kinds.get("profile", 0) == before.get("profile", 0)
+        assert disk_cache.miss_kinds.get("sweep", 0) == before.get("sweep", 0)

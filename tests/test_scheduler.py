@@ -110,7 +110,7 @@ class TestPrefetchParallel:
         prefetch_sweeps([spec], jobs=1)
         summary = prefetch_sweeps([spec], jobs=1)
         assert summary == {"workloads": 1, "cached": 1, "priced": 0,
-                           "traces_built": 0}
+                           "traces_built": 0, "profiles_built": 0}
 
     def test_effective_workers_clamps_to_cores(self):
         assert effective_workers(None) == 1
