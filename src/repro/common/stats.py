@@ -25,6 +25,18 @@ class StatsGroup:
         """Increment counter ``key`` by ``value`` (creating it at zero)."""
         self._counters[key] = self._counters.get(key, 0) + value
 
+    def add_counts(self, counts: dict[str, int]) -> None:
+        """Bulk-accumulate counters, skipping zero deltas.
+
+        Zero deltas are skipped so a bulk path creates exactly the same
+        counter *set* as an event-by-event path that only touches a
+        counter when the event occurs — the two must compare equal as
+        dicts.
+        """
+        for key, value in counts.items():
+            if value:
+                self._counters[key] = self._counters.get(key, 0) + value
+
     def get(self, key: str) -> int:
         """Current value of ``key`` (zero when never incremented)."""
         return self._counters.get(key, 0)

@@ -1,0 +1,740 @@
+"""Reuse-distance LRU engine: one-pass columnar metadata-cache pricing.
+
+The cached/tree protection schemes (BP, MGX_MAC) are order-dependent
+through a small on-chip LRU cache of 64-byte metadata lines.  Replaying
+every sequential run line-by-line in Python dominated the cold suite, so
+this engine prices the *entire* metadata-line access stream of a trace
+as NumPy columns in one pass per (trace, scheme).
+
+The stream decomposes into *runs* of distinct ascending lines (the
+stream buffer guarantees a sequential transfer touches each MAC/VN line
+exactly once, in order).  For a run, the engine works at *stretch*
+granularity instead of line granularity:
+
+* membership of the run's lines is resolved in bulk against the
+  resident set;
+* a maximal stretch of misses whose evictions are all *clean* is priced
+  with a handful of array operations — the victims are the next
+  least-recently-used residents in recency (ring) order, because a
+  reuse-free miss stretch through an LRU is a pure conveyor: insert at
+  MRU, evict at LRU, and nothing in between can rescue a victim;
+* the stretch is *split* exactly at the events that perturb the
+  conveyor — a dirty eviction (whose write-back chain climbs the
+  integrity tree, touching and possibly evicting further lines) and a
+  resident line being touched (rescued to MRU) — which are handled
+  event-by-event before bulk processing resumes.
+
+The recency order lives in a tombstone ring: ``_lines``/``_dirty``
+arrays indexed ``head..tail`` hold residents from LRU to MRU, a line's
+slot is tombstoned (``_valid[slot] = False``) when the line is touched
+again, and a dict maps resident lines to their current slot.  Bulk
+appends and bulk evictions are array slices; the ring is compacted in
+O(capacity) when it fills.  The observable state is exactly that of
+:class:`~repro.core.metadata_cache.MetadataCache` (an ``OrderedDict``
+per set), imported and exported losslessly, and the per-line semantics
+— LRU, write-back, write-allocate, dirty-eviction chains — are pinned
+state- and event-identical to :meth:`MetadataCache.access` by the
+Hypothesis models in ``tests/test_lru_engine.py`` and
+``tests/test_metadata_cache.py``.
+
+Set-associative configurations route every line to its set and take the
+event-by-event path (the protection schemes only build fully-associative
+caches; sets exist for the model-validation tests).
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from repro.common.errors import ConfigError
+from repro.common.units import CACHE_BLOCK
+
+_EMPTY = np.empty(0, dtype=np.int64)
+
+
+class EventSink:
+    """Collects the engine's cache events as chunks of line addresses.
+
+    Events arrive either as NumPy slices (bulk stretches) or as Python
+    scalars (chain steps); each category keeps arrival order.  ``drain_*``
+    concatenates a category into one int64 array and resets it, which is
+    how the pricing layer routes a whole batch's events with a few
+    vectorized operations instead of one Python call per event.
+
+    Categories mirror :class:`~repro.core.metadata_cache.SegmentProbe`:
+
+    ``misses``
+        probed lines that were not resident (fetched with the stream);
+    ``writebacks``
+        dirty lines evicted by the stream or its chains (scattered);
+    ``parent_misses``
+        tree ancestors that missed while a write-back chain updated the
+        parents of evicted dirty lines (scattered).
+
+    Integrity-tree walk misses need no category of their own: the walk
+    probes tree-node lines through the same stream path, so its misses
+    land in ``misses`` and route by address.
+    """
+
+    __slots__ = ("misses", "writebacks", "parent_misses",
+                 "hits", "miss_count", "writeback_count")
+
+    def __init__(self) -> None:
+        self.misses: list = []
+        self.writebacks: list = []
+        self.parent_misses: list = []
+        #: Aggregate counters feeding the cache's hit/miss/writeback stats.
+        self.hits = 0
+        self.miss_count = 0
+        self.writeback_count = 0
+
+    @staticmethod
+    def _drain(chunks: list) -> np.ndarray:
+        if not chunks:
+            return np.empty(0, dtype=np.int64)
+        if len(chunks) == 1 and isinstance(chunks[0], np.ndarray):
+            only = chunks[0]
+            chunks.clear()
+            return only.astype(np.int64, copy=False)
+        # Batch scalar streaks (chain events arrive one line at a time)
+        # into single arrays before concatenating.
+        arrays: list[np.ndarray] = []
+        scalars: list[int] = []
+        for chunk in chunks:
+            if isinstance(chunk, np.ndarray):
+                if scalars:
+                    arrays.append(np.array(scalars, dtype=np.int64))
+                    scalars = []
+                arrays.append(chunk)
+            else:
+                scalars.append(chunk)
+        if scalars:
+            arrays.append(np.array(scalars, dtype=np.int64))
+        chunks.clear()
+        if len(arrays) == 1:
+            return arrays[0].astype(np.int64, copy=False)
+        return np.concatenate(arrays)
+
+    def drain_misses(self) -> np.ndarray:
+        return self._drain(self.misses)
+
+    def drain_writebacks(self) -> np.ndarray:
+        return self._drain(self.writebacks)
+
+    def drain_parent_misses(self) -> np.ndarray:
+        return self._drain(self.parent_misses)
+
+
+class _RunContext:
+    """Pending-line tracker for one run.
+
+    ``resident[k]`` predicts whether run position ``k`` will hit.  The
+    prediction changes while the run streams: an eviction of a
+    not-yet-touched run line *demotes* it (it will miss), and a chain
+    that inserts a run line *promotes* it (it will hit).  ``pending``
+    counts upcoming hits so pure-miss runs skip the rescheduling scans.
+    """
+
+    __slots__ = ("lines", "resident", "pending", "position", "promoted",
+                 "_first", "_last", "_index")
+
+    def __init__(self, lines: np.ndarray, resident: np.ndarray) -> None:
+        self.lines = lines
+        self.resident = resident
+        self.pending = int(resident.sum())
+        self.position = 0
+        self.promoted = False
+        self._first = int(lines[0])
+        self._last = int(lines[-1])
+        self._index: dict[int, int] | None = None
+
+    def _position_of(self, line: int) -> int | None:
+        if self._index is None:
+            self._index = {int(l): i for i, l in enumerate(self.lines.tolist())}
+        return self._index.get(line)
+
+    def demote(self, line: int) -> None:
+        if line < self._first or line > self._last:
+            return
+        position = self._position_of(line)
+        if position is not None and position >= self.position \
+                and self.resident[position]:
+            self.resident[position] = False
+            self.pending -= 1
+
+    def demote_array(self, lines: np.ndarray) -> None:
+        if self.pending == 0 or len(lines) == 0:
+            return
+        in_range = lines[(lines >= self._first) & (lines <= self._last)]
+        for line in in_range.tolist():
+            self.demote(line)
+
+    def promote(self, line: int) -> None:
+        if line < self._first or line > self._last:
+            return
+        position = self._position_of(line)
+        if position is not None and position > self.position \
+                and not self.resident[position]:
+            self.resident[position] = True
+            self.pending += 1
+            self.promoted = True
+
+
+class LruEngine:
+    """Exact LRU over columnar line streams (see module docstring).
+
+    Parameters mirror :class:`~repro.core.metadata_cache.MetadataCache`:
+    ``capacity_lines`` resident 64-byte lines, optionally organized into
+    ``ways``-associative sets, with ``parent_of`` giving the integrity-
+    tree parent of a line address (``None`` for MAC lines and the top
+    stored level).
+    """
+
+    #: Ring slack beyond capacity before a compaction pass.
+    _RING_SLACK = 8192
+    #: Runs at most this long take the scalar walk — the bulk paths'
+    #: fixed setup costs more than a few exact per-line events.
+    _SCALAR_RUN = 24
+
+    def __init__(self, capacity_lines: int, line_bytes: int = CACHE_BLOCK,
+                 ways: int | None = None,
+                 parent_of: Callable[[int], int | None] | None = None,
+                 parent_of_vec: "Callable[[np.ndarray], np.ndarray] | None" = None,
+                 ) -> None:
+        if capacity_lines <= 0:
+            raise ConfigError(f"capacity must be positive, got {capacity_lines}")
+        if ways is not None and (ways <= 0 or capacity_lines % ways != 0):
+            raise ConfigError(f"ways ({ways}) must divide {capacity_lines}")
+        self.capacity_lines = capacity_lines
+        self.line_bytes = line_bytes
+        self.ways = ways
+        self.n_sets = 1 if ways is None else capacity_lines // ways
+        self.set_capacity = capacity_lines if ways is None else ways
+        self.parent_of = parent_of
+        #: Optional vectorized ``parent_of`` over a line column, with -1
+        #: for "no parent"; used to resolve a whole victim window's tree
+        #: parents in one call.
+        self.parent_of_vec = parent_of_vec
+        self._parent_memo: dict[int, int | None] = {}
+        self._last_victim: int | None = None
+        self._last_evicted: int | None = None
+        size = self.set_capacity + self._RING_SLACK
+        #: per set: tombstone ring of resident lines, LRU..MRU order.
+        self._lines = [np.zeros(size, dtype=np.int64) for _ in range(self.n_sets)]
+        self._dirty = [np.zeros(size, dtype=bool) for _ in range(self.n_sets)]
+        self._valid = [np.zeros(size, dtype=bool) for _ in range(self.n_sets)]
+        self._head = [0] * self.n_sets
+        self._tail = [0] * self.n_sets
+        #: Bumped by every compaction: cached ring-slot indices (the
+        #: miss-stretch victim window) are only valid within one epoch.
+        self._epoch = 0
+        #: per set: resident line -> current ring slot.
+        self._slot: list[dict[int, int]] = [{} for _ in range(self.n_sets)]
+
+    # -- state import/export -------------------------------------------
+    def load_state(self, sets: list) -> None:
+        """Adopt a cache's per-set ``{line: dirty}`` contents, LRU first."""
+        if len(sets) != self.n_sets:
+            raise ConfigError(
+                f"{len(sets)} sets supplied for a {self.n_sets}-set engine"
+            )
+        for index, lines in enumerate(sets):
+            buf_lines = self._lines[index]
+            buf_dirty = self._dirty[index]
+            valid = self._valid[index]
+            valid[:] = False
+            slot = self._slot[index] = {}
+            position = 0
+            for line, dirty in lines.items():
+                buf_lines[position] = line
+                buf_dirty[position] = dirty
+                valid[position] = True
+                slot[line] = position
+                position += 1
+            self._head[index] = 0
+            self._tail[index] = position
+
+    def export_state(self) -> list[list[tuple[int, bool]]]:
+        """Per-set ``(line, dirty)`` pairs in recency order (LRU first)."""
+        out: list[list[tuple[int, bool]]] = []
+        for index in range(self.n_sets):
+            window = slice(self._head[index], self._tail[index])
+            mask = self._valid[index][window]
+            lines = self._lines[index][window][mask]
+            dirty = self._dirty[index][window][mask]
+            out.append([(int(l), bool(d)) for l, d in zip(lines, dirty)])
+        return out
+
+    def flush(self) -> np.ndarray:
+        """Evict everything; returns dirty line addresses in recency order."""
+        dirty_lines: list[np.ndarray] = []
+        for index in range(self.n_sets):
+            window = slice(self._head[index], self._tail[index])
+            mask = self._valid[index][window] & self._dirty[index][window]
+            dirty_lines.append(self._lines[index][window][mask].copy())
+            self._valid[index][window] = False
+            self._head[index] = self._tail[index] = 0
+            self._slot[index].clear()
+        return dirty_lines[0] if self.n_sets == 1 else np.concatenate(dirty_lines)
+
+    def __len__(self) -> int:
+        return sum(len(slot) for slot in self._slot)
+
+    def contains(self, line: int) -> bool:
+        return line in self._slot[self._set_of(line)]
+
+    # -- internals ------------------------------------------------------
+    def _set_of(self, line: int) -> int:
+        if self.n_sets == 1:
+            return 0
+        return (line // self.line_bytes) % self.n_sets
+
+    def _parent(self, line: int) -> int | None:
+        if self.parent_of is None:
+            return None
+        parent = self._parent_memo.get(line, -1)
+        if parent == -1:
+            parent = self.parent_of(line)
+            self._parent_memo[line] = parent
+        return parent
+
+    def _parents_of(self, lines: np.ndarray, flags: np.ndarray) -> list:
+        """Tree parents (-1 for none) of a victim window's dirty entries.
+
+        Only dirty victims ever need their parent (clean evictions do
+        not chain), so clean positions stay at -1.
+        """
+        n = len(lines)
+        if self.parent_of is None or not flags.any():
+            return [-1] * n
+        parents = np.full(n, -1, dtype=np.int64)
+        index = np.nonzero(flags)[0]
+        if self.parent_of_vec is not None:
+            parents[index] = self.parent_of_vec(lines[index])
+        else:
+            dirty_lines = lines[index].tolist()
+            resolved = [self._parent(line) for line in dirty_lines]
+            parents[index] = [-1 if p is None else p for p in resolved]
+        return parents.tolist()
+
+    def _compact(self, index: int) -> None:
+        """Squeeze tombstones out of a set's ring (O(capacity))."""
+        self._epoch += 1
+        window = slice(self._head[index], self._tail[index])
+        mask = self._valid[index][window]
+        lines = self._lines[index][window][mask].copy()
+        dirty = self._dirty[index][window][mask].copy()
+        n = len(lines)
+        self._lines[index][:n] = lines
+        self._dirty[index][:n] = dirty
+        self._valid[index][:] = False
+        self._valid[index][:n] = True
+        self._head[index] = 0
+        self._tail[index] = n
+        slot = self._slot[index]
+        for position, line in enumerate(lines.tolist()):
+            slot[line] = position
+
+    def _room(self, index: int, needed: int) -> None:
+        if self._tail[index] + needed > len(self._lines[index]):
+            self._compact(index)
+
+    # -- scalar core (single accesses, chains, set-associative path) ----
+    def _touch(self, index: int, line: int, dirty: bool) -> bool:
+        """One ``MetadataCache.access`` without chain following.
+
+        Returns True on hit.  On a miss the line is allocated; if that
+        evicted a dirty victim it is left in ``_last_victim`` for the
+        caller to chain on (``None`` otherwise).
+        """
+        slot = self._slot[index]
+        position = slot.get(line)
+        if position is not None:
+            was_dirty = bool(self._dirty[index][position])
+            self._valid[index][position] = False
+            self._room(index, 1)
+            tail = self._tail[index]
+            self._lines[index][tail] = line
+            self._dirty[index][tail] = dirty or was_dirty
+            self._valid[index][tail] = True
+            slot[line] = tail
+            self._tail[index] = tail + 1
+            self._last_victim = None
+            self._last_evicted = None
+            return True
+        victim = None
+        evicted = None
+        if len(slot) >= self.set_capacity:
+            head = self._head[index]
+            valid = self._valid[index]
+            while not valid[head]:
+                head += 1
+            victim_line = int(self._lines[index][head])
+            evicted = victim_line
+            if self._dirty[index][head]:
+                victim = victim_line
+            valid[head] = False
+            self._head[index] = head + 1
+            del slot[victim_line]
+        self._room(index, 1)
+        tail = self._tail[index]
+        self._lines[index][tail] = line
+        self._dirty[index][tail] = dirty
+        self._valid[index][tail] = True
+        slot[line] = tail
+        self._tail[index] = tail + 1
+        self._last_victim = victim
+        self._last_evicted = evicted
+        return False
+
+    def access(self, line: int, dirty: bool, sink: EventSink,
+               miss_sink: list | None = None,
+               context: _RunContext | None = None) -> bool:
+        """One access with chain following; returns True on hit."""
+        if self._touch(self._set_of(line), line, dirty):
+            sink.hits += 1
+            return True
+        sink.miss_count += 1
+        sink.misses.append(line)
+        if miss_sink is not None:
+            miss_sink.append(line)
+        if context is not None and self._last_evicted is not None:
+            context.demote(self._last_evicted)
+        victim = self._last_victim
+        if victim is not None:
+            self._chain(victim, sink, context)
+        return False
+
+    def _chain(self, victim: int, sink: EventSink,
+               context: _RunContext | None) -> None:
+        """Write back ``victim`` and update its ancestors, iteratively.
+
+        Mirrors ``MetadataCache._follow_chain``: each evicted dirty line
+        is written back and its parent accessed dirty, which can itself
+        miss and evict — the chain runs to completion before the stream
+        resumes.  ``context`` lets a chain that evicts (or inserts) a
+        not-yet-touched run line re-schedule it.
+        """
+        while True:
+            sink.writebacks.append(victim)
+            sink.writeback_count += 1
+            parent = self._parent(victim)
+            if parent is None:
+                return
+            hit = self._touch(self._set_of(parent), parent, True)
+            if context is not None:
+                context.promote(parent)
+            if hit:
+                sink.hits += 1
+                return
+            sink.miss_count += 1
+            sink.parent_misses.append(parent)
+            if context is not None and self._last_evicted is not None:
+                context.demote(self._last_evicted)
+            victim = self._last_victim
+            if victim is None:
+                return
+
+    # -- bulk run processing --------------------------------------------
+    def probe_lines(self, lines: np.ndarray, dirty: bool, sink: EventSink,
+                    miss_sink: list | None = None) -> None:
+        """Touch ``lines`` (distinct, ascending) in order, chains included.
+
+        Semantically identical to one :meth:`MetadataCache.access` per
+        line with every dirty eviction's write-back chain followed
+        before the next line.  Misses are appended to ``sink.misses``
+        (and ``miss_sink`` when given — the integrity-tree walk collects
+        a run's miss list there without re-scanning the sink).
+        """
+        n = len(lines)
+        if n == 0:
+            return
+        if self.n_sets != 1 or n <= self._SCALAR_RUN:
+            # Set-associative, or too short for the bulk machinery to
+            # pay for itself (integrity-tree walks are mostly a handful
+            # of parent nodes): exact event-by-event walk.
+            for line in lines.tolist():
+                self.access(line, dirty, sink, miss_sink)
+            return
+        slot = self._slot[0]
+        line_list = lines.tolist()
+        resident = np.fromiter(map(slot.__contains__, line_list), bool, n)
+        if resident.all():
+            self._bulk_touch_resident(lines, line_list, dirty, sink)
+            return
+        context = _RunContext(lines, resident)
+        while context.position < n:
+            position = context.position
+            if resident[position]:
+                if self.access(line_list[position], dirty, sink, miss_sink,
+                               context):
+                    context.pending -= 1
+                context.position = position + 1
+                continue
+            # Maximal stretch of predicted misses [position, stop).
+            if context.pending == 0:
+                stop = n
+            else:
+                rest = resident[position:]
+                stop = position + int(np.argmax(rest)) if rest.any() else n
+                if stop == position:  # defensive; pending said otherwise
+                    stop = position + 1
+            self._miss_stretch(line_list, lines, stop, dirty, sink,
+                               miss_sink, context)
+
+    def _miss_stretch(self, line_list: list, lines: np.ndarray, stop: int,
+                      dirty: bool, sink: EventSink, miss_sink: list | None,
+                      context: _RunContext) -> None:
+        """Process the whole miss stretch [context.position, stop).
+
+        The conveyor's upcoming victims are scanned from the ring *once*
+        (per exhaustion); maximal streaks of clean evictions are bulk
+        priced, and each dirty blocker is handled as one scalar event —
+        its write-back chain tombstones whatever residents it touches,
+        which the victim window detects by skipping stale slots, so no
+        rescanning is needed until the window runs out.
+        """
+        slot = self._slot[0]
+        valid = self._valid[0]
+        window: np.ndarray = _EMPTY
+        window_lines: np.ndarray = _EMPTY
+        window_dirty: list = []
+        window_parent: list = []
+        dirty_idx: list = []
+        cursor = 0
+        dpos = 0
+        epoch = self._epoch
+        while context.position < stop:
+            start = context.position
+            free = self.set_capacity - len(slot)
+            count = stop - start
+            if epoch != self._epoch:
+                # A compaction moved every resident: the cached window's
+                # ring-slot indices are meaningless — rescan.
+                window = _EMPTY
+                cursor = 0
+                epoch = self._epoch
+            if count <= free:
+                self._bulk_insert(line_list, lines, start, stop, dirty, sink,
+                                  miss_sink)
+                context.position = stop
+                return
+            if cursor >= len(window):
+                # (Re)scan the upcoming victims in ring order, with
+                # their dirty bits and tree parents resolved in bulk.
+                head, tail = self._head[0], self._tail[0]
+                window = np.nonzero(valid[head:tail])[0][:count - free] + head
+                window_lines = self._lines[0][window]
+                flags = self._dirty[0][window]
+                window_dirty = flags.tolist()
+                dirty_idx = np.nonzero(flags)[0].tolist()
+                window_parent = self._parents_of(window_lines, flags)
+                cursor = 0
+                dpos = 0
+            # The next still-valid dirty blocker at or after the cursor.
+            while dpos < len(dirty_idx) and (
+                dirty_idx[dpos] < cursor or not valid[window[dirty_idx[dpos]]]
+            ):
+                dpos += 1
+            blocker = dirty_idx[dpos] if dpos < len(dirty_idx) else len(window)
+            # Clean conveyor prefix: everything up to the blocker that
+            # is still valid (chains may have rescued entries since the
+            # scan — rescued slots are tombstoned and drop out here).
+            candidates = window[cursor:blocker]
+            candidates = candidates[valid[candidates]]
+            bulk_inserts = min(count, free + len(candidates))
+            if bulk_inserts > 0:
+                evict_count = max(0, bulk_inserts - free)
+                if evict_count:
+                    evicted = candidates[:evict_count]
+                    evicted_lines = self._lines[0][evicted]
+                    valid[evicted] = False
+                    self._head[0] = int(evicted[-1]) + 1
+                    for line in evicted_lines.tolist():
+                        del slot[line]
+                    context.demote_array(evicted_lines)
+                self._bulk_insert(line_list, lines, start,
+                                  start + bulk_inserts, dirty, sink, miss_sink)
+                context.position = start + bulk_inserts
+                cursor = blocker
+                if context.position == stop:
+                    return
+                if blocker >= len(window) or epoch != self._epoch:
+                    # Window exhausted — or the insert compacted the
+                    # ring, invalidating every cached slot index.
+                    continue
+                start = context.position
+                count = stop - start
+            elif blocker >= len(window):
+                # Nothing clean left and no blocker: every remaining
+                # window entry went stale — force a rescan.
+                cursor = len(window)
+                continue
+            cursor = blocker
+            # A dirty-victim streak blocks the conveyor.  Consecutive
+            # dirty victims overwhelmingly share integrity-tree parents
+            # group-wise (the tree is ``arity``-ary and victims pop in
+            # line order); when every group's parent is already resident
+            # each write-back just re-touches it — no chain events — so
+            # the whole streak prices in bulk, event-order exact.
+            limit = min(len(window), cursor + count)
+            streak_end = cursor
+            while (streak_end < limit and window_dirty[streak_end]
+                   and valid[window[streak_end]]):
+                streak_end += 1
+            # Split the streak into same-parent groups and validate that
+            # each parent is resident *outside* the streak (a parent
+            # inside it would be rescued mid-stream); truncate at the
+            # first group that needs the event-by-event machinery.
+            groups: list = []
+            seen: set = set()
+            last_slot = int(window[streak_end - 1])
+            index = cursor
+            while index < streak_end:
+                parent = window_parent[index]
+                group_end = index + 1
+                while (group_end < streak_end
+                       and window_parent[group_end] == parent):
+                    group_end += 1
+                if parent != -1:
+                    parent_slot = slot.get(parent)
+                    if (parent_slot is None or parent in seen
+                            or parent_slot <= last_slot):
+                        streak_end = index
+                        break
+                    seen.add(parent)
+                groups.append((index, group_end, parent))
+                index = group_end
+            if not groups:
+                # First group already needs the slow path: one eviction
+                # event-by-event, chain and all.
+                self.access(line_list[start], dirty, sink, miss_sink,
+                            context)
+                context.position = start + 1
+                if context.promoted:
+                    # The chain inserted a line this stretch had
+                    # scheduled as a miss — hand back to re-clip.
+                    context.promoted = False
+                    return
+                continue
+            size = streak_end - cursor
+            popped = window[cursor:streak_end]
+            popped_lines = self._lines[0][popped]
+            valid[popped] = False
+            self._head[0] = int(popped[-1]) + 1
+            for line in popped_lines.tolist():
+                del slot[line]
+            context.demote_array(popped_lines)
+            sink.writebacks.append(popped_lines)
+            sink.writeback_count += size
+            self._streak_insert(line_list, lines, start, size, dirty, groups,
+                                cursor, sink, miss_sink)
+            context.position = start + size
+            cursor = streak_end
+
+    def _streak_insert(self, line_list: list, lines: np.ndarray, start: int,
+                       size: int, dirty: bool, groups: list, cursor: int,
+                       sink: EventSink, miss_sink: list | None) -> None:
+        """Insert a dirty streak's misses with parents spliced in.
+
+        The reference interleave is ``insert line, write back victim,
+        touch parent`` per line; its net ring effect is each group's
+        lines in order with the group's (re-touched, now dirty) parent
+        right after them.  The whole streak appends in two masked array
+        writes, and every parent re-touch is a guaranteed hit — exactly
+        ``group size`` hits per parented group, no chain events.
+        """
+        parents = [(group_end - cursor, parent)
+                   for _, group_end, parent in groups if parent != -1]
+        total = size + len(parents)
+        self._room(0, total)
+        slot = self._slot[0]
+        tail = self._tail[0]
+        chunk = lines[start:start + size]
+        lines_buf = self._lines[0][tail:tail + total]
+        dirty_buf = self._dirty[0][tail:tail + total]
+        if parents:
+            mask = np.ones(total, dtype=bool)
+            spliced = []
+            for order, (end_offset, parent) in enumerate(parents):
+                position = end_offset + order
+                mask[position] = False
+                spliced.append((position, parent))
+            lines_buf[mask] = chunk
+            dirty_buf[mask] = dirty
+            for position, parent in spliced:
+                old = slot[parent]
+                self._valid[0][old] = False
+                lines_buf[position] = parent
+                dirty_buf[position] = True
+                slot[parent] = tail + position
+        else:
+            lines_buf[:] = chunk
+            dirty_buf[:] = dirty
+        self._valid[0][tail:tail + total] = True
+        self._tail[0] = tail + total
+        hits = 0
+        position = tail
+        offset = start
+        for group_start, group_end, parent in groups:
+            members = group_end - group_start
+            slot.update(zip(line_list[offset:offset + members],
+                            range(position, position + members)))
+            offset += members
+            position += members
+            if parent != -1:
+                position += 1
+                hits += members
+        sink.miss_count += size
+        sink.misses.append(chunk)
+        if miss_sink is not None:
+            miss_sink.append(chunk)
+        sink.hits += hits
+
+    def _bulk_insert(self, line_list: list, lines: np.ndarray, start: int,
+                     stop: int, dirty: bool, sink: EventSink,
+                     miss_sink: list | None) -> None:
+        """Append lines [start, stop) as misses (no evictions needed)."""
+        count = stop - start
+        if count <= 0:
+            return
+        self._room(0, count)
+        tail = self._tail[0]
+        chunk = lines[start:stop]
+        self._lines[0][tail:tail + count] = chunk
+        self._dirty[0][tail:tail + count] = dirty
+        self._valid[0][tail:tail + count] = True
+        self._tail[0] = tail + count
+        self._slot[0].update(zip(line_list[start:stop], range(tail, tail + count)))
+        sink.miss_count += count
+        sink.misses.append(chunk)
+        if miss_sink is not None:
+            miss_sink.append(chunk)
+
+    def _bulk_touch_resident(self, lines: np.ndarray, line_list: list,
+                             dirty: bool, sink: EventSink) -> None:
+        """Every line resident: pure recency (and dirty-bit) refresh."""
+        n = len(lines)
+        self._room(0, n)
+        slot = self._slot[0]
+        old = np.fromiter(map(slot.__getitem__, line_list), np.int64, n)
+        tail = self._tail[0]
+        if dirty:
+            self._dirty[0][tail:tail + n] = True
+        else:
+            self._dirty[0][tail:tail + n] = self._dirty[0][old]
+        self._valid[0][old] = False
+        self._lines[0][tail:tail + n] = lines
+        self._valid[0][tail:tail + n] = True
+        for offset, line in enumerate(line_list):
+            slot[line] = tail + offset
+        self._tail[0] = tail + n
+        sink.hits += n
+
+    def probe_range(self, base_line: int, n_lines: int, dirty: bool,
+                    sink: EventSink, miss_sink: list | None = None) -> None:
+        """Touch ``n_lines`` consecutive lines starting at ``base_line``."""
+        lines = base_line + self.line_bytes * np.arange(n_lines, dtype=np.int64)
+        self.probe_lines(lines, dirty, sink, miss_sink)

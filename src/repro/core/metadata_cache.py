@@ -233,6 +233,26 @@ class MetadataCache:
         line = self._align(address)
         return line in self._set_of(line)
 
+    def contents(self) -> list["OrderedDict[int, bool]"]:
+        """The per-set ``{line: dirty}`` maps, recency-ordered (LRU first).
+
+        This is the state the reuse-distance engine loads before pricing
+        a trace; treat it as read-only.
+        """
+        return self._sets
+
+    def set_contents(self, sets: list) -> None:
+        """Replace the cache contents (stats untouched).
+
+        ``sets`` holds one ``(line, dirty)`` sequence per set in recency
+        order — the engine's exported state after a priced trace.
+        """
+        if len(sets) != self._n_sets:
+            raise ConfigError(
+                f"{len(sets)} sets supplied for a {self._n_sets}-set cache"
+            )
+        self._sets = [OrderedDict(pairs) for pairs in sets]
+
     def flush(self) -> list[int]:
         """Evict everything, returning dirty line addresses (end of run)."""
         dirty = [

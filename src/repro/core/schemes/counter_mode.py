@@ -40,15 +40,19 @@ once.
 Cached/tree configurations (BP, MGX_MAC) are order-dependent through the
 LRU metadata cache — but only their *sequential* accesses mutate it:
 gathers and per-access-MAC transfers price with closed-form arithmetic
-that never touches LRU state.  :meth:`CounterModeProtection.price_batch`
-therefore decomposes a batch into its pure component (data amplification,
-gather MAC/VN/tree costs — evaluated as NumPy columns) and the ordered
-sequence of *sequential runs*.  The stream-buffer guarantee means a run
-touches each metadata line exactly once in ascending order, so each run
-is priced with one :meth:`~repro.core.metadata_cache.MetadataCache.
-probe_segment` call (the LRU walk happens only at run boundaries).  Both
-batch paths are pinned byte-for-byte against the per-access walk by
-``tests/test_batch_pricing.py``.
+that never touches LRU state.  :meth:`CounterModeProtection.price_trace`
+therefore decomposes every batch into its pure component (data
+amplification, gather MAC/VN/tree costs — evaluated as NumPy columns)
+and the ordered sequence of *sequential runs*, and streams the runs —
+each touching its metadata lines exactly once in ascending order, per
+the stream-buffer guarantee — through one
+:class:`~repro.core.lru_engine.LruEngine` pass per trace, integrity-tree
+walks and write-back chains included.  Runs at least as large as the
+cache take the closed-form flood path instead.
+:meth:`~CounterModeProtection.price_batch` prices a one-batch trace the
+same way.  Both batch paths are pinned byte-for-byte against the
+per-access walk by ``tests/test_batch_pricing.py``, and the engine
+against :meth:`MetadataCache.access` by ``tests/test_lru_engine.py``.
 """
 
 from __future__ import annotations
@@ -61,6 +65,7 @@ from repro.common.errors import ConfigError
 from repro.common.stats import StatsGroup
 from repro.common.units import CACHE_BLOCK, ceil_div, round_up
 from repro.core.access import DATA_CLASSES, AccessBatch, DataClass, MemAccess
+from repro.core.lru_engine import EventSink, LruEngine
 from repro.core.merkle import TreeLayout
 from repro.core.metadata_cache import MetadataCache
 from repro.core.schemes.base import (
@@ -168,6 +173,10 @@ class CounterModeProtection(ProtectionScheme):
             else None
         )
         self._cache = MetadataCache(cache_bytes) if cache_bytes else None
+        #: Reuse-distance engine for batched pricing; created lazily and
+        #: kept across resets (its tree-parent memo depends only on the
+        #: metadata layout, which is fixed per scheme instance).
+        self._engine: LruEngine | None = None
         self._finished = False
 
     # ------------------------------------------------------------------
@@ -271,21 +280,17 @@ class CounterModeProtection(ProtectionScheme):
         seq = batch.sequential
         stream = stream_mask(batch)
 
-        # Per-class granularity columns (validated for classes actually
-        # present, matching the scalar path's lazy validation).
-        gran_of_code = np.full(len(DATA_CLASSES), CACHE_BLOCK, dtype=np.int64)
-        per_access_code = np.zeros(len(DATA_CLASSES), dtype=np.bool_)
-        for code in np.unique(batch.data_class):
-            data_class = DATA_CLASSES[code]
-            if data_class in self.mac_policy.per_access:
-                per_access_code[code] = True
-                continue
-            gran = self.mac_policy.overrides.get(data_class, self.mac_policy.default)
-            if gran % CACHE_BLOCK != 0:
-                raise ConfigError(
-                    f"MAC granularity must be a multiple of 64, got {gran}"
-                )
-            gran_of_code[code] = gran
+        # Per-class granularity tables, built once per scheme (validated
+        # lazily for classes actually present, matching the scalar path).
+        gran_of_code, per_access_code, invalid_code = self._gran_tables()
+        if invalid_code is not None and invalid_code[batch.data_class].any():
+            code = int(batch.data_class[invalid_code[batch.data_class]][0])
+            gran = self.mac_policy.overrides.get(
+                DATA_CLASSES[code], self.mac_policy.default
+            )
+            raise ConfigError(
+                f"MAC granularity must be a multiple of 64, got {gran}"
+            )
         gran = gran_of_code[batch.data_class]
         per_access = per_access_code[batch.data_class]
 
@@ -300,24 +305,63 @@ class CounterModeProtection(ProtectionScheme):
         )
         seq_mac = seq_mac_lines * CACHE_BLOCK
 
-        # Gathers: each burst verifies whole granules and fetches its own
-        # (contiguous) MAC entries.
-        burst = np.where(batch.burst_bytes > 0, batch.burst_bytes, CACHE_BLOCK)
-        n_bursts = np.maximum(1, size // burst)
-        granules_per_burst = -(-burst // gran)
-        gather_amp = np.where(
-            is_write, 0, np.maximum(0, n_bursts * granules_per_burst * gran - size)
-        )
-        lines_per_burst = -(-granules_per_burst // _ENTRIES_PER_LINE)
-        gather_mac = n_bursts * lines_per_burst * CACHE_BLOCK
-
-        data = size + np.where(per_access, 0, np.where(seq, seq_amp, gather_amp))
+        if seq.all():
+            # No gathers: skip the per-burst columns (their values are
+            # never selected) — most DNN batches are purely sequential.
+            zeros = np.zeros(len(batch), dtype=np.int64)
+            burst = np.where(batch.burst_bytes > 0, batch.burst_bytes,
+                             CACHE_BLOCK)
+            n_bursts = np.maximum(1, size // burst)
+            gather_mac = zeros
+            data = size + np.where(per_access, 0, seq_amp)
+        else:
+            # Gathers: each burst verifies whole granules and fetches its
+            # own (contiguous) MAC entries.
+            burst = np.where(batch.burst_bytes > 0, batch.burst_bytes, CACHE_BLOCK)
+            n_bursts = np.maximum(1, size // burst)
+            granules_per_burst = -(-burst // gran)
+            gather_amp = np.where(
+                is_write, 0, np.maximum(0, n_bursts * granules_per_burst * gran - size)
+            )
+            lines_per_burst = -(-granules_per_burst // _ENTRIES_PER_LINE)
+            gather_mac = n_bursts * lines_per_burst * CACHE_BLOCK
+            data = size + np.where(per_access, 0, np.where(seq, seq_amp, gather_amp))
         return _BatchColumns(
             end=end, is_write=is_write, seq=seq, stream=stream,
             per_access=per_access, first=first, last=last,
             seq_mac=seq_mac, burst=burst, n_bursts=n_bursts,
             gather_mac=gather_mac, data=data,
         )
+
+    def _gran_tables(self) -> tuple[np.ndarray, np.ndarray, np.ndarray | None]:
+        """Cached per-class-code (granularity, per-access, invalid) tables.
+
+        The policy is immutable, so the tables are computed once; the
+        ``invalid`` mask defers mis-configured granularities to the
+        batch that actually uses the class — the same lazy validation
+        the scalar path performs.
+        """
+        tables = getattr(self, "_gran_tables_cache", None)
+        if tables is None:
+            gran_of_code = np.full(len(DATA_CLASSES), CACHE_BLOCK, dtype=np.int64)
+            per_access_code = np.zeros(len(DATA_CLASSES), dtype=np.bool_)
+            invalid_code = np.zeros(len(DATA_CLASSES), dtype=np.bool_)
+            for code, data_class in enumerate(DATA_CLASSES):
+                if data_class in self.mac_policy.per_access:
+                    per_access_code[code] = True
+                    continue
+                gran = self.mac_policy.overrides.get(
+                    data_class, self.mac_policy.default
+                )
+                if gran % CACHE_BLOCK != 0:
+                    invalid_code[code] = True
+                    continue
+                gran_of_code[code] = gran
+            if not invalid_code.any():
+                invalid_code = None
+            tables = (gran_of_code, per_access_code, invalid_code)
+            self._gran_tables_cache = tables
+        return tables
 
     def _price_batch_stateless(self, batch: AccessBatch) -> ProtectionTraffic:
         """Columnar evaluation of :meth:`_process_data_and_mac`."""
@@ -336,16 +380,103 @@ class CounterModeProtection(ProtectionScheme):
         self._account_batch(batch, traffic)
         return traffic
 
+    def price_trace(self, batches: list[AccessBatch]) -> list[ProtectionTraffic]:
+        """One engine pass over the whole trace's metadata-line stream.
+
+        Cached/tree configurations load the LRU state into the
+        reuse-distance engine once, stream every batch's sequential runs
+        (and the walks and write-back chains they trigger) through it,
+        and store the final state back — byte-identical to pricing the
+        batches one at a time, without per-batch state churn.
+        """
+        if self._cache is None or not batches:
+            return [self.price_batch(batch) for batch in batches]
+        engine = self._lru_engine()
+        engine.load_state(self._cache.contents())
+        sink = EventSink()
+        traffics = []
+        for batch in batches:
+            if len(batch) == 0:
+                traffics.append(ProtectionTraffic())
+                continue
+            traffics.append(self._price_batch_engine(batch, engine, sink))
+        self._cache.set_contents(engine.export_state())
+        self._cache.stats.add_counts({
+            "hits": sink.hits,
+            "misses": sink.miss_count,
+            "writebacks": sink.writeback_count,
+        })
+        return traffics
+
+    def _lru_engine(self) -> LruEngine:
+        assert self._cache is not None
+        if self._engine is None:
+            self._engine = LruEngine(
+                self._cache.capacity_lines,
+                line_bytes=self._cache.line_bytes,
+                ways=self._cache.ways,
+                parent_of=self._parent_of,
+                parent_of_vec=self._parent_of_vec,
+            )
+        return self._engine
+
+    def _parent_of_vec(self, lines: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`_parent_of` over a line-address column.
+
+        Returns -1 where a line has no stored parent (MAC lines, the top
+        stored level, or any tree-less configuration).  The level of a
+        tree node resolves with one ``searchsorted`` against the
+        level-base table instead of a per-line level scan.
+        """
+        out = np.full(len(lines), -1, dtype=np.int64)
+        tree = self._tree
+        if tree is None or tree.stored_levels < 1:
+            return out
+        vn = (lines >= self._vn_base) & (lines < self._tree_base)
+        if vn.any():
+            leaf = (lines[vn] - self._vn_base) // CACHE_BLOCK
+            out[vn] = tree.node_addresses(1, leaf // tree.arity)
+        in_tree = lines >= self._tree_base
+        if in_tree.any():
+            tree_lines = lines[in_tree]
+            bases = self._tree_level_bases()
+            level = np.searchsorted(bases[1:], tree_lines, side="right") + 1
+            parents = np.full(len(tree_lines), -1, dtype=np.int64)
+            for stored in np.unique(level).tolist():
+                if stored >= tree.stored_levels:
+                    continue  # parent is the on-chip root
+                mask = level == stored
+                index = (tree_lines[mask] - tree.level_base(stored)) // CACHE_BLOCK
+                parents[mask] = tree.node_addresses(stored + 1,
+                                                    index // tree.arity)
+            out[in_tree] = parents
+        return out
+
+    def _tree_level_bases(self) -> np.ndarray:
+        bases = getattr(self, "_level_bases_array", None)
+        if bases is None:
+            assert self._tree is not None
+            bases = np.array(
+                [self._tree.level_base(level)
+                 for level in range(1, self._tree.stored_levels + 1)],
+                dtype=np.int64,
+            )
+            self._level_bases_array = bases
+        return bases
+
     def _price_batch_cached(self, batch: AccessBatch) -> ProtectionTraffic:
-        """Segment-vectorized pricing for cached/tree configurations.
+        """Engine-backed pricing for cached/tree configurations.
 
         Pure components — data amplification, per-access MACs, gather
         MAC/VN/tree costs — are NumPy column sums (gathers never mutate
-        the LRU cache, so hoisting them out of order is exact).  Only the
-        sequential runs touch the metadata cache, each via one
-        :meth:`~repro.core.metadata_cache.MetadataCache.probe_segment`
-        per metadata region, replayed in batch order.
+        the LRU cache, so hoisting them out of order is exact).  The
+        sequential runs stream through the reuse-distance engine; a
+        single batch rides the same path as a whole trace.
         """
+        return self.price_trace([batch])[0]
+
+    def _price_batch_engine(self, batch: AccessBatch, engine: LruEngine,
+                            sink: EventSink) -> ProtectionTraffic:
         cols = self._batch_columns(batch)
         stream = cols.stream
         traffic = ProtectionTraffic(
@@ -361,18 +492,174 @@ class CounterModeProtection(ProtectionScheme):
         traffic.mac_scat += int(pure_mac[~stream].sum())
         if not self.vn_onchip:
             self._price_vn_gathers(batch, cols, traffic)
-
-        # Ordered replay of the sequential runs against the LRU cache.
-        per_access, first, last = cols.per_access, cols.first, cols.last
-        address, end, is_write = batch.address, cols.end, cols.is_write
-        for i in np.nonzero(cols.seq)[0]:
-            writes = bool(is_write[i])
-            if not per_access[i]:
-                self._mac_segment(traffic, int(first[i]), int(last[i]), writes)
-            if not self.vn_onchip:
-                self._vn_segment(traffic, int(address[i]), int(end[i]), writes)
+        seq_index = np.nonzero(cols.seq)[0]
+        if len(seq_index):
+            self._stream_runs(batch, cols, seq_index, engine, sink, traffic)
+            self._route_events(sink, traffic)
         self._account_batch(batch, traffic)
         return traffic
+
+    def _stream_runs(self, batch: AccessBatch, cols: "_BatchColumns",
+                     seq_index: np.ndarray, engine: LruEngine,
+                     sink: EventSink, traffic: ProtectionTraffic) -> None:
+        """Stream the batch's sequential runs through the LRU engine.
+
+        Each sequential access contributes one run of MAC lines (unless
+        its class is per-access) and, under stored VNs, one run of VN
+        lines followed by the integrity-tree walk of its missed leaves —
+        in batch order, exactly as the per-access walk would.
+        """
+        capacity = self._cache.capacity_lines
+        per_access = cols.per_access[seq_index].tolist()
+        writes = cols.is_write[seq_index].tolist()
+        mac_first = (
+            (self._mac_base + cols.first * ENTRY_BYTES) // CACHE_BLOCK
+        )[seq_index].tolist()
+        mac_last = (
+            (self._mac_base + cols.last * ENTRY_BYTES) // CACHE_BLOCK
+        )[seq_index].tolist()
+        stored = not self.vn_onchip
+        if stored:
+            vn_first = (
+                (batch.address // CACHE_BLOCK) // _ENTRIES_PER_LINE
+            )[seq_index].tolist()
+            vn_last = (
+                ((cols.end - 1) // CACHE_BLOCK) // _ENTRIES_PER_LINE
+            )[seq_index].tolist()
+        line_bytes = CACHE_BLOCK
+        for k in range(len(seq_index)):
+            dirty = writes[k]
+            mac_lines = 0 if per_access[k] else mac_last[k] - mac_first[k] + 1
+            vn_lines = (vn_last[k] - vn_first[k] + 1) if stored else 0
+            if mac_lines >= capacity:
+                self._engine_flood(engine, sink, traffic, mac_lines, dirty,
+                                   vn_kind=False)
+                mac_lines = 0
+            if vn_lines >= capacity:
+                if mac_lines:
+                    engine.probe_range(mac_first[k] * line_bytes, mac_lines,
+                                       dirty, sink)
+                self._engine_flood(engine, sink, traffic, vn_lines, dirty,
+                                   vn_kind=True)
+                continue
+            if not vn_lines:
+                if mac_lines:
+                    engine.probe_range(mac_first[k] * line_bytes, mac_lines,
+                                       dirty, sink)
+                continue
+            # The access's MAC lines and VN lines form one ascending run
+            # (the VN region sits above the MAC region), so both probe —
+            # chains interleaved exactly as two back-to-back runs — in a
+            # single engine call; the walk filters out the VN misses.
+            run_misses: list = []
+            if mac_lines:
+                lines = np.empty(mac_lines + vn_lines, dtype=np.int64)
+                first_line = mac_first[k] * line_bytes
+                lines[:mac_lines] = np.arange(
+                    first_line, first_line + mac_lines * line_bytes,
+                    line_bytes, dtype=np.int64,
+                )
+                first_line = self._vn_base + vn_first[k] * line_bytes
+                lines[mac_lines:] = np.arange(
+                    first_line, first_line + vn_lines * line_bytes,
+                    line_bytes, dtype=np.int64,
+                )
+                engine.probe_lines(lines, dirty, sink, run_misses)
+            else:
+                engine.probe_range(self._vn_base + vn_first[k] * line_bytes,
+                                   vn_lines, dirty, sink, run_misses)
+            if run_misses:
+                self._engine_walk(engine, sink, run_misses)
+
+    def _engine_flood(self, engine: LruEngine, sink: EventSink,
+                      traffic: ProtectionTraffic, n_lines: int, writes: bool,
+                      vn_kind: bool) -> None:
+        """Closed-form LRU outcome for a run at least as large as the cache.
+
+        Mirrors the flood paths of :meth:`_mac_segment` and
+        :meth:`_vn_flood` (stream case): flush everything ahead of the
+        reuse-free stream, then count the stream — and, for VN runs, the
+        tree levels it sweeps — without touching per-line state.
+        """
+        dirty_lines = engine.flush()
+        if len(dirty_lines):
+            sink.writebacks.append(dirty_lines)
+            sink.writeback_count += len(dirty_lines)
+        key = "vn_seq" if vn_kind else "mac_seq"
+        bytes_moved = n_lines * CACHE_BLOCK * (2 if writes else 1)
+        setattr(traffic, key, getattr(traffic, key) + bytes_moved)
+        if not vn_kind:
+            return
+        assert self._tree is not None
+        tree_nodes = 0
+        remaining = n_lines
+        for _level in range(self._tree.stored_levels):
+            remaining = ceil_div(remaining, self._tree.arity)
+            tree_nodes += remaining
+            if remaining == 1:
+                break
+        factor = 2 if writes else 1
+        traffic.tree_seq += factor * tree_nodes * CACHE_BLOCK
+
+    def _engine_walk(self, engine: LruEngine, sink: EventSink,
+                     run_misses: list) -> None:
+        """Vectorized Bonsai walk: verify missed VN lines level by level.
+
+        Contiguous leaves share ancestors, so each level touches the
+        *unique* parents of the nodes that missed below it (ascending,
+        one :meth:`LruEngine.probe_lines` call per level) and the walk
+        stops at the first fully-cached level — exactly
+        :meth:`_walk_tree`, without the per-node Python walk.
+        """
+        assert self._tree is not None
+        tree = self._tree
+        miss_lines = EventSink._drain(run_misses)
+        # Fused runs collect MAC misses too; only VN leaves walk.
+        miss_lines = miss_lines[miss_lines >= self._vn_base]
+        if not len(miss_lines):
+            return
+        pending = (miss_lines - self._vn_base) // CACHE_BLOCK
+        for level in range(1, tree.stored_levels + 1):
+            parents = pending // tree.arity
+            if len(parents) > 1:  # already ascending: cheap dedup
+                keep = np.empty(len(parents), dtype=bool)
+                keep[0] = True
+                np.not_equal(parents[1:], parents[:-1], out=keep[1:])
+                parents = parents[keep]
+            addresses = tree.node_addresses(level, parents)
+            level_misses: list = []
+            engine.probe_lines(addresses, False, sink, level_misses)
+            if not level_misses:
+                break
+            missed = EventSink._drain(level_misses)
+            pending = (missed - tree.level_base(level)) // CACHE_BLOCK
+
+    def _route_events(self, sink: EventSink, traffic: ProtectionTraffic) -> None:
+        """Bulk-route the engine's events into the traffic buckets.
+
+        Stream misses (probed MAC/VN lines and walked tree nodes) fetch
+        with the stream; write-backs and the ancestor misses of their
+        chains land at effectively random addresses, so both are
+        scattered — exactly as the per-line walk routed them, with the
+        mac/vn/tree split recovered from the metadata address layout.
+        """
+        misses = sink.drain_misses()
+        if len(misses):
+            below_vn = int(np.count_nonzero(misses < self._vn_base))
+            below_tree = int(np.count_nonzero(misses < self._tree_base))
+            traffic.mac_seq += below_vn * CACHE_BLOCK
+            traffic.vn_seq += (below_tree - below_vn) * CACHE_BLOCK
+            traffic.tree_seq += (len(misses) - below_tree) * CACHE_BLOCK
+        writebacks = sink.drain_writebacks()
+        if len(writebacks):
+            below_vn = int(np.count_nonzero(writebacks < self._vn_base))
+            below_tree = int(np.count_nonzero(writebacks < self._tree_base))
+            traffic.mac_scat += below_vn * CACHE_BLOCK
+            traffic.vn_scat += (below_tree - below_vn) * CACHE_BLOCK
+            traffic.tree_scat += (len(writebacks) - below_tree) * CACHE_BLOCK
+        parent_misses = sink.drain_parent_misses()
+        if len(parent_misses):
+            traffic.tree_scat += len(parent_misses) * CACHE_BLOCK
 
     def _price_vn_gathers(self, batch: AccessBatch, cols: "_BatchColumns",
                           traffic: ProtectionTraffic) -> None:

@@ -57,7 +57,9 @@ def main(argv: list[str] | None = None) -> int:
                              "local worker processes, cooperating with any "
                              "other --workers invocations (even on other "
                              "machines) sharing the same cache dir; requires "
-                             "--cache-dir or REPRO_CACHE_DIR")
+                             "--cache-dir or REPRO_CACHE_DIR.  Combine with "
+                             "--jobs M to compute each worker's claimed jobs "
+                             "on the shared in-process pool, M at a time")
     parser.add_argument("--cache-dir", default=None, metavar="DIR",
                         help="persist traces and sweep results under DIR "
                              "(also honours REPRO_CACHE_DIR); a warm rerun "
@@ -114,7 +116,8 @@ def main(argv: list[str] | None = None) -> int:
 
         start = time.time()
         graph = suite_graph(figure_ids, args.quick)
-        summary = run_workers(graph, TRACE_CACHE.cache_dir, args.workers)
+        summary = run_workers(graph, TRACE_CACHE.cache_dir, args.workers,
+                              pool_jobs=jobs)
         print(
             f"drain: {summary['computed']}/{summary['jobs']} jobs computed "
             f"here ({summary['reclaimed']} stale locks reclaimed, "

@@ -42,24 +42,74 @@ class DsoftConfig:
 
 
 class SeedIndex:
-    """Exact k-mer position index over a reference sequence."""
+    """Exact k-mer position index over a reference sequence.
+
+    Construction is vectorized: the reference's k-mer windows are grouped
+    with one stable argsort over their raw bytes (stable, so every
+    k-mer's position list stays ascending — exactly what the per-position
+    append built), and the grouped positions are sliced into the lookup
+    dict without hashing each window separately.
+    """
 
     def __init__(self, reference: np.ndarray, seed_length: int) -> None:
         if seed_length < 4 or seed_length > 31:
             raise ConfigError(f"seed length must be in [4, 31], got {seed_length}")
         self.seed_length = seed_length
         self.reference = reference
-        self._index: dict[bytes, list[int]] = defaultdict(list)
+        self._index: dict[bytes, list[int]] = {}
+        self._entries = max(0, len(reference) - seed_length + 1)
+        if self._entries == 0:
+            return
         view = reference.tobytes()
-        for pos in range(len(reference) - seed_length + 1):
-            self._index[view[pos : pos + seed_length]].append(pos)
+        raw = np.frombuffer(view, dtype=np.uint8)
+        codes = self._kmer_codes(raw)
+        order = np.argsort(codes, kind="stable")
+        sorted_codes = codes[order]
+        first = np.empty(len(order), dtype=bool)
+        first[0] = True
+        np.not_equal(sorted_codes[1:], sorted_codes[:-1], out=first[1:])
+        starts = np.nonzero(first)[0]
+        ends = np.append(starts[1:], len(order))
+        positions = order.tolist()
+        k = seed_length
+        index = self._index
+        for start, end in zip(starts.tolist(), ends.tolist()):
+            anchor = positions[start]  # smallest position: stable argsort
+            index[view[anchor:anchor + k]] = positions[start:end]
+
+    def _kmer_codes(self, raw: np.ndarray) -> np.ndarray:
+        """One int64 key per k-mer window (equal keys ⟺ equal windows).
+
+        The alphabet is ranked (genomes use four symbols, so a 12-mer
+        needs 24 bits) and each window's key accumulates as a rolling
+        base-``|alphabet|`` polynomial — ``k`` vectorized passes instead
+        of per-window hashing.
+        """
+        symbols, ranks = np.unique(raw, return_inverse=True)
+        base = max(2, len(symbols))
+        if base ** self.seed_length > np.iinfo(np.int64).max:
+            # Alphabet too wide to pack: rank whole windows instead
+            # (equality is all the grouping needs).
+            windows = np.lib.stride_tricks.sliding_window_view(
+                raw, self.seed_length
+            )[: self._entries]
+            keys = np.ascontiguousarray(windows).view(
+                np.dtype((np.void, self.seed_length))
+            ).ravel()
+            return np.unique(keys, return_inverse=True)[1].astype(np.int64)
+        ranks = ranks.astype(np.int64, copy=False)
+        codes = ranks[: self._entries].copy()
+        for offset in range(1, self.seed_length):
+            codes *= base
+            codes += ranks[offset:offset + self._entries]
+        return codes
 
     def lookup(self, seed: bytes) -> list[int]:
         return self._index.get(seed, [])
 
     @property
     def table_entries(self) -> int:
-        return sum(len(v) for v in self._index.values())
+        return self._entries
 
 
 @dataclass(frozen=True)

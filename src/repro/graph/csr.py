@@ -44,19 +44,45 @@ class CsrMatrix:
     @classmethod
     def from_edges(cls, n: int, edges: np.ndarray,
                    values: np.ndarray | None = None) -> "CsrMatrix":
-        """Build from an (m, 2) array of (row, col) pairs; duplicates kept."""
+        """Build from an (m, 2) array of (row, col) pairs; duplicates kept.
+
+        Sorting by (row, col) goes through one fused ``row * n + col``
+        int64 key: a direct ``np.sort`` of the keys when no values ride
+        along (the column indices are recovered arithmetically), and a
+        stable argsort of the keys otherwise — the same permutation a
+        stable ``lexsort`` by (row, col) produces, at a fraction of the
+        cost.  Keys that would overflow int64 fall back to ``lexsort``.
+        """
         edges = np.asarray(edges, dtype=np.int64)
         if edges.ndim != 2 or edges.shape[1] != 2:
             raise ConfigError(f"edges must be (m, 2), got {edges.shape}")
-        order = np.lexsort((edges[:, 1], edges[:, 0]))
-        edges = edges[order]
-        vals = None
-        if values is not None:
+        rows, cols = edges[:, 0], edges[:, 1]
+        fits = n <= 1 or n < np.iinfo(np.int64).max // n
+        if fits and len(edges) and (rows.min() < 0 or cols.min() < 0
+                                    or rows.max() >= n or cols.max() >= n):
+            raise ConfigError("column indices out of range")
+        if not fits:
+            order = np.lexsort((cols, rows))
+            edges = edges[order]
+            rows, cols = edges[:, 0], edges[:, 1]
+            sorted_cols = cols
+            vals = None
+            if values is not None:
+                vals = np.asarray(values, dtype=np.float64)[order]
+        elif values is None:
+            key = np.sort(rows * n + cols)
+            rows = key // n
+            sorted_cols = key % n
+            vals = None
+        else:
+            order = np.argsort(rows * n + cols, kind="stable")
+            rows = rows[order]
+            sorted_cols = cols[order]
             vals = np.asarray(values, dtype=np.float64)[order]
-        counts = np.bincount(edges[:, 0], minlength=n)
+        counts = np.bincount(rows, minlength=n)
         indptr = np.zeros(n + 1, dtype=np.int64)
         np.cumsum(counts, out=indptr[1:])
-        return cls(n, indptr, edges[:, 1], vals)
+        return cls(n, indptr, sorted_cols, vals)
 
     @property
     def nnz(self) -> int:

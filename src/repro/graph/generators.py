@@ -15,6 +15,7 @@ MGX/BP are scale-stable (asserted in ``tests/test_graph_scaling.py``).
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import lru_cache
 
 import numpy as np
 
@@ -84,26 +85,57 @@ def rmat_edges(n_vertices: int, n_edges: int, seed: int,
         raise ConfigError(f"invalid R-MAT probabilities {abc}")
     levels = int(np.ceil(np.log2(n_vertices)))
     rng = np.random.default_rng(seed)
-    src = np.zeros(n_edges, dtype=np.int64)
-    dst = np.zeros(n_edges, dtype=np.int64)
-    for _ in range(levels):
-        r = rng.random(n_edges)
-        # Quadrants: A=(0,0), B=(0,1), C=(1,0), D=(1,1).
-        src_bit = (r >= a + b).astype(np.int64)
-        dst_bit = ((r >= a) & (r < a + b) | (r >= a + b + c)).astype(np.int64)
-        src = (src << 1) | src_bit
-        dst = (dst << 1) | dst_bit
+    # One draw for every level: a (levels, n_edges) C-order fill consumes
+    # the bit stream exactly like `levels` separate draws of n_edges, so
+    # the generated graphs are bit-identical to the per-level version.
+    # One (levels, n_edges) draw consumes the bit stream exactly like
+    # `levels` separate per-level draws (C-order fill), so graphs stay
+    # bit-identical either way; fall back to per-level draws when the
+    # single block would be large (full-scale graphs: levels × edges
+    # doubles would dwarf the edge list itself).
+    block = rng.random((levels, n_edges)) if levels * n_edges <= (1 << 26) \
+        else None
+    # Quadrant decode: q = [r >= a] + [r >= a+b] + [r >= a+b+c] lands in
+    # {0=A, 1=B, 2=C, 3=D}, whose high bit is the source bit and low bit
+    # the destination bit.  Bits accumulate in int32 (the recursion depth
+    # never exceeds 31 levels) to halve the memory traffic of the loop.
+    accumulator = np.int32 if levels < 31 else np.int64
+    src = np.zeros(n_edges, dtype=accumulator)
+    dst = np.zeros(n_edges, dtype=accumulator)
+    quadrant = np.empty(n_edges, dtype=np.uint8)
+    for level in range(levels):
+        row = block[level] if block is not None else rng.random(n_edges)
+        np.add((row >= a).view(np.uint8), (row >= a + b).view(np.uint8),
+               out=quadrant)
+        quadrant += row >= a + b + c
+        np.left_shift(src, 1, out=src)
+        np.left_shift(dst, 1, out=dst)
+        src |= quadrant >> 1
+        dst |= quadrant & 1
+    src = src.astype(np.int64)
+    dst = dst.astype(np.int64)
     src %= n_vertices
     dst %= n_vertices
     # Drop self-loops, keep multiplicity (they model weighted repeats).
     keep = src != dst
-    edges = np.stack([dst[keep], src[keep]], axis=1)  # row = destination
+    edges = np.empty((int(np.count_nonzero(keep)), 2), dtype=np.int64)
+    edges[:, 0] = dst[keep]  # row = destination
+    edges[:, 1] = src[keep]
     return edges
 
 
+@lru_cache(maxsize=8)
 def build_benchmark_graph(name: str, scale_divisor: int = 64,
                           seed: int = 2022) -> CsrMatrix:
-    """Adjacency matrix (rows = destinations) for a named benchmark."""
+    """Adjacency matrix (rows = destinations) for a named benchmark.
+
+    A pure, deterministic function of its arguments, so the constructed
+    matrix is memoized process-wide: several figures sweep the same six
+    benchmarks, and regenerating identical R-MAT graphs dominated cold
+    runs.  (This is a constructor memo, not an artifact cache —
+    ``--no-cache`` still regenerates every trace and sweep.)  Callers
+    treat the matrix as read-only.
+    """
     spec = benchmark_spec(name, scale_divisor, seed)
     edges = rmat_edges(spec.vertices, spec.edges, spec.seed)
     return CsrMatrix.from_edges(spec.vertices, edges)

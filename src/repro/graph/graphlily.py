@@ -135,9 +135,9 @@ class GraphTraceGenerator:
         )
         dest_block = rows // self.block
         src_block = self.graph.indices // self.block
-        counts = np.zeros((self.n_blocks, self.n_blocks), dtype=np.int64)
-        np.add.at(counts, (dest_block, src_block), 1)
-        return counts
+        flat = np.bincount(dest_block * self.n_blocks + src_block,
+                           minlength=self.n_blocks * self.n_blocks)
+        return flat.reshape(self.n_blocks, self.n_blocks).astype(np.int64)
 
     def _tile_payload_bytes(self, edges: int, rows: int) -> int:
         """CSR payload of one tile: (index, value) pairs + row pointers."""

@@ -127,11 +127,16 @@ class PerformanceModel:
         total = ProtectionTraffic()
         total_cycles = 0.0
         phase_results: list[PhaseResult] = []
+        # Whole-trace pricing: stateful cached schemes stream every
+        # phase through their reuse-distance engine in one pass, which
+        # is byte-identical to per-phase pricing but amortizes the LRU
+        # state handling across the trace.
+        if batches is None and scheme.vectorizes:
+            batches = [AccessBatch.from_phase(phase) for phase in phases]
+        traffics = scheme.price_trace(batches) if batches is not None else None
         for index, phase in enumerate(phases):
-            if batches is not None:
-                traffic = scheme.price_batch(batches[index])
-            elif scheme.vectorizes:
-                traffic = scheme.price_batch(AccessBatch.from_phase(phase))
+            if traffics is not None:
+                traffic = traffics[index]
             else:
                 # Stateful schemes walk accesses anyway; skip the
                 # structure-of-arrays conversion they would discard.

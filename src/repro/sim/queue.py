@@ -33,6 +33,7 @@ import os
 import socket
 import threading
 import time
+from concurrent.futures import wait
 from pathlib import Path
 from typing import Sequence
 
@@ -173,6 +174,7 @@ def drain_graph(
     jobs: Sequence[ArtifactJob],
     queue: WorkQueue,
     timeout: float | None = None,
+    pool_jobs: int | None = None,
 ) -> dict:
     """Cooperatively compute every missing artifact of one job graph.
 
@@ -183,11 +185,19 @@ def drain_graph(
     the worker reclaims stale locks and naps briefly; the loop ends when
     every artifact exists.  Returns a summary of this worker's share.
 
+    ``pool_jobs`` hands claimed jobs to the scheduler's shared process
+    pool instead of computing them inline: one ``--workers`` participant
+    then keeps several claims in flight at once, their heartbeats alive
+    in this process while the pool computes.  The artifact writes stay
+    atomic and content-addressed, so the drain remains byte-identical to
+    the inline path (pinned in ``tests/test_queue.py``).
+
     ``timeout`` bounds the total wait (``RuntimeError`` on expiry) —
     mainly a test/CI guard against a peer that claimed work and then
     hangs while still heartbeating.
     """
     from repro.sim.runner import TRACE_CACHE
+    from repro.sim.scheduler import effective_workers
 
     if not TRACE_CACHE.enabled:
         raise ConfigError("the trace cache is disabled; a distributed drain "
@@ -196,62 +206,112 @@ def drain_graph(
         raise ConfigError("no cache dir attached (use --cache-dir or "
                           "REPRO_CACHE_DIR); a distributed drain needs a "
                           "shared artifact directory")
+    pool = None
+    if pool_jobs is not None and effective_workers(pool_jobs) >= 2:
+        from repro.sim.scheduler import _compute_job_shared, shared_pool
+
+        pool = shared_pool(pool_jobs)
+        store_dir = str(TRACE_CACHE.cache_dir)
     summary = {"jobs": len(jobs), "computed": 0, "reclaimed": 0, "waits": 0}
     deadline = None if timeout is None else time.monotonic() + timeout
     pending = list(jobs)
-    while pending:
-        progressed = False
-        still_pending: list[ArtifactJob] = []
-        for job in pending:
-            if TRACE_CACHE.has(job.key):
-                continue  # done — by us on an earlier pass, or by a peer
-            if not all(TRACE_CACHE.has(dep) for dep in job.deps):
-                still_pending.append(job)
-                continue
-            claim = queue.try_claim(job.job_id())
-            if claim is None:
-                still_pending.append(job)  # a peer is on it; check back
-                continue
-            try:
+    in_flight: dict = {}
+    #: Claims held at once: bounded by the pool width so one participant
+    #: cannot hoard the whole ready frontier while peers idle.
+    max_in_flight = 0 if pool is None else 2 * effective_workers(pool_jobs)
+    try:
+        while pending or in_flight:
+            progressed = False
+            if in_flight:
+                done = [future for future in in_flight if future.done()]
+                for future in done:
+                    job, claim = in_flight.pop(future)
+                    try:
+                        future.result()
+                        summary["computed"] += 1
+                    finally:
+                        claim.release()
+                    progressed = True
+            still_pending: list[ArtifactJob] = []
+            for job in pending:
+                if TRACE_CACHE.has(job.key):
+                    continue  # done — by us earlier, or by a peer
+                if not all(TRACE_CACHE.has(dep) for dep in job.deps):
+                    still_pending.append(job)
+                    continue
+                if pool is not None and len(in_flight) >= max_in_flight:
+                    still_pending.append(job)  # pool saturated: leave it
+                    continue
+                claim = queue.try_claim(job.job_id())
+                if claim is None:
+                    still_pending.append(job)  # a peer is on it
+                    continue
                 # Re-check under the lock: the artifact may have landed
                 # between our presence check and the claim.
-                if not TRACE_CACHE.has(job.key):
+                if TRACE_CACHE.has(job.key):
+                    claim.release()
+                    progressed = True
+                    continue
+                if pool is not None:
+                    future = pool.submit(_compute_job_shared, job, store_dir)
+                    in_flight[future] = (job, claim)
+                    progressed = True
+                    continue
+                try:
                     compute_job(job)
                     summary["computed"] += 1
-            finally:
-                claim.release()
-            progressed = True
-        pending = still_pending
-        if pending and not progressed:
-            summary["reclaimed"] += len(queue.reclaim_stale())
-            summary["waits"] += 1
-            if deadline is not None and time.monotonic() > deadline:
-                raise RuntimeError(
-                    f"distributed drain timed out with {len(pending)} jobs "
-                    f"pending (first: {pending[0].job_id()})"
-                )
-            time.sleep(queue.poll_seconds)
+                finally:
+                    claim.release()
+                progressed = True
+            pending = still_pending
+            if (pending or in_flight) and not progressed:
+                summary["reclaimed"] += len(queue.reclaim_stale())
+                summary["waits"] += 1
+                if deadline is not None and time.monotonic() > deadline:
+                    stuck = (pending[0].job_id() if pending
+                             else next(iter(in_flight.values()))[0].job_id())
+                    raise RuntimeError(
+                        f"distributed drain timed out with "
+                        f"{len(pending) + len(in_flight)} jobs pending "
+                        f"(first: {stuck})"
+                    )
+                if in_flight:
+                    wait(set(in_flight), timeout=queue.poll_seconds)
+                else:
+                    time.sleep(queue.poll_seconds)
+    finally:
+        # On any error, release outstanding claims: their heartbeats
+        # would otherwise keep the locks fresh for the process lifetime,
+        # locking peers out of those jobs.
+        for job, claim in in_flight.values():
+            claim.release()
     return summary
 
 
 def _drain_worker(jobs: Sequence[ArtifactJob], cache_dir: str,
-                  worker_id: str) -> None:
+                  worker_id: str, pool_jobs: int | None = None) -> None:
     """Entry point for a local drain subprocess (picklable, top-level)."""
     from repro.sim.runner import TRACE_CACHE
 
     TRACE_CACHE.set_cache_dir(cache_dir)
     queue = WorkQueue(Path(cache_dir) / QUEUE_SUBDIR, worker_id=worker_id)
-    drain_graph(jobs, queue)
+    drain_graph(jobs, queue, pool_jobs=pool_jobs)
 
 
 def run_workers(jobs: Sequence[ArtifactJob], cache_dir: str | os.PathLike,
-                workers: int, timeout: float | None = 3600.0) -> dict:
+                workers: int, timeout: float | None = 3600.0,
+                pool_jobs: int | None = None) -> dict:
     """Drain one graph with ``workers`` local processes (plus any peers).
 
     The calling process is worker 0 (so ``workers=1`` degrades to a
     plain in-process drain); the rest are spawned subprocesses.  All of
     them — and any ``--workers`` processes on other machines sharing the
     cache dir — coordinate purely through the queue directory.
+
+    ``pool_jobs`` additionally fans each participant's claimed jobs out
+    over the scheduler's shared in-process pool (``--workers N --jobs
+    M``: N cooperating queue workers, each computing up to M claims
+    concurrently).
 
     The default ``timeout`` is a guard against a *live but hung* peer —
     one that holds a claim and keeps heartbeating without ever
@@ -266,14 +326,16 @@ def run_workers(jobs: Sequence[ArtifactJob], cache_dir: str | os.PathLike,
     queue = WorkQueue(Path(cache_dir) / QUEUE_SUBDIR)
     helpers = [
         mp.Process(target=_drain_worker,
-                   args=(list(jobs), cache_dir, f"{queue.worker_id}-w{i}"),
+                   args=(list(jobs), cache_dir, f"{queue.worker_id}-w{i}",
+                         pool_jobs),
                    daemon=True)
         for i in range(1, workers)
     ]
     for helper in helpers:
         helper.start()
     try:
-        summary = drain_graph(jobs, queue, timeout=timeout)
+        summary = drain_graph(jobs, queue, timeout=timeout,
+                              pool_jobs=pool_jobs)
     finally:
         for helper in helpers:
             helper.join(timeout=60.0)

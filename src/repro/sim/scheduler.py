@@ -431,6 +431,20 @@ def _attach_store(store_dir: str) -> None:
         TRACE_CACHE.set_cache_dir(store_dir)
 
 
+def _compute_job_shared(job: ArtifactJob, store_dir: str) -> None:
+    """Pool entry point for a file-lock queue worker's claimed job.
+
+    Attaches the worker's trace cache to the shared store, then runs the
+    single inline execution path; the artifact's atomic tmp+rename spill
+    makes a duplicate computation (claim reclaimed mid-flight) harmless.
+    """
+    from repro.sim.runner import TRACE_CACHE
+
+    _attach_store(store_dir)
+    if not TRACE_CACHE.has(job.key):
+        compute_job(job)
+
+
 def _warm_job(spec: SweepSpec, store_dir: str) -> dict:
     """Warm node: ensure the spec's trace exists in the shared store."""
     from repro.sim.runner import TRACE_CACHE

@@ -234,6 +234,23 @@ class TestBatchPricingEquivalence:
         )
         assert astuple(actual) == astuple(expected)
 
+    @pytest.mark.parametrize("name", ["BP", "MGX_MAC"])
+    def test_price_trace_matches_per_batch_pricing(self, name):
+        """Whole-trace engine pricing ≡ per-batch pricing, per phase —
+        traffic, scheme stats, cache stats and final LRU state alike."""
+        workload = dnn_workload("AlexNet", "Cloud", training=True)
+        batches = list(workload.trace.batches)
+        per_batch_scheme = scheme_suite(workload.protected_bytes)[name]
+        trace_scheme = scheme_suite(workload.protected_bytes)[name]
+        per_batch = [per_batch_scheme.price_batch(batch) for batch in batches]
+        whole = trace_scheme.price_trace(batches)
+        assert [astuple(t) for t in whole] == [astuple(t) for t in per_batch]
+        assert astuple(trace_scheme.finish()) == astuple(per_batch_scheme.finish())
+        assert trace_scheme.stats.as_dict() == per_batch_scheme.stats.as_dict()
+        assert (trace_scheme.cache.stats.as_dict()
+                == per_batch_scheme.cache.stats.as_dict())
+        assert trace_scheme.cache.contents() == per_batch_scheme.cache.contents()
+
     def test_out_of_range_batch_rejected(self):
         from repro.common.errors import ConfigError
         from repro.core.schemes import make_mgx

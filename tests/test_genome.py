@@ -206,3 +206,27 @@ class TestDarwinSimulation:
 
     def test_vn_state_is_16_bytes(self):
         assert darwin_vn_state().state_bytes == 16
+
+
+class TestSeedIndexPinning:
+    """The vectorized k-mer grouping ≡ the per-position append build."""
+
+    def test_matches_naive_construction(self):
+        reference = make_reference("chr1")[:6000]
+        k = DsoftConfig().seed_length
+        index = SeedIndex(reference, k)
+        view = reference.tobytes()
+        naive: dict[bytes, list[int]] = {}
+        for position in range(len(reference) - k + 1):
+            naive.setdefault(view[position:position + k], []).append(position)
+        assert index._index == naive
+        assert index.table_entries == len(reference) - k + 1
+        assert index.table_entries == sum(len(v) for v in naive.values())
+
+    def test_lookup_miss_and_short_reference(self):
+        reference = make_reference("chrY")[:40]
+        index = SeedIndex(reference, 31)
+        assert index.table_entries == 10
+        assert index.lookup(b"\x00" * 31) == []
+        empty = SeedIndex(reference[:5], 12)
+        assert empty.table_entries == 0

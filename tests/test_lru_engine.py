@@ -1,0 +1,271 @@
+"""Reuse-distance LRU engine ≡ ``MetadataCache`` per-line semantics.
+
+The engine prices whole metadata-line streams with bulk conveyor
+stretches, dirty-streak grouping and spliced parent re-touches; every
+one of those fast paths must be *event- and state-identical* to the
+sequential ``MetadataCache.access`` walk with write-back chains.  The
+Hypothesis models here drive both models with the same randomized
+streams — including tiny caches where every run evicts, dirty runs whose
+chains climb a two- or three-level parent geometry, and set-associative
+organizations — and require identical miss/writeback/parent-miss event
+lists, identical LRU state (order and dirty bits), and identical
+hit/miss/writeback counters after every probe.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.common.errors import ConfigError
+from repro.core.lru_engine import EventSink, LruEngine
+from repro.core.metadata_cache import MetadataCache
+
+LINE = 64
+
+
+def _parent_two_level(address):
+    """Lines below 4 KiB have parents packed 8:1 above it."""
+    if address < 64 * LINE:
+        return 64 * LINE + ((address // LINE) // 8) * LINE
+    return None
+
+
+def _parent_three_level(address):
+    """A deeper geometry: 4:1 twice, so chains can cascade."""
+    if address < 64 * LINE:
+        return 64 * LINE + ((address // LINE) // 4) * LINE
+    if address < 80 * LINE:
+        return 80 * LINE + (((address - 64 * LINE) // LINE) // 4) * LINE
+    return None
+
+
+GEOMETRIES = {"none": None, "two": _parent_two_level, "three": _parent_three_level}
+
+
+def _drive_reference(cache, start_line, n_lines, dirty, parent_of):
+    """Per-line ``access`` walk with chain following (the ground truth)."""
+    misses, writebacks, parent_misses = [], [], []
+    for index in range(start_line, start_line + n_lines):
+        outcome = cache.access(index * LINE, dirty=dirty)
+        if not outcome.hit:
+            misses.append(index * LINE)
+        queue = ([outcome.writeback_address]
+                 if outcome.writeback_address is not None else [])
+        while queue:
+            address = queue.pop()
+            writebacks.append(address)
+            parent = parent_of(address) if parent_of else None
+            if parent is None:
+                continue
+            parent_outcome = cache.access(parent, dirty=True)
+            if not parent_outcome.hit:
+                parent_misses.append(parent)
+            if parent_outcome.writeback_address is not None:
+                queue.append(parent_outcome.writeback_address)
+    return misses, writebacks, parent_misses
+
+
+def _assert_state_equal(engine, cache):
+    reference = [[(line, bool(dirty)) for line, dirty in lines.items()]
+                 for lines in cache.contents()]
+    assert engine.export_state() == reference
+
+
+class TestModelEquivalence:
+    """Randomized streams: engine events/state/stats ≡ sequential walk."""
+
+    @given(
+        segments=st.lists(
+            st.tuples(st.integers(min_value=0, max_value=79),
+                      st.integers(min_value=1, max_value=14),
+                      st.booleans()),
+            min_size=1, max_size=50,
+        ),
+        capacity=st.sampled_from([1, 2, 3, 4, 8, 16]),
+        geometry=st.sampled_from(sorted(GEOMETRIES)),
+    )
+    @settings(max_examples=120, deadline=None)
+    def test_probe_stream_matches_access_walk(self, segments, capacity,
+                                              geometry):
+        parent_of = GEOMETRIES[geometry]
+        cache = MetadataCache(capacity * LINE)
+        engine = LruEngine(capacity, parent_of=parent_of)
+        for start, n_lines, dirty in segments:
+            expected = _drive_reference(cache, start, n_lines, dirty, parent_of)
+            sink = EventSink()
+            engine.probe_range(start * LINE, n_lines, dirty, sink)
+            assert sink.drain_misses().tolist() == expected[0]
+            assert sink.drain_writebacks().tolist() == expected[1]
+            assert sink.drain_parent_misses().tolist() == expected[2]
+            _assert_state_equal(engine, cache)
+
+    @given(
+        segments=st.lists(
+            st.tuples(st.integers(min_value=0, max_value=39),
+                      st.integers(min_value=1, max_value=10),
+                      st.booleans()),
+            min_size=1, max_size=40,
+        ),
+        ways=st.sampled_from([1, 2, 4]),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_set_associative_matches(self, segments, ways):
+        cache = MetadataCache(8 * LINE, ways=ways)
+        engine = LruEngine(8, ways=ways, parent_of=_parent_two_level)
+        for start, n_lines, dirty in segments:
+            expected = _drive_reference(cache, start, n_lines, dirty,
+                                        _parent_two_level)
+            sink = EventSink()
+            engine.probe_range(start * LINE, n_lines, dirty, sink)
+            assert sink.drain_misses().tolist() == expected[0]
+            assert sink.drain_writebacks().tolist() == expected[1]
+            assert sink.drain_parent_misses().tolist() == expected[2]
+            _assert_state_equal(engine, cache)
+
+    @given(
+        runs=st.lists(
+            st.tuples(
+                st.lists(st.integers(min_value=0, max_value=63),
+                         min_size=1, max_size=12, unique=True),
+                st.booleans(),
+            ),
+            min_size=1, max_size=30,
+        ),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_sparse_ascending_runs_match(self, runs):
+        """Walk-shaped probes: distinct ascending but not consecutive."""
+        cache = MetadataCache(4 * LINE)
+        engine = LruEngine(4, parent_of=_parent_two_level)
+        for lines, dirty in runs:
+            ordered = sorted(lines)
+            expected_misses, expected_wb, expected_pm = [], [], []
+            for index in ordered:
+                partial = _drive_reference(cache, index, 1, dirty,
+                                           _parent_two_level)
+                expected_misses += partial[0]
+                expected_wb += partial[1]
+                expected_pm += partial[2]
+            sink = EventSink()
+            engine.probe_lines(np.array(ordered, dtype=np.int64) * LINE,
+                               dirty, sink)
+            assert sink.drain_misses().tolist() == expected_misses
+            assert sink.drain_writebacks().tolist() == expected_wb
+            assert sink.drain_parent_misses().tolist() == expected_pm
+            _assert_state_equal(engine, cache)
+
+    def test_stats_counters_match(self):
+        """hit/miss/writeback counters track the reference exactly."""
+        cache = MetadataCache(4 * LINE)
+        engine = LruEngine(4, parent_of=_parent_two_level)
+        sink = EventSink()
+        for start, n_lines, dirty in [(0, 8, True), (2, 6, False),
+                                      (60, 10, True), (0, 8, True)]:
+            _drive_reference(cache, start, n_lines, dirty, _parent_two_level)
+            engine.probe_range(start * LINE, n_lines, dirty, sink)
+        assert sink.hits == cache.stats.get("hits")
+        assert sink.miss_count == cache.stats.get("misses")
+        assert sink.writeback_count == cache.stats.get("writebacks")
+
+
+class TestBulkMachineryStress:
+    """Force the bulk paths onto tiny runs the scalar cutoff would take."""
+
+    @pytest.fixture(autouse=True)
+    def force_bulk(self, monkeypatch):
+        monkeypatch.setattr(LruEngine, "_SCALAR_RUN", 0)
+
+    @given(
+        segments=st.lists(
+            st.tuples(st.integers(min_value=0, max_value=79),
+                      st.integers(min_value=1, max_value=20),
+                      st.booleans()),
+            min_size=1, max_size=50,
+        ),
+        capacity=st.sampled_from([1, 2, 4, 8]),
+        geometry=st.sampled_from(sorted(GEOMETRIES)),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_bulk_paths_match_walk(self, segments, capacity, geometry):
+        parent_of = GEOMETRIES[geometry]
+        cache = MetadataCache(capacity * LINE)
+        engine = LruEngine(capacity, parent_of=parent_of)
+        for start, n_lines, dirty in segments:
+            expected = _drive_reference(cache, start, n_lines, dirty, parent_of)
+            sink = EventSink()
+            engine.probe_range(start * LINE, n_lines, dirty, sink)
+            assert sink.drain_misses().tolist() == expected[0]
+            assert sink.drain_writebacks().tolist() == expected[1]
+            assert sink.drain_parent_misses().tolist() == expected[2]
+            _assert_state_equal(engine, cache)
+
+    def test_dirty_write_thrash_chains(self):
+        """A write stream larger than a tiny cache: every eviction is a
+        dirty self-conveyor whose chain touches the parent level."""
+        capacity = 8
+        cache = MetadataCache(capacity * LINE)
+        engine = LruEngine(capacity, parent_of=_parent_two_level)
+        sink = EventSink()
+        for _ in range(4):
+            for start in (0, 24, 48):
+                expected = _drive_reference(cache, start, 16, True,
+                                            _parent_two_level)
+                engine.probe_range(start * LINE, 16, True, sink)
+                assert sink.drain_writebacks().tolist() == expected[1]
+                assert sink.drain_parent_misses().tolist() == expected[2]
+        _assert_state_equal(engine, cache)
+
+
+class TestStateAndSink:
+    def test_state_round_trip(self):
+        engine = LruEngine(4)
+        sink = EventSink()
+        engine.probe_range(0, 3, True, sink)
+        state = engine.export_state()
+        other = LruEngine(4)
+        other.load_state([dict(pairs) for pairs in state])
+        assert other.export_state() == state
+        assert len(other) == 3
+        assert other.contains(0) and not other.contains(5 * LINE)
+
+    def test_flush_returns_dirty_in_recency_order(self):
+        engine = LruEngine(4)
+        sink = EventSink()
+        engine.probe_range(0, 2, True, sink)
+        engine.probe_range(2 * LINE, 1, False, sink)
+        assert engine.flush().tolist() == [0, LINE]
+        assert len(engine) == 0
+
+    def test_sink_drain_batches_scalars_and_arrays(self):
+        sink = EventSink()
+        sink.misses.append(3)
+        sink.misses.append(np.array([7, 9], dtype=np.int64))
+        sink.misses.append(11)
+        assert sink.drain_misses().tolist() == [3, 7, 9, 11]
+        assert sink.drain_misses().tolist() == []
+
+    def test_invalid_configurations_rejected(self):
+        with pytest.raises(ConfigError):
+            LruEngine(0)
+        with pytest.raises(ConfigError):
+            LruEngine(8, ways=3)
+        engine = LruEngine(4)
+        with pytest.raises(ConfigError):
+            engine.load_state([{}, {}])  # one set expected
+
+    def test_ring_compaction_preserves_state(self):
+        """Touch far more lines than the ring slack to force compaction."""
+        capacity = 4
+        cache = MetadataCache(capacity * LINE)
+        engine = LruEngine(capacity, parent_of=_parent_two_level)
+        engine._RING_SLACK  # attribute exists; compaction path below
+        sink = EventSink()
+        for round_index in range(3000):
+            start = (round_index * 3) % 60
+            _drive_reference(cache, start, 4, bool(round_index % 2),
+                             _parent_two_level)
+            engine.probe_range(start * LINE, 4, bool(round_index % 2), sink)
+        _assert_state_equal(engine, cache)
+        assert sink.miss_count == cache.stats.get("misses")

@@ -116,6 +116,31 @@ class TestDrain:
         summary = drain_graph(jobs, _fast_queue(tmp_path), timeout=120.0)
         assert summary["computed"] == 0
 
+    def test_pool_drain_fills_cache_and_matches_serial(self, tmp_path,
+                                                       disk_cache):
+        """``pool_jobs``: claimed jobs compute on the shared in-process
+        pool; artifacts and decoded sweeps stay byte-identical."""
+        from dataclasses import astuple
+
+        from repro.sim.runner import SCHEMES, dnn_sweep
+
+        jobs = build_graph(_small_specs())
+        summary = drain_graph(jobs, _fast_queue(tmp_path), timeout=300.0,
+                              pool_jobs=2)
+        assert summary["computed"] == len(jobs)
+        for job in jobs:
+            assert disk_cache.has(job.key)
+        # The drained sweep artifact decodes to the same results a
+        # serial, uncached sweep computes.
+        restored = dnn_sweep("AlexNet", "Cloud")
+        reference = dnn_sweep("AlexNet", "Cloud", use_cache=False)
+        for name in SCHEMES:
+            assert (restored.results[name].total_cycles
+                    == reference.results[name].total_cycles), name
+            assert astuple(restored.results[name].traffic) == astuple(
+                reference.results[name].traffic
+            ), name
+
     def test_drain_requires_cache_dir(self, tmp_path):
         saved = TRACE_CACHE.cache_dir
         TRACE_CACHE.set_cache_dir(None)
