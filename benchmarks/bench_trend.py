@@ -10,8 +10,12 @@ Benchmarks are matched by ``fullname``; only names containing one of the
 given).  A benchmark regresses when its current mean exceeds the
 baseline mean by more than ``--threshold`` (a fraction).  A missing
 baseline file exits 0 — the first run of a branch has nothing to
-compare against — and benchmarks present on only one side are reported
-but never fail the build (renames must not break CI).
+compare against — and a benchmark the restored baseline doesn't know
+(a new benchmark, a rename, the first run after a ``--filter`` change)
+is treated the same way per name: **no baseline, record only**.  It is
+printed, lands in the refreshed baseline, and never fails the build;
+neither do names only the baseline has, nor baseline entries without
+usable stats (an errored run must not poison the next comparison).
 
 Exit status: 0 when no compared benchmark regressed, 1 otherwise.
 """
@@ -25,11 +29,20 @@ from pathlib import Path
 
 
 def load_means(path: Path) -> dict[str, float]:
+    """``fullname -> mean`` for every benchmark with usable stats.
+
+    Entries without a name or a mean (errored or interrupted runs spill
+    partial documents) are skipped rather than crashing the gate.
+    """
     doc = json.loads(path.read_text())
-    return {
-        bench["fullname"]: bench["stats"]["mean"]
-        for bench in doc.get("benchmarks", [])
-    }
+    means: dict[str, float] = {}
+    for bench in doc.get("benchmarks", []):
+        name = bench.get("fullname")
+        mean = bench.get("stats", {}).get("mean")
+        if name is None or not isinstance(mean, (int, float)):
+            continue
+        means[name] = float(mean)
+    return means
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -61,11 +74,14 @@ def main(argv: list[str] | None = None) -> int:
         if not selected(name):
             continue
         old, new = baseline.get(name), current.get(name)
-        if old is None or new is None:
-            side = "current run" if old is None else "baseline"
-            print(f"  [only in {side}] {name}")
+        if new is None:
+            print(f"  [  retired] {name} (only in baseline)")
             continue
-        ratio = new / old if old > 0 else float("inf")
+        if old is None or old <= 0.0:
+            print(f"  [ recorded] {name}: {new * 1e3:.2f} ms "
+                  "(no baseline, record only)")
+            continue
+        ratio = new / old
         verdict = "ok"
         if ratio > 1.0 + args.threshold:
             verdict = "REGRESSION"

@@ -12,3 +12,16 @@ import pytest
 def pytest_collection_modifyitems(items):
     for item in items:
         item.add_marker(pytest.mark.benchmark)
+
+
+@pytest.fixture
+def disk_cache(tmp_path):
+    """TRACE_CACHE with a disk tier under a temporary directory."""
+    from repro.sim.runner import TRACE_CACHE
+
+    saved_dir = TRACE_CACHE.cache_dir
+    TRACE_CACHE.clear()
+    TRACE_CACHE.set_cache_dir(tmp_path / "cache")
+    yield TRACE_CACHE
+    TRACE_CACHE.set_cache_dir(saved_dir)
+    TRACE_CACHE.clear()

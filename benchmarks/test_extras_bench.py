@@ -1,6 +1,22 @@
-"""Benchmarks: the beyond-the-figures studies (§V-A/B discussion points)."""
+"""Benchmarks: the beyond-the-figures studies (§V-A/B discussion points).
 
-from repro.experiments.extras import run_extra
+The study functions are called directly (not through ``run_extra``,
+which serves the table from the shared artifact cache after the first
+round): the benchmark must keep measuring the computation.
+"""
+
+from repro.experiments.extras import EXTRAS, batch_sweep
+
+
+def run_extra(name: str, quick: bool):
+    return EXTRAS[name](quick=quick)
+
+
+def test_batch_study(benchmark):
+    # use_cache=False: the study now rides the suite-wide dnn_sweep
+    # cache, which would turn every round after the first into a lookup.
+    result = benchmark(batch_sweep, quick=True, use_cache=False)
+    assert abs(result.summary["BP_batch_max"] - result.summary["BP_batch1"]) < 0.05
 
 
 def test_spmspv_study(benchmark):
@@ -12,11 +28,6 @@ def test_sssp_study(benchmark):
     result = benchmark(run_extra, "sssp", quick=True)
     for row in result.rows:
         assert row["MGX"] < row["BP"]
-
-
-def test_batch_study(benchmark):
-    result = benchmark(run_extra, "batch", quick=True)
-    assert abs(result.summary["BP_batch_max"] - result.summary["BP_batch1"]) < 0.05
 
 
 def test_dataflow_study(benchmark):

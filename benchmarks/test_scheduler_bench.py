@@ -9,9 +9,7 @@ in BENCH_*.json for tracking.
 
 from __future__ import annotations
 
-import pytest
-
-from repro.sim.runner import TRACE_CACHE, dnn_sweep
+from repro.sim.runner import dnn_sweep
 from repro.sim.scheduler import (
     dnn_spec,
     gact_profile_spec,
@@ -36,16 +34,6 @@ _QUICK_ARTIFACTS = _QUICK_SPECS + (
     gact_profile_spec("chrY", "ONT1D", 2),
     gop_profile_spec("IBPB", 8, 8),
 )
-
-
-@pytest.fixture
-def disk_cache(tmp_path):
-    saved_dir = TRACE_CACHE.cache_dir
-    TRACE_CACHE.clear()
-    TRACE_CACHE.set_cache_dir(tmp_path / "cache")
-    yield TRACE_CACHE
-    TRACE_CACHE.set_cache_dir(saved_dir)
-    TRACE_CACHE.clear()
 
 
 def test_warm_disk_cache_rerun(benchmark, disk_cache):

@@ -13,34 +13,149 @@ Usage::
     python -m repro.experiments --workers 2      # distributed artifact drain
     python -m repro.experiments -o EXPERIMENTS_RUN.txt
 
-``--jobs N`` hands the selected figures' artifact graph — every
-(workload × scheme) pair plus the functional fig16/fig19 pipelines — to
-the scheduler's shared worker pool before the drivers run (see
-:mod:`repro.sim.scheduler`); the report is byte-identical to a serial
-run.  ``--cache-dir`` (or the ``REPRO_CACHE_DIR`` environment variable)
-attaches the trace cache's disk tier, so a second invocation restores
-every artifact from disk and computes nothing.
+    python -m repro.experiments cache stats      # what's in the cache dir
+    python -m repro.experiments cache gc --max-age 7d --max-bytes 2G
+    python -m repro.experiments cache verify     # re-hash stored artifacts
+
+``--jobs N`` hands the selected experiments' artifact graph — every
+(workload × scheme) pair, the functional fig16/fig19 pipelines and the
+ablation/extra tables — to the scheduler's shared worker pool before
+the drivers run (see :mod:`repro.sim.scheduler`); the report is
+byte-identical to a serial run.  ``--cache-dir`` (or the
+``REPRO_CACHE_DIR`` environment variable) attaches the trace cache's
+disk tier, so a second invocation restores every artifact from disk and
+computes nothing.
 
 ``--workers N`` drains the same graph through the file-lock work queue
 in the shared cache directory (see :mod:`repro.sim.queue`): N local
 processes — and any other ``--workers`` invocations on machines sharing
 the cache dir — claim jobs cooperatively, and every participant renders
 identical tables afterwards.  Requires a cache dir.
+
+``cache {stats,gc,verify}`` manages the shared cache directory's
+lifecycle (see :mod:`repro.sim.gc`): ``gc`` mark-and-sweeps unreachable
+artifacts (the live set is the registered suite's whole graph, quick and
+full mode) under age/size policies and cleans orphaned queue locks;
+``verify`` re-hashes every artifact against its stored content digest.
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 import time
 
 from repro.experiments.ablations import ABLATIONS, run_ablation
 from repro.experiments.extras import EXTRAS, run_extra
 from repro.experiments.registry import EXPERIMENTS, run_experiment, suite_specs
-from repro.sim.runner import TRACE_CACHE
+from repro.sim.runner import ARTIFACT_KINDS, TRACE_CACHE
+
+
+def _resolve_cache_dir(arg: str | None, parser: argparse.ArgumentParser) -> str:
+    cache_dir = arg or os.environ.get("REPRO_CACHE_DIR")
+    if not cache_dir:
+        parser.error("no cache dir (use --cache-dir or REPRO_CACHE_DIR)")
+    if not os.path.isdir(cache_dir):
+        parser.error(f"cache dir {cache_dir!r} does not exist")
+    return cache_dir
+
+
+def cache_main(argv: list[str]) -> int:
+    """The ``cache {stats,gc,verify}`` lifecycle subcommands."""
+    from repro.sim import gc as cache_gc
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments cache",
+        description="Shared artifact-cache lifecycle: stats, GC, verify.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def add_common(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--cache-dir", default=None, metavar="DIR",
+                       help="the shared cache directory "
+                            "(default: REPRO_CACHE_DIR)")
+
+    p_stats = sub.add_parser("stats", help="per-kind artifact counts/bytes")
+    add_common(p_stats)
+
+    p_gc = sub.add_parser(
+        "gc", help="mark-and-sweep unreachable artifacts + queue hygiene"
+    )
+    add_common(p_gc)
+    p_gc.add_argument("--max-age", default=None, metavar="AGE",
+                      help="only delete unreachable artifacts older than "
+                           "this (e.g. 0s, 30m, 7d; default: all of them)")
+    p_gc.add_argument("--max-bytes", default=None, metavar="SIZE",
+                      help="evict further unreachable artifacts, oldest "
+                           "first, until the dir fits this budget "
+                           "(e.g. 512M, 2G)")
+    p_gc.add_argument("--dry-run", action="store_true",
+                      help="plan and report, delete nothing")
+
+    p_verify = sub.add_parser(
+        "verify", help="re-hash and re-decode every stored artifact"
+    )
+    add_common(p_verify)
+
+    args = parser.parse_args(argv)
+    cache_dir = _resolve_cache_dir(args.cache_dir, parser)
+
+    if args.command == "stats":
+        stats = cache_gc.cache_stats(cache_dir)
+        print(f"cache {stats['cache_dir']}:")
+        for kind in ARTIFACT_KINDS:
+            bucket = stats["kinds"][kind]
+            print(f"  {kind:>8s}: {bucket['files']:5d} files, "
+                  f"{cache_gc.format_bytes(bucket['bytes'])}")
+        print(f"  {'total':>8s}: {stats['total_files']:5d} files, "
+              f"{cache_gc.format_bytes(stats['total_bytes'])} "
+              f"({stats['reachable']} reachable, "
+              f"{stats['unreachable']} unreachable)")
+        print(f"  queue: {stats['queue_locks']} locks "
+              f"({stats['stale_queue_locks']} stale), "
+              f"{stats['tmp_files']} tmp files")
+        return 0
+
+    if args.command == "gc":
+        from repro.common.errors import ConfigError
+
+        try:
+            max_age = (cache_gc.parse_duration(args.max_age)
+                       if args.max_age is not None else None)
+            max_bytes = (cache_gc.parse_size(args.max_bytes)
+                         if args.max_bytes is not None else None)
+        except ConfigError as exc:
+            parser.error(str(exc))
+        plan = cache_gc.plan_gc(cache_dir, max_age=max_age,
+                                max_bytes=max_bytes)
+        summary = cache_gc.run_gc(plan, dry_run=args.dry_run)
+        verb = "would delete" if args.dry_run else "deleted"
+        print(f"gc: {summary['kept']} reachable kept, "
+              f"{summary['spared']} unreachable spared, "
+              f"{verb} {summary['deleted']} artifacts "
+              f"({cache_gc.format_bytes(summary['bytes_freed'])}), "
+              f"{summary['locks_removed']} stale locks, "
+              f"{summary['tmp_removed']} tmp files")
+        return 0
+
+    ok, issues = cache_gc.verify_artifacts(cache_dir)
+    for issue in issues:
+        print(f"  [{issue.status}] {issue.path.name}: {issue.detail}")
+    corrupt = sum(1 for issue in issues if issue.status == "corrupt")
+    print(f"verify: {ok} artifacts ok, {corrupt} corrupt, "
+          f"{sum(1 for i in issues if i.status == 'stale')} stale, "
+          f"{sum(1 for i in issues if i.status == 'unverifiable')} "
+          f"unverifiable")
+    return 1 if corrupt else 0
 
 
 def main(argv: list[str] | None = None) -> int:
+    if argv is None:
+        argv = sys.argv[1:]
+    if argv and argv[0] == "cache":
+        return cache_main(argv[1:])
+
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--quick", action="store_true", help="reduced workloads")
     parser.add_argument("--only", choices=sorted(EXPERIMENTS), help="single experiment")
@@ -48,18 +163,21 @@ def main(argv: list[str] | None = None) -> int:
                         choices=("figures", "ablations", "extras", "all"),
                         help="which experiment family to run")
     parser.add_argument("--jobs", type=int, default=None, metavar="N",
-                        help="price (workload × scheme) pairs across N worker "
-                             "processes (figure experiments only; "
-                             "ablations/extras run serially)")
+                        help="compute the selected experiments' missing "
+                             "artifacts — (workload × scheme) pairs, "
+                             "functional profiles, ablation/extra tables — "
+                             "across N worker processes before the drivers "
+                             "run")
     parser.add_argument("--workers", type=int, default=None, metavar="N",
-                        help="drain the figures' artifact graph via the "
-                             "file-lock queue in the shared cache dir with N "
-                             "local worker processes, cooperating with any "
-                             "other --workers invocations (even on other "
-                             "machines) sharing the same cache dir; requires "
-                             "--cache-dir or REPRO_CACHE_DIR.  Combine with "
-                             "--jobs M to compute each worker's claimed jobs "
-                             "on the shared in-process pool, M at a time")
+                        help="drain the selected experiments' artifact graph "
+                             "via the file-lock queue in the shared cache "
+                             "dir with N local worker processes, cooperating "
+                             "with any other --workers invocations (even on "
+                             "other machines) sharing the same cache dir; "
+                             "requires --cache-dir or REPRO_CACHE_DIR.  "
+                             "Combine with --jobs M to compute each worker's "
+                             "claimed jobs on the shared in-process pool, M "
+                             "at a time")
     parser.add_argument("--cache-dir", default=None, metavar="DIR",
                         help="persist traces and sweep results under DIR "
                              "(also honours REPRO_CACHE_DIR); a warm rerun "
@@ -97,14 +215,20 @@ def main(argv: list[str] | None = None) -> int:
                 for name in EXTRAS
             ]
 
-    figure_ids = [args.only] if args.only else (
-        list(EXPERIMENTS) if args.which in ("figures", "all") else []
-    )
-    if args.workers is not None and not figure_ids:
-        parser.error("--workers drains the figure experiments' artifact "
-                     "graph; --set ablations/extras have none and always "
-                     "run serially")
-    if args.workers is not None and figure_ids:
+    # The artifact-producing experiment ids the selection covers: figure
+    # ids plus the ablations/extras families (each family's tables — and
+    # the suite sweeps they assemble from — are graph artifacts too).
+    if args.only:
+        selected_ids = [args.only]
+    else:
+        selected_ids = (list(EXPERIMENTS)
+                        if args.which in ("figures", "all") else [])
+        if args.which in ("ablations", "all"):
+            selected_ids.append("ablations")
+        if args.which in ("extras", "all"):
+            selected_ids.append("extras")
+
+    if args.workers is not None:
         # Distributed drain: claim jobs from the file-lock queue in the
         # shared cache dir, cooperating with local helper processes and
         # any peers on other machines pointed at the same directory.
@@ -115,7 +239,7 @@ def main(argv: list[str] | None = None) -> int:
         from repro.sim.queue import QUEUE_SUBDIR, run_workers
 
         start = time.time()
-        graph = suite_graph(figure_ids, args.quick)
+        graph = suite_graph(selected_ids, args.quick)
         summary = run_workers(graph, TRACE_CACHE.cache_dir, args.workers,
                               pool_jobs=jobs)
         print(
@@ -125,14 +249,13 @@ def main(argv: list[str] | None = None) -> int:
             f"in {time.time() - start:.1f}s",
             file=sys.stderr,
         )
-    elif (jobs is not None and jobs > 1 and not args.only
-            and args.which in ("figures", "all")):
-        # Cross-workload fan-out: compute the whole suite's missing
+    elif jobs is not None and jobs > 1 and not args.only:
+        # Cross-workload fan-out: compute the whole selection's missing
         # artifacts on the shared pool before any driver runs.
         from repro.sim.scheduler import prefetch_artifacts
 
         start = time.time()
-        summary = prefetch_artifacts(suite_specs(EXPERIMENTS, args.quick),
+        summary = prefetch_artifacts(suite_specs(selected_ids, args.quick),
                                      jobs=jobs)
         print(
             f"prefetch: {summary['workloads']} workloads "
@@ -151,10 +274,12 @@ def main(argv: list[str] | None = None) -> int:
         sections.append(result.to_text() + f"\n\n[{eid} completed in {elapsed:.1f}s]")
         print(f"{eid}: done in {elapsed:.1f}s", file=sys.stderr)
     cache = TRACE_CACHE.stats()
+    kinds = ", ".join(
+        f"{cache[f'{kind}_misses']} {kind}" for kind in ARTIFACT_KINDS
+    )
     print(
         f"trace cache: {cache['hits']} hits, {cache['disk_hits']} disk hits, "
-        f"{cache['misses']} misses ({cache['trace_misses']} trace, "
-        f"{cache['sweep_misses']} sweep), {cache['entries']} entries",
+        f"{cache['misses']} misses ({kinds}), {cache['entries']} entries",
         file=sys.stderr,
     )
     report = ("\n\n" + "=" * 72 + "\n\n").join(sections)

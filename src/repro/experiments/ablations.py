@@ -12,8 +12,15 @@ Four sensitivity studies that the paper motivates but does not plot:
 * ``crypto_efficiency`` — Enc/IV engine provisioning vs the residual
   MGX overhead (the paper's ~3-5% floor).
 
-Each returns an :class:`ExperimentResult` and is exercised by
-``benchmarks/test_ablation_bench.py``.
+Each study function returns an :class:`ExperimentResult` and is
+exercised by ``benchmarks/test_ablation_bench.py``.  The studies are
+also **table artifacts** in the suite's content-addressed job graph:
+:func:`profile_specs` registers one
+:func:`~repro.sim.scheduler.ablation_table_spec` per study (via
+``registry.PROFILE_SPECS["ablations"]``), so ``--jobs``/``--workers``
+runs compute them across the pool or the distributed queue, and
+:func:`run_ablation` serves every table through the shared cache — a
+warm rerun restores all of them without recomputation.
 """
 
 from __future__ import annotations
@@ -34,6 +41,38 @@ from repro.dram.model import DramConfig, DramModel
 from repro.dram.timing import DDR4_2400, DDR4_3200
 from repro.experiments.base import ExperimentResult
 from repro.sim.perf import PerfConfig, PerformanceModel
+
+
+#: Sweep points of each study — module constants so the studies and the
+#: table-artifact keys (:func:`table_key_params`) can never disagree.
+_MAC_GRANULARITIES = (64, 128, 256, 512, 1024, 2048, 4096)
+_CACHE_SIZES_FULL = (8, 16, 32, 64, 128, 256, 512, 1024)
+_CACHE_SIZES_QUICK = (8, 32, 128)
+_CRYPTO_EFFICIENCIES = (1.0, 0.99, 0.97, 0.95, 0.90, 0.80)
+
+
+def _ablation_model(quick: bool) -> str:
+    return "AlexNet" if quick else "ResNet"
+
+
+def table_key_params(name: str, quick: bool) -> tuple:
+    """The study's parameter content, folded into its artifact key.
+
+    Primitive and repr-stable (floats as ``float.hex()``, per the
+    README's key rules): changing a study's workload or sweep points
+    re-keys its cached table, exactly like the fig16/fig19 profile keys
+    embed their pipeline configs.
+    """
+    model = _ablation_model(quick)
+    if name == "mac-granularity":
+        return (model, _MAC_GRANULARITIES)
+    if name == "cache-size":
+        return (model, _CACHE_SIZES_QUICK if quick else _CACHE_SIZES_FULL)
+    if name == "dram-grade":
+        return (model, tuple(t.name for t in (DDR4_2400, DDR4_3200)))
+    if name == "crypto-efficiency":
+        return (model, tuple(e.hex() for e in _CRYPTO_EFFICIENCIES))
+    raise KeyError(name)
 
 
 def _trace(model_name: str = "ResNet"):
@@ -58,10 +97,10 @@ def mac_granularity_sweep(quick: bool = False) -> ExperimentResult:
         columns=["granularity", "traffic", "time"],
         notes="512 B captures nearly all of the amortization win; the paper's choice.",
     )
-    trace = _trace("AlexNet" if quick else "ResNet")
+    trace = _trace(_ablation_model(quick))
     perf = _perf()
     baseline = perf.run(trace.phases, NoProtection())
-    for granularity in (64, 128, 256, 512, 1024, 2048, 4096):
+    for granularity in _MAC_GRANULARITIES:
         scheme = CounterModeProtection(
             name=f"MGX-{granularity}",
             vn_onchip=True,
@@ -92,10 +131,10 @@ def cache_size_sweep(quick: bool = False) -> ExperimentResult:
         title="Ablation — baseline metadata cache size sweep (ResNet, Cloud)",
         columns=["cache_kib", "traffic", "time"],
     )
-    trace = _trace("AlexNet" if quick else "ResNet")
+    trace = _trace(_ablation_model(quick))
     perf = _perf()
     baseline = perf.run(trace.phases, NoProtection())
-    sizes = (8, 32, 128) if quick else (8, 16, 32, 64, 128, 256, 512, 1024)
+    sizes = _CACHE_SIZES_QUICK if quick else _CACHE_SIZES_FULL
     for kib in sizes:
         scheme = make_baseline(CLOUD.protected_bytes, cache_bytes=kib * 1024)
         run = perf.run(trace.phases, scheme)
@@ -120,7 +159,7 @@ def dram_grade_sweep(quick: bool = False) -> ExperimentResult:
         notes="Overheads are traffic ratios; faster DRAM shifts the compute/"
               "memory balance slightly but not the MGX-vs-BP story.",
     )
-    trace = _trace("AlexNet" if quick else "ResNet")
+    trace = _trace(_ablation_model(quick))
     from repro.core.schemes import make_mgx
 
     for timing in (DDR4_2400, DDR4_3200):
@@ -146,10 +185,10 @@ def crypto_efficiency_sweep(quick: bool = False) -> ExperimentResult:
         notes="The paper's few-percent MGX overheads imply an engine "
               "provisioned slightly below peak DRAM bandwidth.",
     )
-    trace = _trace("AlexNet" if quick else "ResNet")
+    trace = _trace(_ablation_model(quick))
     from repro.core.schemes import make_mgx
 
-    for efficiency in (1.0, 0.99, 0.97, 0.95, 0.90, 0.80):
+    for efficiency in _CRYPTO_EFFICIENCIES:
         perf = _perf(crypto_efficiency=efficiency)
         baseline = perf.run(trace.phases, NoProtection())
         mgx = perf.run(trace.phases, make_mgx(CLOUD.protected_bytes))
@@ -168,8 +207,33 @@ ABLATIONS = {
 }
 
 
+def sweep_specs(quick: bool = False) -> list:
+    """Suite sweeps the ablations consume: none — their schemes are
+    bespoke (granularity/cache/DRAM/crypto variants outside the suite),
+    so each study prices inside its own table artifact."""
+    return []
+
+
+def profile_specs(quick: bool = False) -> list:
+    """One table artifact per ablation study (graph/prefetch entry)."""
+    from repro.sim.scheduler import ablation_table_spec
+
+    return [ablation_table_spec(name, quick) for name in ABLATIONS]
+
+
 def run_ablation(name: str, quick: bool = False) -> ExperimentResult:
-    try:
-        return ABLATIONS[name](quick=quick)
-    except KeyError:
-        raise KeyError(f"unknown ablation {name!r}; known: {sorted(ABLATIONS)}") from None
+    """One ablation table, served through the shared artifact cache.
+
+    The table is a ``profile`` artifact of the suite graph: a warm cache
+    restores it without rerunning the study, and cold runs serialize
+    through the same :meth:`~repro.experiments.base.ExperimentResult.
+    to_doc` round-trip the distributed workers use, so every path
+    renders byte-identical text.
+    """
+    from repro.sim.scheduler import ablation_table_spec
+
+    if name not in ABLATIONS:
+        raise KeyError(
+            f"unknown ablation {name!r}; known: {sorted(ABLATIONS)}"
+        )
+    return ExperimentResult.from_doc(ablation_table_spec(name, quick).fetch())

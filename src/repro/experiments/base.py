@@ -12,6 +12,19 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 
+def _plain(value):
+    """A JSON-primitive copy of one table value (NumPy scalars unboxed)."""
+    if value is None or type(value) in (bool, int, float, str):
+        return value
+    if isinstance(value, float):  # np.float64 subclasses float: exact
+        return float(value)
+    if hasattr(value, "item"):  # other numpy scalars: exact unboxing
+        return value.item()
+    raise TypeError(
+        f"table values must be JSON primitives, got {type(value).__name__}"
+    )
+
+
 @dataclass
 class ExperimentResult:
     """A reproduced table/figure: labelled rows of named values."""
@@ -28,6 +41,43 @@ class ExperimentResult:
 
     def add_row(self, **values) -> None:
         self.rows.append(values)
+
+    # ------------------------------------------------------------------
+    def to_doc(self) -> dict:
+        """Encode as a JSON-primitive dict (the table-artifact payload).
+
+        The encoding is exact — ints stay ints, floats round-trip via
+        shortest ``repr``, insertion order is preserved — so a table
+        restored through :meth:`from_doc` renders byte-identical
+        :meth:`to_text`/:meth:`to_markdown` output.  NumPy scalars are
+        converted to their Python equivalents so the doc always
+        serializes (``json`` rejects ``np.float64``).
+        """
+        return {
+            "experiment_id": self.experiment_id,
+            "title": self.title,
+            "columns": list(self.columns),
+            "rows": [
+                {key: _plain(value) for key, value in row.items()}
+                for row in self.rows
+            ],
+            "summary": {key: _plain(v) for key, v in self.summary.items()},
+            "paper": {key: _plain(v) for key, v in self.paper.items()},
+            "notes": self.notes,
+        }
+
+    @classmethod
+    def from_doc(cls, doc: dict) -> "ExperimentResult":
+        """Decode :meth:`to_doc` output (inverse; rendering-exact)."""
+        return cls(
+            experiment_id=doc["experiment_id"],
+            title=doc["title"],
+            columns=list(doc["columns"]),
+            rows=[dict(row) for row in doc["rows"]],
+            summary=dict(doc["summary"]),
+            paper=dict(doc["paper"]),
+            notes=doc.get("notes", ""),
+        )
 
     def column(self, name: str) -> list:
         return [row.get(name) for row in self.rows]

@@ -19,6 +19,8 @@ import inspect
 from typing import Callable
 
 from repro.experiments import (
+    ablations,
+    extras,
     fig03_traffic_breakdown,
     fig12_dnn_traffic,
     fig13_dnn_perf,
@@ -41,21 +43,34 @@ EXPERIMENTS: dict[str, Callable[..., ExperimentResult]] = {
     "headline": tables.run,
 }
 
-#: experiment id → sweep_specs(quick) provider (sweep-based figures).
+#: experiment id → sweep_specs(quick) provider (sweep-based figures,
+#: plus the suite sweeps the extras' tables assemble their rows from).
 SWEEP_SPECS: dict[str, Callable[[bool], list[SweepSpec]]] = {
     "fig03": fig03_traffic_breakdown.sweep_specs,
     "fig12": fig12_dnn_traffic.sweep_specs,
     "fig13": fig13_dnn_perf.sweep_specs,
     "fig14": fig14_graph.sweep_specs,
     "headline": tables.sweep_specs,
+    "ablations": ablations.sweep_specs,
+    "extras": extras.sweep_specs,
 }
 
-#: experiment id → profile_specs(quick) provider (functional figures,
-#: whose expensive pipelines are ``profile`` artifacts in the job graph).
+#: experiment id → profile_specs(quick) provider: the functional figures
+#: (fig16/fig19 pipelines) and the ablation/extra families, whose whole
+#: rendered tables are ``profile`` artifacts in the job graph.
 PROFILE_SPECS: dict[str, Callable[[bool], list[ProfileSpec]]] = {
     "fig16": fig16_gact.profile_specs,
     "fig19": fig19_h264_pattern.profile_specs,
+    "ablations": ablations.profile_specs,
+    "extras": extras.profile_specs,
 }
+
+#: The non-figure experiment families (their ids in the spec registries).
+FAMILIES = ("ablations", "extras")
+
+#: Every artifact-producing experiment id: the whole suite's graph
+#: (``suite_graph(FULL_SUITE, quick)``) is the GC's default mark set.
+FULL_SUITE = (*EXPERIMENTS, *FAMILIES)
 
 
 def suite_specs(experiment_ids,

@@ -21,8 +21,13 @@ import json
 from dataclasses import asdict
 
 from repro.common.units import GIB
-from repro.core.schemes import ProtectionTraffic, make_baseline, make_mgx, \
-    make_mgx_mac, make_mgx_vn
+from repro.core.schemes import (
+    ProtectionTraffic,
+    make_baseline,
+    make_mgx,
+    make_mgx_mac,
+    make_mgx_vn,
+)
 from repro.experiments.base import ExperimentResult
 
 #: Bump when the sweep/result document layout changes (invalidates disk
@@ -33,7 +38,10 @@ SWEEP_CODEC_VERSION = 1
 #: are opaque JSON-primitive dicts produced by the pure pipeline entry
 #: points (``repro.genome.profile``, ``repro.video.profile``); the
 #: version covers the envelope, the entry points version their own keys.
-PROFILE_CODEC_VERSION = 1
+#: v2: the profile family also carries the ablation/extra **table**
+#: artifacts (serialized :class:`~repro.experiments.base.ExperimentResult`
+#: docs, see ``ExperimentResult.to_doc``).
+PROFILE_CODEC_VERSION = 2
 
 
 def result_to_doc(result) -> dict:

@@ -44,6 +44,29 @@ from repro.sim.scheduler import ArtifactJob, compute_job
 QUEUE_SUBDIR = "queue"
 
 
+def find_stale_locks(queue_dir: str | os.PathLike, stale_seconds: float,
+                     now: float | None = None) -> list[Path]:
+    """Lock files whose heartbeat stopped (sorted; shared with the GC).
+
+    A lock is stale when its mtime is older than ``stale_seconds`` — the
+    owner's heartbeat thread died with the owner, so nothing refreshes
+    it.  Fresh locks belong to live workers and must be left alone;
+    :meth:`WorkQueue.reclaim_stale` and ``cache gc``'s orphaned-lock
+    cleanup both build on this predicate.
+    """
+    if now is None:
+        now = time.time()
+    stale: list[Path] = []
+    for lock in sorted(Path(queue_dir).glob("*.lock")):
+        try:
+            mtime = lock.stat().st_mtime
+        except OSError:
+            continue  # released between glob and stat
+        if now - mtime > stale_seconds:
+            stale.append(lock)
+    return stale
+
+
 class Claim:
     """An exclusive claim on one job, kept alive by a heartbeat thread.
 
@@ -154,14 +177,7 @@ class WorkQueue:
         guarded by the artifact-existence check before recomputation.
         """
         reclaimed: list[str] = []
-        now = time.time()
-        for lock in sorted(self.queue_dir.glob("*.lock")):
-            try:
-                mtime = lock.stat().st_mtime
-            except OSError:
-                continue  # released between glob and stat
-            if now - mtime <= self.stale_seconds:
-                continue
+        for lock in find_stale_locks(self.queue_dir, self.stale_seconds):
             try:
                 lock.unlink()
             except OSError:

@@ -78,13 +78,43 @@ class BatchedTrace:
 
 
 #: Bump when the disk-tier file layout changes (existing spills ignored).
-_DISK_FORMAT_VERSION = 1
+#: v2: every spill carries a ``#sha256:`` content-digest trailer, verified
+#: on load and re-checkable offline by ``python -m repro.experiments cache
+#: verify`` (see :mod:`repro.sim.gc`).
+_DISK_FORMAT_VERSION = 2
+
+#: Trailer separating a spill's payload from its content digest.  The
+#: payload is always single-line JSON, so the first occurrence of the
+#: marker is unambiguous.
+DIGEST_TRAILER = "\n#sha256:"
 
 
 def _key_digest(key: Hashable) -> str:
     """Stable content hash of a cache key (tuples of primitives only)."""
     canonical = f"v{_DISK_FORMAT_VERSION}|{key!r}"
     return hashlib.sha256(canonical.encode()).hexdigest()[:32]
+
+
+def payload_digest(payload: str) -> str:
+    """The content digest a spill's trailer must carry for ``payload``."""
+    return hashlib.sha256(payload.encode()).hexdigest()
+
+
+def attach_digest(payload: str) -> str:
+    """Append the content-digest trailer to a spill payload."""
+    return f"{payload}{DIGEST_TRAILER}{payload_digest(payload)}\n"
+
+
+def split_spill(text: str) -> tuple[str, str | None]:
+    """Split a spill file into ``(payload, digest)``.
+
+    ``digest`` is ``None`` for legacy spills without a trailer; callers
+    that verify must treat those as unverifiable rather than corrupt.
+    """
+    payload, sep, trailer = text.partition(DIGEST_TRAILER)
+    if not sep:
+        return text, None
+    return payload, trailer.strip()
 
 
 def _encode_trace(value: "BatchedTrace") -> str:
@@ -151,6 +181,26 @@ _DISK_CODECS: dict[str, tuple[Callable[[object], str], Callable[[str], object]]]
     "profile": (_encode_profile, _decode_profile),
 }
 
+#: Every artifact kind with a disk codec, in reporting order.
+ARTIFACT_KINDS = ("trace", "sweep", "result", "profile")
+
+
+def spill_filename(key: Hashable) -> str | None:
+    """The disk-tier file name for a cache key (``None``: memory-only kind).
+
+    This is the content address the GC's mark phase uses: a live graph's
+    keys map to exactly the file names that must survive a sweep.
+    """
+    kind = TraceCache._kind(key)
+    if kind not in _DISK_CODECS:
+        return None
+    return f"{kind}-{_key_digest(key)}.json"
+
+
+def decode_spill(kind: str, payload: str) -> object:
+    """Decode one spill payload under its kind's codec (raises on stale)."""
+    return _DISK_CODECS[kind][1](payload)
+
 
 class TraceCache:
     """Process-wide LRU cache of generated traces and sweep results.
@@ -206,10 +256,10 @@ class TraceCache:
     def _disk_path(self, key: Hashable) -> Path | None:
         if self._cache_dir is None:
             return None
-        kind = self._kind(key)
-        if kind not in _DISK_CODECS:
+        name = spill_filename(key)
+        if name is None:
             return None
-        return self._cache_dir / f"{kind}-{_key_digest(key)}.json"
+        return self._cache_dir / name
 
     def _disk_load(self, key: Hashable) -> object | None:
         path = self._disk_path(key)
@@ -219,8 +269,11 @@ class TraceCache:
             text = path.read_text()
         except OSError:
             return None
+        payload, digest = split_spill(text)
+        if digest is not None and digest != payload_digest(payload):
+            return None  # bit-rot or torn write: rebuild (gc verify flags it)
         try:
-            return _DISK_CODECS[self._kind(key)][1](text)
+            return _DISK_CODECS[self._kind(key)][1](payload)
         except (ValueError, KeyError, TypeError, AttributeError):
             return None  # stale, truncated or foreign spill: rebuild
 
@@ -229,7 +282,7 @@ class TraceCache:
         if path is None:
             return
         try:
-            text = _DISK_CODECS[self._kind(key)][0](value)
+            text = attach_digest(_DISK_CODECS[self._kind(key)][0](value))
             tmp = path.with_suffix(f".tmp.{os.getpid()}")
             tmp.write_text(text)
             os.replace(tmp, path)
@@ -274,6 +327,19 @@ class TraceCache:
             return None
         return self._lookup(key)
 
+    def has_spill(self, key: Hashable) -> bool:
+        """Disk-tier-only presence check (the shared completion marker).
+
+        Unlike :meth:`has` this ignores the memory tier: a value this
+        process holds in memory is invisible to cooperating workers, so
+        executors deciding whether the *shared store* needs a job must
+        ask the store, not the two-tier cache.
+        """
+        if not self.enabled:
+            return False
+        path = self._disk_path(key)
+        return path is not None and path.exists()
+
     def has(self, key: Hashable) -> bool:
         """Cheap presence check: memory tier, or a spill file on disk.
 
@@ -287,8 +353,7 @@ class TraceCache:
             return False
         if key in self._entries:
             return True
-        path = self._disk_path(key)
-        return path is not None and path.exists()
+        return self.has_spill(key)
 
     def put(self, key: Hashable, value: object, built: bool = True) -> None:
         """Insert a value computed elsewhere (e.g. by a sweep worker).
@@ -322,14 +387,15 @@ class TraceCache:
         return len(self._entries)
 
     def stats(self) -> dict[str, int]:
-        return {
+        counters = {
             "hits": self.hits,
             "misses": self.misses,
             "disk_hits": self.disk_hits,
-            "trace_misses": self.miss_kinds.get("trace", 0),
-            "sweep_misses": self.miss_kinds.get("sweep", 0),
             "entries": len(self),
         }
+        for kind in ARTIFACT_KINDS:
+            counters[f"{kind}_misses"] = self.miss_kinds.get(kind, 0)
+        return counters
 
 
 #: The default cache every workload constructor consults.  The disk tier

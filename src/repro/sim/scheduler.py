@@ -11,20 +11,23 @@ whose disk tier is the cross-process / cross-machine substrate):
 * ``result`` — one (workload × scheme) pricing, depending on its trace;
 * ``sweep`` — the assembled five-scheme sweep under the exact cache key
   the serial drivers use, depending on its five results;
-* ``profile`` — a functional-pipeline artifact: fig16's measured
-  per-(chromosome, sequencer) D-SOFT tile factors and fig19's per-GOP
-  decode/traffic profiles (see :mod:`repro.genome.profile` and
-  :mod:`repro.video.profile`).
+* ``profile`` — a functional-pipeline or table artifact: fig16's
+  measured per-(chromosome, sequencer) D-SOFT tile factors, fig19's
+  per-GOP decode/traffic profiles (see :mod:`repro.genome.profile` and
+  :mod:`repro.video.profile`), and the ablation/extra families' whole
+  rendered tables (``ExperimentResult.to_doc()`` docs; a table node
+  soft-depends on the suite sweeps it assembles its rows from).
 
-Two executors drain the graph:
+Two executors drain the graph, through **one** execution path
+(:func:`compute_job` via :func:`_compute_job_shared`), so both populate
+identical artifact sets — per-scheme ``result`` spills included:
 
 * :func:`prefetch_artifacts` — **one shared process pool** inside a
-  single run.  Trace and profile nodes fan out immediately; each
-  workload's result nodes are submitted the moment its trace lands, so
-  pricing of workload A overlaps trace generation of workload B.
-  Results are collected **deterministically** (spec submission order ×
-  scheme presentation order), so figure tables are byte-identical to a
-  serial run.
+  single run.  Ready nodes fan out immediately and each job is
+  dispatched the moment its dependencies' artifacts exist, so pricing
+  of workload A overlaps trace generation of workload B; the finished
+  artifacts are then promoted under the serial drivers' exact cache
+  keys, so figure tables are byte-identical to a serial run.
 * :func:`repro.sim.queue.drain_graph` — a **file-lock work queue** over
   the shared cache directory, letting ``--workers`` processes on
   separate machines pointed at the same ``REPRO_CACHE_DIR`` drain one
@@ -254,16 +257,26 @@ def graph_spec(benchmark: str, algorithm: str = "PR",
 
 @dataclass(frozen=True)
 class ProfileSpec:
-    """A functional-pipeline artifact request (fig16/fig19 graph nodes).
+    """A functional-pipeline or table artifact request (profile nodes).
 
     Like :class:`SweepSpec`, a profile spec is tiny, picklable and
     hashable; its artifact is a JSON-primitive dict produced by a pure
-    entry point (:mod:`repro.genome.profile`, :mod:`repro.video.profile`)
-    and keyed on the full configuration content, so equal configurations
-    share one cached measurement across processes and machines.
+    entry point and keyed on the full configuration content, so equal
+    configurations share one cached measurement across processes and
+    machines.  Kinds:
+
+    * ``gact``/``gop`` — fig16/fig19 functional pipelines
+      (:mod:`repro.genome.profile`, :mod:`repro.video.profile`);
+    * ``ablation``/``extra`` — whole rendered tables of the ablation and
+      beyond-the-figures families, serialized as
+      :meth:`~repro.experiments.base.ExperimentResult.to_doc` docs.  A
+      table node may depend on suite sweeps it consumes (see
+      :meth:`dep_keys`), which the graph wires up when those sweeps are
+      present so cooperating workers assemble tables from cached results
+      instead of repricing.
     """
 
-    kind: str  # "gact" | "gop"
+    kind: str  # "gact" | "gop" | "ablation" | "extra"
     params: tuple
 
     def artifact_key(self) -> Hashable:
@@ -273,29 +286,72 @@ class ProfileSpec:
             chromosome, sequencer, probe_reads, seed = self.params
             return ("gact-profile", chromosome, sequencer, probe_reads,
                     seed, DsoftConfig().cache_key())
-        from repro.video.decoder import DecoderConfig
-        from repro.video.profile import (
-            FUNCTIONAL_DATA_BYTES,
-            FUNCTIONAL_MAC_GRANULARITY,
-        )
+        if self.kind == "gop":
+            from repro.video.decoder import DecoderConfig
+            from repro.video.profile import (
+                FUNCTIONAL_DATA_BYTES,
+                FUNCTIONAL_MAC_GRANULARITY,
+            )
 
-        pattern, n_frames, functional_frames = self.params
-        return ("gop-profile", pattern, n_frames, functional_frames,
-                FUNCTIONAL_DATA_BYTES, FUNCTIONAL_MAC_GRANULARITY,
-                DecoderConfig().cache_key())
+            pattern, n_frames, functional_frames = self.params
+            return ("gop-profile", pattern, n_frames, functional_frames,
+                    FUNCTIONAL_DATA_BYTES, FUNCTIONAL_MAC_GRANULARITY,
+                    DecoderConfig().cache_key())
+        if self.kind in ("ablation", "extra"):
+            if self.kind == "ablation":
+                from repro.experiments.ablations import table_key_params
+            else:
+                from repro.experiments.extras import table_key_params
+
+            name, quick = self.params
+            # The study's parameter content is part of the address, like
+            # the gact/gop keys embed their pipeline configs: changing a
+            # study's inputs re-keys its table instead of serving stale
+            # rows from a shared cache dir.
+            return (f"{self.kind}-profile", name, quick,
+                    *table_key_params(name, quick))
+        raise ValueError(f"unknown profile spec kind {self.kind!r}")
+
+    def dep_keys(self) -> tuple:
+        """Artifact keys this node consumes when they are available.
+
+        Only table nodes have any: the extras assemble their rows from
+        ordinary suite sweeps.  These are *soft* dependencies —
+        :func:`build_graph` wires up only the ones the same graph
+        produces, and a table node can always rebuild a missing sweep
+        inline through the trace cache.
+        """
+        if self.kind == "extra":
+            from repro.experiments.extras import table_dep_specs
+
+            name, quick = self.params
+            return tuple(s.sweep_key() for s in table_dep_specs(name, quick))
+        return ()
 
     def build_profile(self) -> dict:
-        """Run the functional pipeline (the expensive, cacheable part)."""
+        """Run the pipeline/study (the expensive, cacheable part)."""
         if self.kind == "gact":
             from repro.genome.profile import measure_tile_profile
 
             chromosome, sequencer, probe_reads, seed = self.params
             return measure_tile_profile(chromosome, sequencer, probe_reads,
                                         seed=seed)
-        from repro.video.profile import decode_profile
+        if self.kind == "gop":
+            from repro.video.profile import decode_profile
 
-        pattern, n_frames, functional_frames = self.params
-        return decode_profile(pattern, n_frames, functional_frames)
+            pattern, n_frames, functional_frames = self.params
+            return decode_profile(pattern, n_frames, functional_frames)
+        if self.kind == "ablation":
+            from repro.experiments.ablations import ABLATIONS
+
+            name, quick = self.params
+            return ABLATIONS[name](quick=quick).to_doc()
+        if self.kind == "extra":
+            from repro.experiments.extras import EXTRAS
+
+            name, quick = self.params
+            return EXTRAS[name](quick=quick).to_doc()
+        raise ValueError(f"unknown profile spec kind {self.kind!r}")
 
     def fetch(self) -> dict:
         """The cached profile, built on a miss — the figure drivers' entry."""
@@ -314,6 +370,16 @@ def gop_profile_spec(pattern: str, n_frames: int,
                      functional_frames: int) -> ProfileSpec:
     """Fig. 19's decode/traffic profile for one GOP configuration."""
     return ProfileSpec("gop", (pattern, n_frames, functional_frames))
+
+
+def ablation_table_spec(name: str, quick: bool = False) -> ProfileSpec:
+    """One ablation study's whole rendered table as a graph artifact."""
+    return ProfileSpec("ablation", (name, bool(quick)))
+
+
+def extra_table_spec(name: str, quick: bool = False) -> ProfileSpec:
+    """One beyond-the-figures study's table as a graph artifact."""
+    return ProfileSpec("extra", (name, bool(quick)))
 
 
 # ---------------------------------------------------------------------------
@@ -350,21 +416,29 @@ def build_graph(specs: Iterable["SweepSpec | ProfileSpec"]) -> list[ArtifactJob]
 
     Every sweep spec becomes a ``trace`` node, one ``result`` node per
     suite scheme (depending on the trace) and a ``sweep`` assembly node
-    (depending on the results); profile specs are single dependency-free
-    ``profile`` nodes.  Dependencies always precede their dependents, and
-    the order is a pure function of the spec sequence — every cooperating
-    process derives the identical graph.
+    (depending on the results); profile specs become single ``profile``
+    nodes, depending on whichever of their soft dependencies
+    (:meth:`ProfileSpec.dep_keys`) earlier specs in the sequence produce
+    — so a table node waits for the sweeps it consumes instead of
+    repricing them, but never blocks on artifacts no job makes.
+    Dependencies always precede their dependents, and the order is a
+    pure function of the spec sequence — every cooperating process
+    derives the identical graph.
     """
     from repro.sim.runner import SCHEMES
 
     jobs: list[ArtifactJob] = []
     seen: set = set()
+    produced: set = set()
     for spec in specs:
         if spec in seen:
             continue
         seen.add(spec)
         if isinstance(spec, ProfileSpec):
-            jobs.append(ArtifactJob("profile", spec.artifact_key(), spec))
+            deps = tuple(k for k in spec.dep_keys() if k in produced)
+            jobs.append(ArtifactJob("profile", spec.artifact_key(), spec,
+                                    deps=deps))
+            produced.add(spec.artifact_key())
             continue
         trace_key = spec.trace_key()
         jobs.append(ArtifactJob("trace", trace_key, spec))
@@ -375,6 +449,7 @@ def build_graph(specs: Iterable["SweepSpec | ProfileSpec"]) -> list[ArtifactJob]
             )
         jobs.append(ArtifactJob("sweep", spec.sweep_key(), spec,
                                 deps=result_keys))
+        produced.update((trace_key, spec.sweep_key(), *result_keys))
     return jobs
 
 
@@ -423,11 +498,17 @@ def _attach_store(store_dir: str) -> None:
     memory tier is also tightened: the disk store is the system of
     record, and a small hot set per worker prevents every worker from
     pinning the whole suite's traces in memory.
+
+    Re-pointing to a *different* store drops the memory tier first: an
+    artifact's existence in the shared store is its completion marker,
+    and a worker whose memory still holds keys from a previous store
+    must not skip the spill the new store is waiting for.
     """
     from repro.sim.runner import TRACE_CACHE
 
     TRACE_CACHE.max_entries = min(TRACE_CACHE.max_entries, 32)
     if TRACE_CACHE.cache_dir is None or str(TRACE_CACHE.cache_dir) != store_dir:
+        TRACE_CACHE.clear()
         TRACE_CACHE.set_cache_dir(store_dir)
 
 
@@ -445,16 +526,6 @@ def _compute_job_shared(job: ArtifactJob, store_dir: str) -> None:
         compute_job(job)
 
 
-def _warm_job(spec: SweepSpec, store_dir: str) -> dict:
-    """Warm node: ensure the spec's trace exists in the shared store."""
-    from repro.sim.runner import TRACE_CACHE
-
-    _attach_store(store_dir)
-    before = TRACE_CACHE.miss_kinds.get("trace", 0)
-    spec.build_workload()
-    return {"built": TRACE_CACHE.miss_kinds.get("trace", 0) > before}
-
-
 def _price_spec(spec: SweepSpec, scheme_name: str) -> "SimResult":
     """One (workload × scheme) pricing; the workload comes via the cache."""
     from repro.core.schemes import scheme_suite
@@ -463,17 +534,6 @@ def _price_spec(spec: SweepSpec, scheme_name: str) -> "SimResult":
     scheme = scheme_suite(workload.protected_bytes)[scheme_name]
     model = workload.performance_model()
     return model.run(workload.trace.phases, scheme, batches=workload.trace.batches)
-
-
-def _price_spec_job(spec: SweepSpec, scheme_name: str, store_dir: str) -> "SimResult":
-    """Price node: one scheme over one workload's (stored) trace."""
-    _attach_store(store_dir)
-    return _price_spec(spec, scheme_name)
-
-
-def _profile_job(spec: ProfileSpec) -> dict:
-    """Profile node: run one functional pipeline; the parent stores it."""
-    return spec.build_profile()
 
 
 def _price_stored_job(digest: str, store_dir: str, model: "PerformanceModel",
@@ -518,19 +578,28 @@ def prefetch_artifacts(specs: Iterable["SweepSpec | ProfileSpec"],
                        jobs: int | None = None) -> dict:
     """Compute every spec's missing artifact; returns a summary.
 
-    This is the cross-workload fan-out over the artifact graph: trace
-    and profile nodes run for all missing specs concurrently, and each
-    workload's scheme-price nodes are submitted the moment its trace
-    lands.  Finished sweeps and profiles are inserted into
-    :data:`~repro.sim.runner.TRACE_CACHE` (and spilled to its disk tier
-    when attached) under the serial drivers' keys, so the drivers
-    afterwards run entirely from cache — deterministically.  Sweeps
-    always cover the full scheme suite: the cache keys are the drivers'
-    full-sweep keys, so a partial sweep must never land there.
-    """
-    from repro.sim.runner import SCHEMES, TRACE_CACHE, SchemeSweep
+    This is the cross-workload fan-out over the artifact graph: the
+    pending specs expand through :func:`build_graph` and the jobs drain
+    on the shared pool through :func:`_compute_job_shared` — the *same*
+    execution path the file-lock queue workers use — so a ``--jobs`` run
+    and a ``--workers`` run populate identical artifact sets (traces,
+    per-scheme results, assembled sweeps, profiles/tables; one codec,
+    and an artifact's existence is its completion marker in both).  Each
+    workload's scheme-price nodes dispatch the moment its trace lands,
+    table nodes wait for the sweeps they consume, and the finished
+    sweeps and profiles are promoted into the parent's memory tier under
+    the serial drivers' keys, so the drivers afterwards run entirely
+    from cache — deterministically.  Sweeps always cover the full scheme
+    suite: the cache keys are the drivers' full-sweep keys, so a partial
+    sweep must never land there.
 
-    names = list(SCHEMES)
+    Without an attached cache dir the workers spill into the scheduler's
+    process-lifetime temporary store, which the parent attaches for the
+    duration of the drain (and detaches after promoting the finished
+    artifacts); :func:`shutdown` removes it.
+    """
+    from repro.sim.runner import TRACE_CACHE
+
     sweep_specs: list[SweepSpec] = []
     profile_specs: list[ProfileSpec] = []
     seen: set = set()
@@ -552,6 +621,7 @@ def prefetch_artifacts(specs: Iterable["SweepSpec | ProfileSpec"],
                    + len(profile_specs) - len(pending_profiles)),
         "priced": 0,
         "traces_built": 0,
+        "results_built": 0,
         "profiles_built": 0,
     }
     if not pending and not pending_profiles:
@@ -563,6 +633,8 @@ def prefetch_artifacts(specs: Iterable["SweepSpec | ProfileSpec"],
     if effective_workers(jobs) < 2:
         # One core (or jobs <= 1): a worker pool would only add pickling
         # and process churn, so compute inline — the cache still fills.
+        # (The serial sweep path prices whole sweeps without materializing
+        # per-result artifacts; only the pool and queue paths spill them.)
         for spec in pending:
             before = TRACE_CACHE.miss_kinds.get("trace", 0)
             spec.run_inline()
@@ -576,42 +648,67 @@ def prefetch_artifacts(specs: Iterable["SweepSpec | ProfileSpec"],
         return summary
 
     store = str(trace_store_dir())
-    pool = shared_pool(jobs)
-    warm: dict[Future, SweepSpec] = {
-        pool.submit(_warm_job, spec, store): spec for spec in pending
-    }
-    profiling: dict[Future, ProfileSpec] = {
-        pool.submit(_profile_job, spec): spec for spec in pending_profiles
-    }
-    price: dict[Future, tuple[SweepSpec, str]] = {}
-    results: dict[tuple[SweepSpec, str], "SimResult"] = {}
-    outstanding: set[Future] = set(warm) | set(profiling)
-    while outstanding:
-        done, outstanding = wait(outstanding, return_when=FIRST_COMPLETED)
-        for future in done:
-            if future in warm:
-                spec = warm[future]
-                meta = future.result()
-                summary["traces_built"] += bool(meta["built"])
-                for name in names:
-                    job = pool.submit(_price_spec_job, spec, name, store)
-                    price[job] = (spec, name)
-                    outstanding.add(job)
-            elif future in profiling:
-                profile_spec = profiling[future]
-                TRACE_CACHE.put(profile_spec.artifact_key(), future.result())
-                summary["profiles_built"] += 1
+    detach_after = TRACE_CACHE.cache_dir is None
+    if detach_after:
+        # No persistent cache dir: the workers spill into the temporary
+        # store; attach the parent to it so presence checks and the final
+        # promotion read the same substrate.
+        TRACE_CACHE.set_cache_dir(store)
+    try:
+        graph = build_graph(pending + pending_profiles)
+        pool = shared_pool(jobs)
+        done: set = set()
+        waiting: list[ArtifactJob] = []
+        for job in graph:
+            # A job is done only when its artifact is in the *shared
+            # store* — a memory-tier value in this process is invisible
+            # to the workers, and skipping the job would leave every
+            # worker regenerating the dependency for itself.
+            if TRACE_CACHE.has_spill(job.key):
+                done.add(job.key)
             else:
-                spec, name = price[future]
-                results[spec, name] = future.result()
+                waiting.append(job)
+        in_flight: dict[Future, ArtifactJob] = {}
 
-    # Deterministic collection: submission order × presentation order.
-    for spec in pending:
-        sweep = SchemeSweep(workload=spec.label())
-        for name in names:
-            sweep.results[name] = results[spec, name]
-        TRACE_CACHE.put(spec.sweep_key(), sweep)
-        summary["priced"] += 1
+        def submit_ready() -> None:
+            nonlocal waiting
+            blocked: list[ArtifactJob] = []
+            for job in waiting:
+                if all(dep in done for dep in job.deps):
+                    future = pool.submit(_compute_job_shared, job, store)
+                    in_flight[future] = job
+                else:
+                    blocked.append(job)
+            waiting = blocked
+
+        computed = {"trace": 0, "result": 0, "sweep": 0, "profile": 0}
+        submit_ready()
+        while in_flight:
+            finished, _ = wait(set(in_flight), return_when=FIRST_COMPLETED)
+            for future in finished:
+                job = in_flight.pop(future)
+                future.result()  # propagate worker failures
+                done.add(job.key)
+                computed[job.kind] += 1
+            submit_ready()
+        summary["traces_built"] = computed["trace"]
+        summary["results_built"] = computed["result"]
+
+        # Promote the finished artifacts into the parent's memory tier
+        # under the drivers' exact keys (disk hits, not misses).  A spill
+        # that fails to decode — torn write on a shared mount — falls
+        # back to the ordinary serial path, exactly like get_or_build.
+        for spec in pending:
+            if TRACE_CACHE.peek(spec.sweep_key()) is None:
+                spec.run_inline()
+            summary["priced"] += 1
+        for profile_spec in pending_profiles:
+            if TRACE_CACHE.peek(profile_spec.artifact_key()) is None:
+                profile_spec.fetch()
+            summary["profiles_built"] += 1
+    finally:
+        if detach_after:
+            TRACE_CACHE.set_cache_dir(None)
     return summary
 
 

@@ -16,3 +16,29 @@ def keys() -> SessionKeys:
 @pytest.fixture
 def store() -> BackingStore:
     return BackingStore(4 << 20)
+
+
+@pytest.fixture
+def fresh_cache():
+    """Run with an empty, memory-only TRACE_CACHE; restore state after."""
+    from repro.sim.runner import TRACE_CACHE
+
+    saved_dir = TRACE_CACHE.cache_dir
+    TRACE_CACHE.set_cache_dir(None)
+    TRACE_CACHE.clear()
+    yield TRACE_CACHE
+    TRACE_CACHE.set_cache_dir(saved_dir)
+    TRACE_CACHE.clear()
+
+
+@pytest.fixture
+def disk_cache(tmp_path):
+    """TRACE_CACHE with a disk tier under a temporary directory."""
+    from repro.sim.runner import TRACE_CACHE
+
+    saved_dir = TRACE_CACHE.cache_dir
+    TRACE_CACHE.clear()
+    TRACE_CACHE.set_cache_dir(tmp_path / "cache")
+    yield TRACE_CACHE
+    TRACE_CACHE.set_cache_dir(saved_dir)
+    TRACE_CACHE.clear()

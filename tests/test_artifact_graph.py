@@ -9,40 +9,23 @@ rerun restores without recomputation.
 
 from __future__ import annotations
 
+import json
 from dataclasses import astuple
 
 import pytest
 
-from repro.sim.runner import SCHEMES, TRACE_CACHE, dnn_sweep
+from repro.sim.runner import SCHEMES, dnn_sweep
 from repro.sim.scheduler import (
     ArtifactJob,
+    ablation_table_spec,
     build_graph,
     compute_job,
     dnn_spec,
+    extra_table_spec,
     gact_profile_spec,
     gop_profile_spec,
     graph_spec,
 )
-
-
-@pytest.fixture
-def fresh_cache():
-    saved_dir = TRACE_CACHE.cache_dir
-    TRACE_CACHE.set_cache_dir(None)
-    TRACE_CACHE.clear()
-    yield TRACE_CACHE
-    TRACE_CACHE.set_cache_dir(saved_dir)
-    TRACE_CACHE.clear()
-
-
-@pytest.fixture
-def disk_cache(tmp_path):
-    saved_dir = TRACE_CACHE.cache_dir
-    TRACE_CACHE.clear()
-    TRACE_CACHE.set_cache_dir(tmp_path / "cache")
-    yield TRACE_CACHE
-    TRACE_CACHE.set_cache_dir(saved_dir)
-    TRACE_CACHE.clear()
 
 
 class TestGraphStructure:
@@ -228,6 +211,112 @@ class TestProfileCodecs:
             loads_profile('{"version": 999, "profile": {}}')
         with pytest.raises(ValueError):
             loads_result('{"version": 999, "result": {}}')
+
+
+class TestTableArtifacts:
+    """Ablations/extras as graph artifacts: full-suite coverage."""
+
+    def test_registry_reaches_every_table(self):
+        from repro.experiments.ablations import ABLATIONS
+        from repro.experiments.extras import EXTRAS
+        from repro.experiments.registry import FULL_SUITE, suite_graph
+
+        keys = {job.key for job in suite_graph(FULL_SUITE, quick=True)}
+        for name in ABLATIONS:
+            assert ablation_table_spec(name, True).artifact_key() in keys
+        for name in EXTRAS:
+            assert extra_table_spec(name, True).artifact_key() in keys
+
+    def test_extra_table_depends_on_its_sweeps_when_present(self):
+        from repro.experiments.extras import table_dep_specs
+
+        deps = table_dep_specs("batch", quick=True)
+        assert deps  # the study assembles from suite sweeps
+        jobs = build_graph(deps + [extra_table_spec("batch", True)])
+        table = jobs[-1]
+        assert table.kind == "profile"
+        assert set(table.deps) == {s.sweep_key() for s in deps}
+
+    def test_table_without_its_sweeps_is_dependency_free(self):
+        """Soft deps: the graph never blocks on artifacts no job makes."""
+        jobs = build_graph([extra_table_spec("batch", True)])
+        assert len(jobs) == 1
+        assert jobs[0].deps == ()
+
+    def test_ablation_warm_rerun_skips_the_study(self, disk_cache,
+                                                 monkeypatch):
+        from repro.experiments.ablations import run_ablation
+
+        cold = run_ablation("dram-grade", quick=True).to_text()
+        assert disk_cache.miss_kinds.get("profile", 0) == 1
+        disk_cache.clear()
+        monkeypatch.setitem(
+            __import__("repro.experiments.ablations",
+                       fromlist=["ABLATIONS"]).ABLATIONS,
+            "dram-grade",
+            lambda quick: pytest.fail("ablation study recomputed"),
+        )
+        warm = run_ablation("dram-grade", quick=True).to_text()
+        assert warm == cold
+        assert disk_cache.miss_kinds.get("profile", 0) == 0
+
+    def test_extra_warm_rerun_skips_study_and_sweeps(self, disk_cache):
+        from repro.experiments.extras import run_extra
+
+        cold = run_extra("batch", quick=True).to_text()
+        disk_cache.clear()
+        warm = run_extra("batch", quick=True).to_text()
+        assert warm == cold
+        assert sum(disk_cache.miss_kinds.values()) == 0
+
+    def test_compute_job_matches_direct_study(self, fresh_cache):
+        """A queue/pool-computed table decodes to the serial table."""
+        from repro.experiments.ablations import ABLATIONS
+        from repro.experiments.base import ExperimentResult
+
+        spec = ablation_table_spec("crypto-efficiency", True)
+        for job in build_graph([spec]):
+            compute_job(job)
+        doc = fresh_cache.peek(spec.artifact_key())
+        restored = ExperimentResult.from_doc(doc)
+        reference = ABLATIONS["crypto-efficiency"](quick=True)
+        assert restored.to_text() == reference.to_text()
+
+    def test_experiment_doc_round_trip_is_rendering_exact(self):
+        from repro.experiments.base import ExperimentResult
+
+        result = ExperimentResult("x", "Title", ["a", "b"])
+        result.add_row(a="label", b=0.1 + 0.2)  # a float repr can't shorten
+        result.summary["avg"] = 1 / 3
+        result.paper["avg"] = 0.3
+        result.notes = "note"
+        doc = json.loads(json.dumps(result.to_doc()))
+        restored = ExperimentResult.from_doc(doc)
+        assert restored.to_text() == result.to_text()
+        assert restored.rows[0]["b"] == result.rows[0]["b"]
+
+    def test_numpy_scalars_are_unboxed(self):
+        import numpy as np
+
+        from repro.experiments.base import ExperimentResult
+
+        result = ExperimentResult("x", "t", ["v"])
+        result.add_row(v=np.float64(1.25))
+        result.summary["n"] = np.int64(3)
+        doc = result.to_doc()
+        json.dumps(doc)  # must serialize
+        assert doc["rows"][0]["v"] == 1.25
+        assert type(doc["rows"][0]["v"]) is float
+        assert type(doc["summary"]["n"]) is int
+
+    def test_unknown_table_names_rejected(self):
+        from repro.experiments.ablations import run_ablation
+        from repro.experiments.extras import run_extra
+
+        with pytest.raises(KeyError):
+            run_ablation("nope")
+        with pytest.raises(KeyError):
+            run_extra("nope")
 
 
 class TestStableCacheKeys:

@@ -20,22 +20,13 @@ from repro.common.errors import ConfigError
 from repro.sim.queue import QUEUE_SUBDIR, WorkQueue, _drain_worker, drain_graph
 from repro.sim.runner import TRACE_CACHE
 from repro.sim.scheduler import (
+    ablation_table_spec,
     build_graph,
     dnn_spec,
+    extra_table_spec,
     gact_profile_spec,
     gop_profile_spec,
 )
-
-
-@pytest.fixture
-def disk_cache(tmp_path):
-    """TRACE_CACHE with a disk tier under a temporary directory."""
-    saved_dir = TRACE_CACHE.cache_dir
-    TRACE_CACHE.clear()
-    TRACE_CACHE.set_cache_dir(tmp_path / "cache")
-    yield TRACE_CACHE
-    TRACE_CACHE.set_cache_dir(saved_dir)
-    TRACE_CACHE.clear()
 
 
 def _fast_queue(tmp_path, **overrides) -> WorkQueue:
@@ -196,6 +187,32 @@ class TestDrain:
                 drain_graph(jobs, queue, timeout=0.5)
         finally:
             claim.release()
+
+
+class TestTableDrain:
+    def test_drain_covers_ablation_and_extra_tables(self, tmp_path,
+                                                    disk_cache):
+        """Family tables drain like any artifact and render identically."""
+        from repro.experiments.ablations import run_ablation
+        from repro.experiments.extras import run_extra
+
+        # Serial reference with the cache detached, so nothing leaks in.
+        TRACE_CACHE.set_cache_dir(None)
+        reference = (run_ablation("cache-size", quick=True).to_text(),
+                     run_extra("storage", quick=True).to_text())
+        TRACE_CACHE.clear()
+        TRACE_CACHE.set_cache_dir(tmp_path / "cache")
+
+        jobs = build_graph([ablation_table_spec("cache-size", True),
+                            extra_table_spec("storage", True)])
+        assert [j.kind for j in jobs] == ["profile", "profile"]
+        summary = drain_graph(jobs, _fast_queue(tmp_path), timeout=120.0)
+        assert summary["computed"] == len(jobs)
+        before = sum(disk_cache.miss_kinds.values())
+        rendered = (run_ablation("cache-size", quick=True).to_text(),
+                    run_extra("storage", quick=True).to_text())
+        assert rendered == reference
+        assert sum(disk_cache.miss_kinds.values()) == before
 
 
 class TestTwoWorkerDeterminism:

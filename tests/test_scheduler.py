@@ -11,9 +11,7 @@ from __future__ import annotations
 
 from dataclasses import astuple
 
-import pytest
-
-from repro.sim.runner import SCHEMES, TRACE_CACHE, dnn_sweep, graph_sweep
+from repro.sim.runner import SCHEMES, dnn_sweep, graph_sweep
 from repro.sim.scheduler import (
     SweepSpec,
     dnn_spec,
@@ -21,28 +19,6 @@ from repro.sim.scheduler import (
     graph_spec,
     prefetch_sweeps,
 )
-
-
-@pytest.fixture
-def fresh_cache():
-    """Run with an empty, memory-only TRACE_CACHE; restore state after."""
-    saved_dir = TRACE_CACHE.cache_dir
-    TRACE_CACHE.set_cache_dir(None)
-    TRACE_CACHE.clear()
-    yield TRACE_CACHE
-    TRACE_CACHE.set_cache_dir(saved_dir)
-    TRACE_CACHE.clear()
-
-
-@pytest.fixture
-def disk_cache(tmp_path):
-    """TRACE_CACHE with a disk tier under a temporary directory."""
-    saved_dir = TRACE_CACHE.cache_dir
-    TRACE_CACHE.clear()
-    TRACE_CACHE.set_cache_dir(tmp_path / "cache")
-    yield TRACE_CACHE
-    TRACE_CACHE.set_cache_dir(saved_dir)
-    TRACE_CACHE.clear()
 
 
 def _sweeps_equal(a, b) -> None:
@@ -110,7 +86,25 @@ class TestPrefetchParallel:
         prefetch_sweeps([spec], jobs=1)
         summary = prefetch_sweeps([spec], jobs=1)
         assert summary == {"workloads": 1, "cached": 1, "priced": 0,
-                           "traces_built": 0, "profiles_built": 0}
+                           "traces_built": 0, "results_built": 0,
+                           "profiles_built": 0}
+
+    def test_pool_prefetch_spills_result_artifacts(self, disk_cache,
+                                                   monkeypatch):
+        """The pool path drains the same graph the queue workers do, so
+        per-scheme result artifacts land on disk under the same codec."""
+        from repro.sim.scheduler import build_graph
+
+        monkeypatch.setattr("repro.sim.scheduler.os.cpu_count", lambda: 2)
+        spec = dnn_spec("AlexNet", "Cloud")
+        summary = prefetch_sweeps([spec], jobs=2)
+        assert summary["results_built"] == len(SCHEMES)
+        for job in build_graph([spec]):
+            assert disk_cache.has(job.key), job.kind
+        on_disk = sorted(
+            p.name.split("-")[0] for p in disk_cache.cache_dir.glob("*.json")
+        )
+        assert on_disk == (["result"] * len(SCHEMES) + ["sweep", "trace"])
 
     def test_effective_workers_clamps_to_cores(self):
         assert effective_workers(None) == 1
