@@ -17,6 +17,13 @@ printed, lands in the refreshed baseline, and never fails the build;
 neither do names only the baseline has, nor baseline entries without
 usable stats (an errored run must not poison the next comparison).
 
+Every entry carries the pricing-engine backend it ran under (the
+``engine_backend`` key ``benchmarks/conftest.py`` stamps into
+``extra_info``).  A benchmark whose backend changed between baseline
+and current — a runner gaining or losing the C toolchain, or a forced
+``REPRO_ENGINE`` — is also record-only: python and native timings are
+never compared against each other.
+
 Exit status: 0 when no compared benchmark regressed, 1 otherwise.
 """
 
@@ -28,20 +35,22 @@ import sys
 from pathlib import Path
 
 
-def load_means(path: Path) -> dict[str, float]:
-    """``fullname -> mean`` for every benchmark with usable stats.
+def load_means(path: Path) -> dict[str, tuple[float, str | None]]:
+    """``fullname -> (mean, engine_backend)`` for usable benchmarks.
 
     Entries without a name or a mean (errored or interrupted runs spill
-    partial documents) are skipped rather than crashing the gate.
+    partial documents) are skipped rather than crashing the gate.  The
+    backend is ``None`` for documents written before it was recorded.
     """
     doc = json.loads(path.read_text())
-    means: dict[str, float] = {}
+    means: dict[str, tuple[float, str | None]] = {}
     for bench in doc.get("benchmarks", []):
         name = bench.get("fullname")
         mean = bench.get("stats", {}).get("mean")
         if name is None or not isinstance(mean, (int, float)):
             continue
-        means[name] = float(mean)
+        backend = bench.get("extra_info", {}).get("engine_backend")
+        means[name] = (float(mean), backend)
     return means
 
 
@@ -73,13 +82,20 @@ def main(argv: list[str] | None = None) -> int:
     for name in sorted(set(baseline) | set(current)):
         if not selected(name):
             continue
-        old, new = baseline.get(name), current.get(name)
-        if new is None:
+        old_entry, new_entry = baseline.get(name), current.get(name)
+        if new_entry is None:
             print(f"  [  retired] {name} (only in baseline)")
             continue
-        if old is None or old <= 0.0:
+        new, new_backend = new_entry
+        if old_entry is None or old_entry[0] <= 0.0:
             print(f"  [ recorded] {name}: {new * 1e3:.2f} ms "
                   "(no baseline, record only)")
+            continue
+        old, old_backend = old_entry
+        if old_backend != new_backend:
+            print(f"  [ recorded] {name}: {new * 1e3:.2f} ms "
+                  f"(engine backend {old_backend} -> {new_backend}, "
+                  "record only)")
             continue
         ratio = new / old
         verdict = "ok"

@@ -14,6 +14,24 @@ def pytest_collection_modifyitems(items):
         item.add_marker(pytest.mark.benchmark)
 
 
+@pytest.hookimpl(optionalhook=True)
+def pytest_benchmark_update_json(config, benchmarks, output_json):
+    """Stamp the pricing-engine backend into every saved benchmark.
+
+    ``bench_trend.py`` treats a backend change as "no baseline, record
+    only", so a python-engine run never silently compares against a
+    native-engine baseline.  Benchmarks that force a backend (the engine
+    microbenchmarks) set ``extra_info`` themselves and win over the
+    session-wide default.
+    """
+    from repro.core.engine_backend import active_backend
+
+    default = active_backend()
+    for bench in output_json.get("benchmarks", []):
+        bench.setdefault("extra_info", {}).setdefault(
+            "engine_backend", default)
+
+
 @pytest.fixture
 def disk_cache(tmp_path):
     """TRACE_CACHE with a disk tier under a temporary directory."""

@@ -1,0 +1,400 @@
+/* Native LRU-engine backend: the scalar core of repro.core.lru_engine
+ * compiled to machine code.
+ *
+ * State layout matches the Python engine's tombstone ring: per set, a
+ * `ring_lines`/`ring_dirty`/`ring_valid` window [head, tail) holds the
+ * residents in recency order (LRU first), a touched line's old slot is
+ * tombstoned, and the ring is compacted in place when it fills.  The
+ * resident-line -> slot map is an open-addressing hash table (linear
+ * probing, tombstone deletion) sized at >= 4x the set capacity.
+ *
+ * All state lives in NumPy arrays owned by the Python wrapper
+ * (repro.core.lru_native); this library only mutates them, so the
+ * wrapper can inspect rings directly and the engine needs no allocator.
+ *
+ * The header array `hdr` (int64) carries configuration and counters:
+ *   [0] n_sets  [1] set_capacity  [2] line_bytes  [3] ring_size
+ *   [4] table_size (power of two, per set)
+ *   [5] hits  [6] miss_count  [7] writeback_count
+ *   [8] pending chain victim (NIL when no chain is suspended)
+ *
+ * The integrity-tree parent function is a flat region table `geom`:
+ *   geom[0] = n_regions, then 4 int64 per region:
+ *   [base, end, parent_base, arity]
+ * parent(addr) = parent_base + ((addr - base) / line_bytes / arity)
+ *                * line_bytes  for the first region with base <= addr
+ *                < end, NIL otherwise.  This encodes exactly
+ *   CounterModeProtection._parent_of (MAC region and the top stored
+ *   level fall in no region).
+ *
+ * lru_probe processes a run of distinct ascending lines with write-back
+ * chains followed in place, appending events to three caller-owned
+ * buffers.  It returns the index of the first unprocessed line: when the
+ * buffers fill mid-run the call pauses (between accesses, or mid-chain
+ * with the pending victim parked in hdr[8]) so the wrapper can drain and
+ * resume with bounded memory.
+ */
+
+#include <stdint.h>
+
+#define NIL (-1)
+#define EMPTY (-1)
+#define TOMB (-2)
+
+typedef struct {
+    int64_t n_sets, setcap, line_bytes, rsize, tsize;
+    int64_t *heads, *tails, *counts, *useds;
+    int64_t *ring_lines;
+    uint8_t *ring_dirty, *ring_valid;
+    int64_t *keys, *vals;
+    const int64_t *geom;
+} Eng;
+
+static inline int64_t set_of(const Eng *g, int64_t line) {
+    if (g->n_sets == 1)
+        return 0;
+    return (line / g->line_bytes) % g->n_sets;
+}
+
+static inline int64_t parent_of(const Eng *g, int64_t addr) {
+    if (!g->geom)
+        return NIL;
+    int64_t n = g->geom[0];
+    const int64_t *r = g->geom + 1;
+    for (int64_t i = 0; i < n; i++, r += 4) {
+        if (addr >= r[0] && addr < r[1])
+            return r[2] + ((addr - r[0]) / g->line_bytes / r[3]) * g->line_bytes;
+    }
+    return NIL;
+}
+
+/* -- hash table: line address -> ring slot ---------------------------- */
+
+static inline int64_t hslot(int64_t key, int64_t mask) {
+    uint64_t h = (uint64_t)key * 0x9E3779B97F4A7C15ULL;
+    h ^= h >> 29;
+    return (int64_t)(h & (uint64_t)mask);
+}
+
+static int64_t hfind(const int64_t *keys, int64_t tsize, int64_t key) {
+    int64_t mask = tsize - 1, i = hslot(key, mask);
+    for (;;) {
+        int64_t k = keys[i];
+        if (k == key)
+            return i;
+        if (k == EMPTY)
+            return -1;
+        i = (i + 1) & mask;
+    }
+}
+
+/* Insert a key known to be absent (callers look up first). */
+static void hinsert(int64_t *keys, int64_t *vals, int64_t tsize,
+                    int64_t *used, int64_t key, int64_t val) {
+    int64_t mask = tsize - 1, i = hslot(key, mask);
+    for (;;) {
+        int64_t k = keys[i];
+        if (k == EMPTY) {
+            keys[i] = key;
+            vals[i] = val;
+            (*used)++;
+            return;
+        }
+        if (k == TOMB) {
+            keys[i] = key;
+            vals[i] = val;
+            return;
+        }
+        i = (i + 1) & mask;
+    }
+}
+
+static void hdelete(int64_t *keys, int64_t tsize, int64_t key) {
+    int64_t mask = tsize - 1, i = hslot(key, mask);
+    for (;;) {
+        int64_t k = keys[i];
+        if (k == key) {
+            keys[i] = TOMB;
+            return;
+        }
+        if (k == EMPTY)
+            return;
+        i = (i + 1) & mask;
+    }
+}
+
+/* Rebuild a set's table from the ring when tombstones crowd it. */
+static void rebuild(Eng *g, int64_t s) {
+    int64_t *keys = g->keys + s * g->tsize;
+    int64_t *vals = g->vals + s * g->tsize;
+    int64_t *L = g->ring_lines + s * g->rsize;
+    uint8_t *V = g->ring_valid + s * g->rsize;
+    for (int64_t i = 0; i < g->tsize; i++)
+        keys[i] = EMPTY;
+    g->useds[s] = 0;
+    for (int64_t i = g->heads[s]; i < g->tails[s]; i++) {
+        if (V[i])
+            hinsert(keys, vals, g->tsize, &g->useds[s], L[i], i);
+    }
+}
+
+/* Squeeze tombstones out of a set's ring (O(capacity)). */
+static void compact(Eng *g, int64_t s) {
+    int64_t *L = g->ring_lines + s * g->rsize;
+    uint8_t *D = g->ring_dirty + s * g->rsize;
+    uint8_t *V = g->ring_valid + s * g->rsize;
+    int64_t w = 0;
+    for (int64_t i = g->heads[s]; i < g->tails[s]; i++) {
+        if (V[i]) {
+            L[w] = L[i];
+            D[w] = D[i];
+            w++;
+        }
+    }
+    for (int64_t i = 0; i < w; i++)
+        V[i] = 1;
+    for (int64_t i = w; i < g->tails[s]; i++)
+        V[i] = 0;
+    g->heads[s] = 0;
+    g->tails[s] = w;
+    int64_t *keys = g->keys + s * g->tsize;
+    int64_t *vals = g->vals + s * g->tsize;
+    for (int64_t i = 0; i < w; i++)
+        vals[hfind(keys, g->tsize, L[i])] = i;
+}
+
+/* -- scalar core ------------------------------------------------------ */
+
+/* One MetadataCache.access without chain following.  Returns 1 on hit.
+ * On a miss the line is allocated; `*victim` gets the dirty victim line
+ * (NIL otherwise) and `*evicted` whatever line left the set. */
+static int touch(Eng *g, int64_t s, int64_t line, int dirty,
+                 int64_t *victim, int64_t *evicted) {
+    int64_t *keys = g->keys + s * g->tsize;
+    int64_t *vals = g->vals + s * g->tsize;
+    int64_t *L = g->ring_lines + s * g->rsize;
+    uint8_t *D = g->ring_dirty + s * g->rsize;
+    uint8_t *V = g->ring_valid + s * g->rsize;
+    int64_t hidx = hfind(keys, g->tsize, line);
+    if (hidx >= 0) {
+        int64_t pos = vals[hidx];
+        int was_dirty = D[pos];
+        V[pos] = 0;
+        if (g->tails[s] + 1 > g->rsize)
+            compact(g, s); /* keys untouched: hidx stays valid */
+        int64_t t = g->tails[s];
+        L[t] = line;
+        D[t] = (uint8_t)(dirty | was_dirty);
+        V[t] = 1;
+        vals[hidx] = t;
+        g->tails[s] = t + 1;
+        *victim = NIL;
+        *evicted = NIL;
+        return 1;
+    }
+    int64_t vic = NIL, ev = NIL;
+    if (g->counts[s] >= g->setcap) {
+        int64_t h = g->heads[s];
+        while (!V[h])
+            h++;
+        int64_t vline = L[h];
+        ev = vline;
+        if (D[h])
+            vic = vline;
+        V[h] = 0;
+        g->heads[s] = h + 1;
+        hdelete(keys, g->tsize, vline);
+        g->counts[s]--;
+    }
+    if ((g->useds[s] + 1) * 4 > g->tsize * 3)
+        rebuild(g, s);
+    if (g->tails[s] + 1 > g->rsize)
+        compact(g, s);
+    int64_t t = g->tails[s];
+    L[t] = line;
+    D[t] = (uint8_t)dirty;
+    V[t] = 1;
+    hinsert(keys, vals, g->tsize, &g->useds[s], line, t);
+    g->tails[s] = t + 1;
+    g->counts[s]++;
+    *victim = vic;
+    *evicted = ev;
+    return 0;
+}
+
+/* Write back `victim` and update its ancestors (LruEngine._chain).
+ * Returns 1 when pausing for full event buffers (victim parked in
+ * hdr[8]), 0 when the chain ran to completion. */
+static int chain(Eng *g, int64_t *hdr, int64_t victim, int64_t *wb_out,
+                 int64_t *pm_out, int64_t *fills, int64_t ev_cap) {
+    for (;;) {
+        if (fills[1] >= ev_cap || fills[2] >= ev_cap) {
+            hdr[8] = victim;
+            return 1;
+        }
+        wb_out[fills[1]++] = victim;
+        hdr[7]++;
+        int64_t parent = parent_of(g, victim);
+        if (parent == NIL)
+            return 0;
+        int64_t v, e;
+        if (touch(g, set_of(g, parent), parent, 1, &v, &e)) {
+            hdr[5]++;
+            return 0;
+        }
+        hdr[6]++;
+        pm_out[fills[2]++] = parent;
+        if (v == NIL)
+            return 0;
+        victim = v;
+    }
+}
+
+static Eng make_eng(int64_t *hdr, int64_t *heads, int64_t *tails,
+                    int64_t *counts, int64_t *useds, int64_t *ring_lines,
+                    uint8_t *ring_dirty, uint8_t *ring_valid, int64_t *keys,
+                    int64_t *vals, const int64_t *geom) {
+    Eng g;
+    g.n_sets = hdr[0];
+    g.setcap = hdr[1];
+    g.line_bytes = hdr[2];
+    g.rsize = hdr[3];
+    g.tsize = hdr[4];
+    g.heads = heads;
+    g.tails = tails;
+    g.counts = counts;
+    g.useds = useds;
+    g.ring_lines = ring_lines;
+    g.ring_dirty = ring_dirty;
+    g.ring_valid = ring_valid;
+    g.keys = keys;
+    g.vals = vals;
+    g.geom = (geom && geom[0] > 0) ? geom : 0;
+    return g;
+}
+
+#define ENG_ARGS                                                              \
+    int64_t *hdr, int64_t *heads, int64_t *tails, int64_t *counts,            \
+        int64_t *useds, int64_t *ring_lines, uint8_t *ring_dirty,             \
+        uint8_t *ring_valid, int64_t *keys, int64_t *vals,                    \
+        const int64_t *geom
+#define ENG_VALS hdr, heads, tails, counts, useds, ring_lines, ring_dirty,    \
+        ring_valid, keys, vals, geom
+
+/* -- entry points ----------------------------------------------------- */
+
+int64_t lru_probe(ENG_ARGS, const int64_t *run, int64_t n, int64_t start,
+                  int64_t dirty, int64_t *miss_out, int64_t *wb_out,
+                  int64_t *pm_out, int64_t *fills, int64_t ev_cap) {
+    Eng g = make_eng(ENG_VALS);
+    int64_t i = start;
+    int64_t pending = hdr[8];
+    hdr[8] = NIL;
+    if (pending != NIL) {
+        if (chain(&g, hdr, pending, wb_out, pm_out, fills, ev_cap))
+            return i;
+    }
+    for (; i < n; i++) {
+        if (fills[0] >= ev_cap || fills[1] >= ev_cap || fills[2] >= ev_cap)
+            return i;
+        int64_t line = run[i];
+        int64_t v, e;
+        if (touch(&g, set_of(&g, line), line, (int)dirty, &v, &e)) {
+            hdr[5]++;
+            continue;
+        }
+        hdr[6]++;
+        miss_out[fills[0]++] = line;
+        if (v != NIL) {
+            if (chain(&g, hdr, v, wb_out, pm_out, fills, ev_cap))
+                return i + 1;
+        }
+    }
+    return n;
+}
+
+void lru_reset(ENG_ARGS) {
+    Eng g = make_eng(ENG_VALS);
+    for (int64_t s = 0; s < g.n_sets; s++) {
+        g.heads[s] = g.tails[s] = g.counts[s] = g.useds[s] = 0;
+        int64_t *k = g.keys + s * g.tsize;
+        for (int64_t i = 0; i < g.tsize; i++)
+            k[i] = EMPTY;
+    }
+    int64_t total = g.n_sets * g.rsize;
+    for (int64_t i = 0; i < total; i++)
+        g.ring_valid[i] = 0;
+    hdr[8] = NIL;
+}
+
+/* Adopt per-set contents, LRU first: set s holds lines[offsets[s] ..
+ * offsets[s+1]).  Trusted to fit (<= set capacity per set). */
+void lru_load(ENG_ARGS, const int64_t *lines, const uint8_t *dirty,
+              const int64_t *offsets) {
+    lru_reset(ENG_VALS);
+    Eng g = make_eng(ENG_VALS);
+    for (int64_t s = 0; s < g.n_sets; s++) {
+        int64_t *L = g.ring_lines + s * g.rsize;
+        uint8_t *D = g.ring_dirty + s * g.rsize;
+        uint8_t *V = g.ring_valid + s * g.rsize;
+        int64_t *keys = g.keys + s * g.tsize;
+        int64_t *vals = g.vals + s * g.tsize;
+        int64_t pos = 0;
+        for (int64_t i = offsets[s]; i < offsets[s + 1]; i++, pos++) {
+            L[pos] = lines[i];
+            D[pos] = dirty[i];
+            V[pos] = 1;
+            hinsert(keys, vals, g.tsize, &g.useds[s], lines[i], pos);
+        }
+        g.tails[s] = pos;
+        g.counts[s] = pos;
+    }
+}
+
+/* Evict everything; writes dirty lines (recency order, set-major) to
+ * `out` and returns how many. */
+int64_t lru_flush(ENG_ARGS, int64_t *out) {
+    Eng g = make_eng(ENG_VALS);
+    int64_t k = 0;
+    for (int64_t s = 0; s < g.n_sets; s++) {
+        int64_t *L = g.ring_lines + s * g.rsize;
+        uint8_t *D = g.ring_dirty + s * g.rsize;
+        uint8_t *V = g.ring_valid + s * g.rsize;
+        for (int64_t i = g.heads[s]; i < g.tails[s]; i++) {
+            if (V[i] && D[i])
+                out[k++] = L[i];
+        }
+    }
+    lru_reset(ENG_VALS);
+    return k;
+}
+
+/* Per-set (line, dirty) contents in recency order, concatenated
+ * set-major; set_counts[s] gets set s's resident count.  Returns the
+ * total. */
+int64_t lru_export(ENG_ARGS, int64_t *out_lines, uint8_t *out_dirty,
+                   int64_t *set_counts) {
+    Eng g = make_eng(ENG_VALS);
+    int64_t k = 0;
+    for (int64_t s = 0; s < g.n_sets; s++) {
+        int64_t *L = g.ring_lines + s * g.rsize;
+        uint8_t *D = g.ring_dirty + s * g.rsize;
+        uint8_t *V = g.ring_valid + s * g.rsize;
+        int64_t start = k;
+        for (int64_t i = g.heads[s]; i < g.tails[s]; i++) {
+            if (V[i]) {
+                out_lines[k] = L[i];
+                out_dirty[k] = D[i];
+                k++;
+            }
+        }
+        set_counts[s] = k - start;
+    }
+    return k;
+}
+
+int64_t lru_contains(ENG_ARGS, int64_t line) {
+    Eng g = make_eng(ENG_VALS);
+    int64_t s = set_of(&g, line);
+    return hfind(g.keys + s * g.tsize, g.tsize, line) >= 0;
+}

@@ -171,6 +171,13 @@ class AccessBatch:
     def __len__(self) -> int:
         return len(self.address)
 
+    def __getstate__(self):
+        # Schemes memoize derived pricing columns on the batch; they are
+        # cheap to recompute and must not bloat pickled trace caches.
+        state = self.__dict__.copy()
+        state.pop("_columns_memo", None)
+        return state
+
     @property
     def end(self) -> np.ndarray:
         return self.address + self.size

@@ -1,0 +1,244 @@
+"""Pricing-engine backend selection: pure-Python vs compiled native.
+
+The reuse-distance LRU engine has two interchangeable implementations:
+
+* ``python`` — :class:`~repro.core.lru_engine.LruEngine`, the Hypothesis-
+  pinned reference (bulk conveyor stretches over NumPy columns);
+* ``native`` — :class:`~repro.core.lru_native.NativeLruEngine`, the same
+  scalar semantics compiled from ``_lru_native.c`` at first use and
+  loaded through :mod:`ctypes` (no third-party build dependency).
+
+``REPRO_ENGINE`` selects the backend: ``auto`` (default) prefers native
+and falls back to Python when no C compiler is available, ``python`` /
+``native`` force one.  Forcing ``native`` without a working compiler is
+a :class:`~repro.common.errors.ConfigError`; ``auto`` never fails.
+
+Every backend is event- and state-identical to
+:meth:`~repro.core.metadata_cache.MetadataCache.access` — the pricing-
+equivalence chain in ROADMAP "Architecture invariants" extends to each
+of them, pinned by the backend-parametrized Hypothesis models in
+``tests/test_lru_engine.py``.
+
+The native backend cannot call back into Python for the integrity-tree
+parent function, so tree-aware consumers describe their metadata layout
+as a :class:`TreeGeometry` — a flat table of ``(base, end, parent_base,
+arity)`` regions that both backends (and the C code) evaluate
+identically.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import shutil
+import subprocess
+import tempfile
+from dataclasses import dataclass
+from pathlib import Path
+
+import numpy as np
+
+from repro.common.errors import ConfigError
+from repro.common.units import CACHE_BLOCK
+
+BACKENDS = ("auto", "python", "native")
+
+_SOURCE = Path(__file__).with_name("_lru_native.c")
+
+#: Lazily resolved: ``None`` until the first availability probe, then a
+#: ctypes library handle or ``False`` (with the reason in ``_load_error``).
+_lib: object | None = None
+_load_error: str | None = None
+
+
+@dataclass(frozen=True)
+class TreeGeometry:
+    """Region table describing a metadata layout's parent function.
+
+    Each region ``(base, end, parent_base, arity)`` maps addresses in
+    ``[base, end)`` to ``parent_base + ((addr - base) // line_bytes //
+    arity) * line_bytes``; addresses in no region (MAC lines, the top
+    stored tree level) have no parent.  This is exactly the shape of
+    ``CounterModeProtection._parent_of``, evaluated identically by the
+    Python fallback here and the C backend's ``parent_of``.
+    """
+
+    regions: tuple[tuple[int, int, int, int], ...] = ()
+    line_bytes: int = CACHE_BLOCK
+
+    def parent_of(self, address: int) -> int | None:
+        for base, end, parent_base, arity in self.regions:
+            if base <= address < end:
+                return (parent_base
+                        + ((address - base) // self.line_bytes // arity)
+                        * self.line_bytes)
+        return None
+
+    def encode(self) -> np.ndarray:
+        """Flat int64 form consumed by the C backend."""
+        flat = [len(self.regions)]
+        for region in self.regions:
+            flat.extend(region)
+        return np.array(flat, dtype=np.int64)
+
+
+def requested_backend() -> str:
+    """The ``REPRO_ENGINE`` request (validated; default ``auto``)."""
+    name = os.environ.get("REPRO_ENGINE", "auto").strip().lower() or "auto"
+    if name not in BACKENDS:
+        raise ConfigError(
+            f"REPRO_ENGINE must be one of {BACKENDS}, got {name!r}"
+        )
+    return name
+
+
+def _find_compiler() -> str | None:
+    for name in ("cc", "gcc", "clang"):
+        path = shutil.which(name)
+        if path:
+            return path
+    return None
+
+
+def _build_dir() -> Path:
+    root = os.environ.get("REPRO_NATIVE_CACHE")
+    if root:
+        return Path(root)
+    return Path(tempfile.gettempdir()) / "repro-native"
+
+
+def _compile_library() -> Path:
+    """Compile ``_lru_native.c`` into a content-addressed shared object."""
+    source = _SOURCE.read_bytes()
+    digest = hashlib.sha256(source).hexdigest()[:16]
+    build_dir = _build_dir()
+    target = build_dir / f"lru_native-{digest}.so"
+    if target.exists():
+        return target
+    compiler = _find_compiler()
+    if compiler is None:
+        raise RuntimeError("no C compiler (cc/gcc/clang) on PATH")
+    build_dir.mkdir(parents=True, exist_ok=True)
+    tmp = target.with_suffix(f".tmp.{os.getpid()}.so")
+    command = [compiler, "-O2", "-shared", "-fPIC", "-o", str(tmp),
+               str(_SOURCE)]
+    proc = subprocess.run(command, capture_output=True, text=True)
+    if proc.returncode != 0:
+        raise RuntimeError(
+            f"native engine build failed: {proc.stderr.strip()[:500]}"
+        )
+    os.replace(tmp, target)  # atomic: concurrent builders race safely
+    return target
+
+
+def _declare(lib) -> None:
+    import ctypes
+
+    p = ctypes.c_void_p
+    i64 = ctypes.c_int64
+    state = [p] * 11  # hdr..geom, see ENG_ARGS in _lru_native.c
+    lib.lru_probe.argtypes = state + [p, i64, i64, i64, p, p, p, p, i64]
+    lib.lru_probe.restype = i64
+    lib.lru_reset.argtypes = state
+    lib.lru_reset.restype = None
+    lib.lru_load.argtypes = state + [p, p, p]
+    lib.lru_load.restype = None
+    lib.lru_flush.argtypes = state + [p]
+    lib.lru_flush.restype = i64
+    lib.lru_export.argtypes = state + [p, p, p]
+    lib.lru_export.restype = i64
+    lib.lru_contains.argtypes = state + [i64]
+    lib.lru_contains.restype = i64
+
+
+def native_library():
+    """The loaded native library (compiled on first use).
+
+    Raises :class:`RuntimeError` with the build failure when the native
+    backend cannot be provided; use :func:`native_available` to probe.
+    """
+    global _lib, _load_error
+    if _lib is not None:
+        if _lib is False:
+            raise RuntimeError(_load_error or "native engine unavailable")
+        return _lib
+    try:
+        import ctypes
+
+        lib = ctypes.CDLL(str(_compile_library()))
+        _declare(lib)
+    except (RuntimeError, OSError) as exc:
+        _lib = False
+        _load_error = str(exc)
+        raise RuntimeError(_load_error) from exc
+    _lib = lib
+    return lib
+
+
+def native_available() -> bool:
+    try:
+        native_library()
+    except RuntimeError:
+        return False
+    return True
+
+
+def native_error() -> str | None:
+    """Why the native backend is unavailable (``None`` when it loads)."""
+    if native_available():
+        return None
+    return _load_error
+
+
+def resolve_backend(name: str | None = None) -> str:
+    """Resolve a request (default: ``REPRO_ENGINE``) to python/native."""
+    name = requested_backend() if name is None else name
+    if name == "python":
+        return "python"
+    if name == "native":
+        if not native_available():
+            raise ConfigError(
+                f"REPRO_ENGINE=native but the native engine is unavailable: "
+                f"{native_error()}"
+            )
+        return "native"
+    return "native" if native_available() else "python"
+
+
+def active_backend() -> str:
+    """The backend :func:`create_engine` would pick right now.
+
+    Surfaced in ``TraceCache.stats()`` / ``cache stats`` and the bench
+    JSON so every priced table records which engine produced it.
+    """
+    try:
+        return resolve_backend()
+    except ConfigError:
+        return "python"
+
+
+def create_engine(capacity_lines: int, line_bytes: int = CACHE_BLOCK,
+                  ways: int | None = None,
+                  geometry: TreeGeometry | None = None,
+                  parent_of=None, parent_of_vec=None,
+                  backend: str | None = None):
+    """Build an LRU engine on the selected backend.
+
+    ``geometry`` is the backend-portable parent description; callers may
+    additionally pass ``parent_of``/``parent_of_vec`` callables, which
+    the Python backend prefers (they can memoize against the caller's
+    tables).  A callable parent *without* a geometry pins the engine to
+    the Python backend — the C code cannot call back into Python.
+    """
+    resolved = resolve_backend(backend)
+    if resolved == "native" and (geometry is not None or parent_of is None):
+        from repro.core.lru_native import NativeLruEngine
+
+        return NativeLruEngine(capacity_lines, line_bytes=line_bytes,
+                               ways=ways, geometry=geometry)
+    from repro.core.lru_engine import LruEngine
+
+    if parent_of is None and geometry is not None:
+        parent_of = geometry.parent_of
+    return LruEngine(capacity_lines, line_bytes=line_bytes, ways=ways,
+                     parent_of=parent_of, parent_of_vec=parent_of_vec)

@@ -53,15 +53,107 @@ from repro.common.units import CACHE_BLOCK
 
 _EMPTY = np.empty(0, dtype=np.int64)
 
+#: Initial scalar-scratch size of an event category (doubles as needed).
+_SCRATCH_MIN = 64
+
+
+def drain_chunks(chunks: list) -> np.ndarray:
+    """Concatenate a plain chunk list (arrays and/or ints) and reset it.
+
+    The walk-level miss sinks (``run_misses`` lists) still collect a mix
+    of scalar chain events and bulk array slices; this keeps the old
+    scalar-batching drain for them.
+    """
+    if not chunks:
+        return np.empty(0, dtype=np.int64)
+    if len(chunks) == 1 and isinstance(chunks[0], np.ndarray):
+        only = chunks[0]
+        chunks.clear()
+        return only.astype(np.int64, copy=False)
+    arrays: list[np.ndarray] = []
+    scalars: list[int] = []
+    for chunk in chunks:
+        if isinstance(chunk, np.ndarray):
+            if scalars:
+                arrays.append(np.array(scalars, dtype=np.int64))
+                scalars = []
+            arrays.append(chunk)
+        else:
+            scalars.append(chunk)
+    if scalars:
+        arrays.append(np.array(scalars, dtype=np.int64))
+    chunks.clear()
+    if len(arrays) == 1:
+        return arrays[0].astype(np.int64, copy=False)
+    return np.concatenate(arrays)
+
+
+class _EventChunks:
+    """One event category: array chunks plus a growable scalar scratch.
+
+    Chain events arrive one line at a time; instead of boxing each into
+    a Python list and re-boxing on every drain, scalars land in a
+    preallocated int64 scratch buffer (doubled when full) that is cut
+    into a chunk only when an array chunk arrives or the category
+    drains.
+    """
+
+    __slots__ = ("_chunks", "_scratch", "_fill")
+
+    def __init__(self) -> None:
+        self._chunks: list[np.ndarray] = []
+        self._scratch = np.empty(_SCRATCH_MIN, dtype=np.int64)
+        self._fill = 0
+
+    def push(self, value: int) -> None:
+        """Append one scalar event."""
+        fill = self._fill
+        scratch = self._scratch
+        if fill == len(scratch):
+            grown = np.empty(2 * len(scratch), dtype=np.int64)
+            grown[:fill] = scratch
+            self._scratch = scratch = grown
+        scratch[fill] = value
+        self._fill = fill + 1
+
+    def append(self, array: np.ndarray) -> None:
+        """Append one bulk chunk (keeps order relative to scalars)."""
+        if self._fill:
+            self._cut_scratch()
+        self._chunks.append(array)
+
+    def _cut_scratch(self) -> None:
+        self._chunks.append(self._scratch[:self._fill].copy())
+        self._fill = 0
+
+    def __bool__(self) -> bool:
+        return self._fill > 0 or bool(self._chunks)
+
+    def __len__(self) -> int:
+        return self._fill + sum(len(chunk) for chunk in self._chunks)
+
+    def drain(self) -> np.ndarray:
+        """Concatenate everything into one int64 array and reset."""
+        if self._fill:
+            self._cut_scratch()
+        chunks = self._chunks
+        if not chunks:
+            return np.empty(0, dtype=np.int64)
+        self._chunks = []
+        if len(chunks) == 1:
+            return chunks[0].astype(np.int64, copy=False)
+        return np.concatenate(chunks)
+
 
 class EventSink:
     """Collects the engine's cache events as chunks of line addresses.
 
-    Events arrive either as NumPy slices (bulk stretches) or as Python
-    scalars (chain steps); each category keeps arrival order.  ``drain_*``
-    concatenates a category into one int64 array and resets it, which is
-    how the pricing layer routes a whole batch's events with a few
-    vectorized operations instead of one Python call per event.
+    Events arrive either as NumPy slices (bulk stretches, via
+    ``append``) or as Python scalars (chain steps, via ``push``); each
+    category keeps arrival order.  ``drain_*`` concatenates a category
+    into one int64 array and resets it, which is how the pricing layer
+    routes a whole batch's events with a few vectorized operations
+    instead of one Python call per event.
 
     Categories mirror :class:`~repro.core.metadata_cache.SegmentProbe`:
 
@@ -82,49 +174,25 @@ class EventSink:
                  "hits", "miss_count", "writeback_count")
 
     def __init__(self) -> None:
-        self.misses: list = []
-        self.writebacks: list = []
-        self.parent_misses: list = []
+        self.misses = _EventChunks()
+        self.writebacks = _EventChunks()
+        self.parent_misses = _EventChunks()
         #: Aggregate counters feeding the cache's hit/miss/writeback stats.
         self.hits = 0
         self.miss_count = 0
         self.writeback_count = 0
 
-    @staticmethod
-    def _drain(chunks: list) -> np.ndarray:
-        if not chunks:
-            return np.empty(0, dtype=np.int64)
-        if len(chunks) == 1 and isinstance(chunks[0], np.ndarray):
-            only = chunks[0]
-            chunks.clear()
-            return only.astype(np.int64, copy=False)
-        # Batch scalar streaks (chain events arrive one line at a time)
-        # into single arrays before concatenating.
-        arrays: list[np.ndarray] = []
-        scalars: list[int] = []
-        for chunk in chunks:
-            if isinstance(chunk, np.ndarray):
-                if scalars:
-                    arrays.append(np.array(scalars, dtype=np.int64))
-                    scalars = []
-                arrays.append(chunk)
-            else:
-                scalars.append(chunk)
-        if scalars:
-            arrays.append(np.array(scalars, dtype=np.int64))
-        chunks.clear()
-        if len(arrays) == 1:
-            return arrays[0].astype(np.int64, copy=False)
-        return np.concatenate(arrays)
+    #: Kept for the walk-level plain chunk lists (``run_misses``).
+    _drain = staticmethod(drain_chunks)
 
     def drain_misses(self) -> np.ndarray:
-        return self._drain(self.misses)
+        return self.misses.drain()
 
     def drain_writebacks(self) -> np.ndarray:
-        return self._drain(self.writebacks)
+        return self.writebacks.drain()
 
     def drain_parent_misses(self) -> np.ndarray:
-        return self._drain(self.parent_misses)
+        return self.parent_misses.drain()
 
 
 class _RunContext:
@@ -191,6 +259,8 @@ class LruEngine:
     tree parent of a line address (``None`` for MAC lines and the top
     stored level).
     """
+
+    backend_name = "python"
 
     #: Ring slack beyond capacity before a compaction pass.
     _RING_SLACK = 8192
@@ -397,7 +467,7 @@ class LruEngine:
             sink.hits += 1
             return True
         sink.miss_count += 1
-        sink.misses.append(line)
+        sink.misses.push(line)
         if miss_sink is not None:
             miss_sink.append(line)
         if context is not None and self._last_evicted is not None:
@@ -418,7 +488,7 @@ class LruEngine:
         not-yet-touched run line re-schedule it.
         """
         while True:
-            sink.writebacks.append(victim)
+            sink.writebacks.push(victim)
             sink.writeback_count += 1
             parent = self._parent(victim)
             if parent is None:
@@ -430,7 +500,7 @@ class LruEngine:
                 sink.hits += 1
                 return
             sink.miss_count += 1
-            sink.parent_misses.append(parent)
+            sink.parent_misses.push(parent)
             if context is not None and self._last_evicted is not None:
                 context.demote(self._last_evicted)
             victim = self._last_victim
@@ -738,3 +808,74 @@ class LruEngine:
         """Touch ``n_lines`` consecutive lines starting at ``base_line``."""
         lines = base_line + self.line_bytes * np.arange(n_lines, dtype=np.int64)
         self.probe_lines(lines, dirty, sink, miss_sink)
+
+    # -- closed-form flood paths ----------------------------------------
+    def clean_walk_ready(self, floor_address: int) -> bool:
+        """Whether a clean ascending probe of distinct lines at or above
+        ``floor_address`` is guaranteed an all-miss clean conveyor.
+
+        True exactly when the set is fully associative, holds no dirty
+        line, and holds nothing at or above ``floor_address`` — then
+        every such probe misses, every eviction is clean, and no chain
+        can fire, which is :meth:`flood_clean`'s precondition.
+        """
+        if self.n_sets != 1:
+            return False
+        window = slice(self._head[0], self._tail[0])
+        valid = self._valid[0][window]
+        if self._dirty[0][window][valid].any():
+            return False
+        lines = self._lines[0][window][valid]
+        return not bool((lines >= floor_address).any())
+
+    def flood_clean(self, lines: np.ndarray, sink: EventSink,
+                    miss_sink: list | None = None) -> None:
+        """Closed-form all-miss clean probe: one bulk ring replacement.
+
+        Preconditions (caller-checked, see :meth:`clean_walk_ready`):
+        fully associative, no resident line dirty, and none of ``lines``
+        (distinct, ascending) resident.  Under them the probe is a pure
+        conveyor — every line misses and every eviction is clean — so
+        the per-line machinery of :meth:`probe_lines` collapses to a
+        bulk LRU-window eviction plus one bulk append, event- and
+        state-identical to probing line by line.
+        """
+        n = len(lines)
+        if n == 0:
+            return
+        slot = self._slot[0]
+        cap = self.set_capacity
+        if n >= cap:
+            # The stream displaces everything, itself included: only the
+            # last ``cap`` lines survive the conveyor.
+            window = slice(self._head[0], self._tail[0])
+            self._valid[0][window] = False
+            slot.clear()
+            self._epoch += 1
+            chunk = lines[n - cap:]
+            self._lines[0][:cap] = chunk
+            self._dirty[0][:cap] = False
+            self._valid[0][:cap] = True
+            self._head[0] = 0
+            self._tail[0] = cap
+            slot.update(zip(chunk.tolist(), range(cap)))
+        else:
+            evict = len(slot) + n - cap
+            if evict > 0:
+                head, tail = self._head[0], self._tail[0]
+                window = np.nonzero(self._valid[0][head:tail])[0][:evict] + head
+                for line in self._lines[0][window].tolist():
+                    del slot[line]
+                self._valid[0][window] = False
+                self._head[0] = int(window[-1]) + 1
+            self._room(0, n)
+            tail = self._tail[0]
+            self._lines[0][tail:tail + n] = lines
+            self._dirty[0][tail:tail + n] = False
+            self._valid[0][tail:tail + n] = True
+            slot.update(zip(lines.tolist(), range(tail, tail + n)))
+            self._tail[0] = tail + n
+        sink.miss_count += n
+        sink.misses.append(lines)
+        if miss_sink is not None:
+            miss_sink.append(lines)

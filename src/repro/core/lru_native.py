@@ -1,0 +1,230 @@
+"""ctypes wrapper around the compiled LRU engine (``_lru_native.c``).
+
+:class:`NativeLruEngine` exposes the same surface as
+:class:`~repro.core.lru_engine.LruEngine` — ``load_state`` /
+``export_state`` / ``flush`` / ``probe_lines`` / ``probe_range`` plus
+the ``flood_clean`` / ``clean_walk_ready`` closed-form hooks — but the
+per-line work (touches, evictions, write-back chains) runs inside the
+shared library.  All state lives in NumPy arrays owned here and passed
+to C as raw pointers, so state import/export and the closed-form guards
+stay vectorized Python while the hot loop is machine code.
+
+Event delivery is chunked: C appends misses / writebacks / parent
+misses to three fixed buffers and *pauses* (returning the resume index,
+parking a mid-flight chain victim in the header) whenever one fills;
+the wrapper drains each pause's chunks into the
+:class:`~repro.core.lru_engine.EventSink` and resumes, so arbitrarily
+long runs price in bounded memory with event order preserved exactly.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.common.errors import ConfigError
+from repro.common.units import CACHE_BLOCK
+from repro.core.engine_backend import TreeGeometry, native_library
+from repro.core.lru_engine import EventSink
+
+_NIL = -1
+#: Header slots (mirrors the layout comment in ``_lru_native.c``).
+_H_HITS, _H_MISSES, _H_WRITEBACKS, _H_PENDING = 5, 6, 7, 8
+
+
+def _pow2_at_least(n: int) -> int:
+    size = 16
+    while size < n:
+        size *= 2
+    return size
+
+
+class NativeLruEngine:
+    """Exact LRU over line streams, scalar core compiled to native code."""
+
+    backend_name = "native"
+
+    #: Ring slack beyond capacity before an in-place compaction.
+    _RING_SLACK = 8192
+
+    def __init__(self, capacity_lines: int, line_bytes: int = CACHE_BLOCK,
+                 ways: int | None = None,
+                 geometry: TreeGeometry | None = None) -> None:
+        if capacity_lines <= 0:
+            raise ConfigError(f"capacity must be positive, got {capacity_lines}")
+        if ways is not None and (ways <= 0 or capacity_lines % ways != 0):
+            raise ConfigError(f"ways ({ways}) must divide {capacity_lines}")
+        self._lib = native_library()
+        self.capacity_lines = capacity_lines
+        self.line_bytes = line_bytes
+        self.ways = ways
+        self.n_sets = 1 if ways is None else capacity_lines // ways
+        self.set_capacity = capacity_lines if ways is None else ways
+        self.geometry = geometry
+        slack = self._RING_SLACK if self.n_sets == 1 else max(
+            64, self._RING_SLACK // self.n_sets
+        )
+        ring = self.set_capacity + slack
+        table = _pow2_at_least(4 * self.set_capacity)
+        self._hdr = np.array(
+            [self.n_sets, self.set_capacity, line_bytes, ring, table,
+             0, 0, 0, _NIL],
+            dtype=np.int64,
+        )
+        self._heads = np.zeros(self.n_sets, dtype=np.int64)
+        self._tails = np.zeros(self.n_sets, dtype=np.int64)
+        self._counts = np.zeros(self.n_sets, dtype=np.int64)
+        self._useds = np.zeros(self.n_sets, dtype=np.int64)
+        self._ring_lines = np.zeros(self.n_sets * ring, dtype=np.int64)
+        self._ring_dirty = np.zeros(self.n_sets * ring, dtype=np.uint8)
+        self._ring_valid = np.zeros(self.n_sets * ring, dtype=np.uint8)
+        self._keys = np.full(self.n_sets * table, _NIL, dtype=np.int64)
+        self._vals = np.zeros(self.n_sets * table, dtype=np.int64)
+        geom = geometry.encode() if geometry is not None else np.zeros(
+            1, dtype=np.int64
+        )
+        self._geom = np.ascontiguousarray(geom, dtype=np.int64)
+        self._state_args = tuple(
+            int(a.ctypes.data)
+            for a in (self._hdr, self._heads, self._tails, self._counts,
+                      self._useds, self._ring_lines, self._ring_dirty,
+                      self._ring_valid, self._keys, self._vals, self._geom)
+        )
+        cap = max(16384, 2 * self.set_capacity + 1024)
+        self._ev_cap = cap
+        self._miss_buf = np.empty(cap, dtype=np.int64)
+        self._wb_buf = np.empty(cap, dtype=np.int64)
+        self._pm_buf = np.empty(cap, dtype=np.int64)
+        self._fills = np.zeros(3, dtype=np.int64)
+        self._ev_args = (int(self._miss_buf.ctypes.data),
+                         int(self._wb_buf.ctypes.data),
+                         int(self._pm_buf.ctypes.data),
+                         int(self._fills.ctypes.data))
+        #: Bound methods/constants hoisted out of the probe hot path —
+        #: the wrapper is called once per walk level, so per-call
+        #: attribute traffic is measurable on cold suite runs.
+        self._probe = self._lib.lru_probe
+
+    # -- state import/export -------------------------------------------
+    def load_state(self, sets: list) -> None:
+        """Adopt a cache's per-set ``{line: dirty}`` contents, LRU first."""
+        if len(sets) != self.n_sets:
+            raise ConfigError(
+                f"{len(sets)} sets supplied for a {self.n_sets}-set engine"
+            )
+        offsets = np.zeros(self.n_sets + 1, dtype=np.int64)
+        chunks_l: list[np.ndarray] = []
+        chunks_d: list[np.ndarray] = []
+        total = 0
+        for index, lines in enumerate(sets):
+            n = len(lines)
+            chunks_l.append(np.fromiter(lines.keys(), np.int64, n))
+            chunks_d.append(np.fromiter(lines.values(), np.uint8, n))
+            total += n
+            offsets[index + 1] = total
+        flat_l = np.concatenate(chunks_l) if total else np.empty(0, np.int64)
+        flat_d = np.concatenate(chunks_d) if total else np.empty(0, np.uint8)
+        flat_l = np.ascontiguousarray(flat_l, dtype=np.int64)
+        flat_d = np.ascontiguousarray(flat_d, dtype=np.uint8)
+        self._lib.lru_load(*self._state_args, int(flat_l.ctypes.data),
+                           int(flat_d.ctypes.data), int(offsets.ctypes.data))
+
+    def export_state(self) -> list[list[tuple[int, bool]]]:
+        """Per-set ``(line, dirty)`` pairs in recency order (LRU first)."""
+        cap = self.capacity_lines
+        out_lines = np.empty(cap, dtype=np.int64)
+        out_dirty = np.empty(cap, dtype=np.uint8)
+        set_counts = np.empty(self.n_sets, dtype=np.int64)
+        self._lib.lru_export(*self._state_args, int(out_lines.ctypes.data),
+                             int(out_dirty.ctypes.data),
+                             int(set_counts.ctypes.data))
+        out: list[list[tuple[int, bool]]] = []
+        start = 0
+        for index in range(self.n_sets):
+            stop = start + int(set_counts[index])
+            out.append([(int(line), bool(dirty)) for line, dirty in
+                        zip(out_lines[start:stop], out_dirty[start:stop])])
+            start = stop
+        return out
+
+    def flush(self) -> np.ndarray:
+        """Evict everything; returns dirty line addresses in recency order."""
+        out = np.empty(self.capacity_lines, dtype=np.int64)
+        count = int(self._lib.lru_flush(*self._state_args,
+                                        int(out.ctypes.data)))
+        return out[:count].copy()
+
+    def __len__(self) -> int:
+        return int(self._counts.sum())
+
+    def contains(self, line: int) -> bool:
+        return bool(self._lib.lru_contains(*self._state_args, int(line)))
+
+    # -- probing --------------------------------------------------------
+    def probe_lines(self, lines: np.ndarray, dirty: bool, sink: EventSink,
+                    miss_sink: list | None = None) -> None:
+        """Touch ``lines`` (distinct, ascending) in order, chains included.
+
+        Event- and state-identical to the Python engine's
+        :meth:`~repro.core.lru_engine.LruEngine.probe_lines`.
+        """
+        n = len(lines)
+        if n == 0:
+            return
+        run = np.ascontiguousarray(lines, dtype=np.int64)
+        hdr = self._hdr
+        hits0, misses0, writebacks0 = hdr[_H_HITS:_H_PENDING].tolist()
+        fills = self._fills
+        probe = self._probe
+        run_args = self._state_args + (run.ctypes.data, n)
+        tail_args = self._ev_args + (self._ev_cap,)
+        dirty_flag = 1 if dirty else 0
+        index = 0
+        while True:
+            fills[:] = 0
+            index = probe(*run_args, index, dirty_flag, *tail_args)
+            n_miss, n_wb, n_pm = fills.tolist()
+            if n_miss:
+                chunk = self._miss_buf[:n_miss].copy()
+                sink.misses.append(chunk)
+                if miss_sink is not None:
+                    miss_sink.append(chunk)
+            if n_wb:
+                sink.writebacks.append(self._wb_buf[:n_wb].copy())
+            if n_pm:
+                sink.parent_misses.append(self._pm_buf[:n_pm].copy())
+            if index >= n and hdr[_H_PENDING] == _NIL:
+                break
+        hits1, misses1, writebacks1 = hdr[_H_HITS:_H_PENDING].tolist()
+        sink.hits += hits1 - hits0
+        sink.miss_count += misses1 - misses0
+        sink.writeback_count += writebacks1 - writebacks0
+
+    def probe_range(self, base_line: int, n_lines: int, dirty: bool,
+                    sink: EventSink, miss_sink: list | None = None) -> None:
+        """Touch ``n_lines`` consecutive lines starting at ``base_line``."""
+        lines = base_line + self.line_bytes * np.arange(n_lines,
+                                                        dtype=np.int64)
+        self.probe_lines(lines, dirty, sink, miss_sink)
+
+    # -- closed-form hooks ----------------------------------------------
+    def clean_walk_ready(self, floor_address: int) -> bool:
+        """Whether an ascending clean probe of lines ``>= floor_address``
+        is guaranteed an all-miss clean conveyor (see the Python engine)."""
+        if self.n_sets != 1:
+            return False
+        head, tail = int(self._heads[0]), int(self._tails[0])
+        valid = self._ring_valid[head:tail].view(bool)
+        if self._ring_dirty[head:tail][valid].any():
+            return False
+        lines = self._ring_lines[head:tail][valid]
+        return not bool((lines >= floor_address).any())
+
+    def flood_clean(self, lines: np.ndarray, sink: EventSink,
+                    miss_sink: list | None = None) -> None:
+        """All-miss clean conveyor (preconditions as the Python engine).
+
+        The compiled probe loop *is* the bulk replace here — per line it
+        costs one hash probe and one ring append — so the closed form
+        shares the exact code path the equivalence tests pin.
+        """
+        self.probe_lines(lines, False, sink, miss_sink)

@@ -65,12 +65,14 @@ from repro.common.errors import ConfigError
 from repro.common.stats import StatsGroup
 from repro.common.units import CACHE_BLOCK, ceil_div, round_up
 from repro.core.access import DATA_CLASSES, AccessBatch, DataClass, MemAccess
-from repro.core.lru_engine import EventSink, LruEngine
+from repro.core.engine_backend import TreeGeometry, create_engine
+from repro.core.lru_engine import EventSink, LruEngine, drain_chunks
 from repro.core.merkle import TreeLayout
 from repro.core.metadata_cache import MetadataCache
 from repro.core.schemes.base import (
     ENTRY_BYTES,
     _ENTRIES_PER_LINE,
+    PricingSession,
     ProtectionScheme,
     ProtectionTraffic,
     _add_data,
@@ -173,11 +175,21 @@ class CounterModeProtection(ProtectionScheme):
             else None
         )
         self._cache = MetadataCache(cache_bytes) if cache_bytes else None
-        #: Reuse-distance engine for batched pricing; created lazily and
-        #: kept across resets (its tree-parent memo depends only on the
-        #: metadata layout, which is fixed per scheme instance).
-        self._engine: LruEngine | None = None
+        #: Reuse-distance engine for batched pricing; created lazily on
+        #: the ``REPRO_ENGINE``-selected backend and kept across resets
+        #: (its tree-parent tables depend only on the metadata layout,
+        #: which is fixed per scheme instance).
+        self._engine = None
         self._finished = False
+
+    def __getstate__(self) -> dict:
+        # The engine is a pure cache-state accelerator (the durable LRU
+        # state lives in ``_cache``) and the native backend holds ctypes
+        # handles, so pickling to sweep workers drops it; it is rebuilt
+        # lazily on first use in the worker.
+        state = self.__dict__.copy()
+        state["_engine"] = None
+        return state
 
     # ------------------------------------------------------------------
     def reset(self) -> None:
@@ -266,7 +278,20 @@ class CounterModeProtection(ProtectionScheme):
         per-access-MAC classes, sequential granule spans, and gathered
         bursts each follow the same formulas, so every derived column is
         equal to what the per-access walk computes access by access.
+
+        The columns depend only on the batch and the scheme's pricing
+        parameters (granularity tables, protected region), so they are
+        memoized on the batch under that key: a sweep prices the same
+        batch list once per scheme, and schemes sharing a MAC policy
+        share the derivation.  The columns are read-only downstream.
         """
+        tables_key = self._gran_tables_key()
+        memo = getattr(batch, "_columns_memo", None)
+        if memo is None:
+            memo = batch._columns_memo = {}
+        cached = memo.get(tables_key)
+        if cached is not None:
+            return cached
         address, size = batch.address, batch.size
         end = address + size
         over = end > self.protected_bytes
@@ -326,12 +351,26 @@ class CounterModeProtection(ProtectionScheme):
             lines_per_burst = -(-granules_per_burst // _ENTRIES_PER_LINE)
             gather_mac = n_bursts * lines_per_burst * CACHE_BLOCK
             data = size + np.where(per_access, 0, np.where(seq, seq_amp, gather_amp))
-        return _BatchColumns(
+        cols = _BatchColumns(
             end=end, is_write=is_write, seq=seq, stream=stream,
             per_access=per_access, first=first, last=last,
             seq_mac=seq_mac, burst=burst, n_bursts=n_bursts,
             gather_mac=gather_mac, data=data,
         )
+        memo[tables_key] = cols
+        return cols
+
+    def _gran_tables_key(self) -> tuple:
+        """Hashable identity of everything :meth:`_batch_columns` reads
+        from the scheme (the policy tables and the protected region)."""
+        key = getattr(self, "_gran_tables_key_cache", None)
+        if key is None:
+            gran_of_code, per_access_code, invalid_code = self._gran_tables()
+            key = (self.protected_bytes, gran_of_code.tobytes(),
+                   per_access_code.tobytes(),
+                   None if invalid_code is None else invalid_code.tobytes())
+            self._gran_tables_key_cache = key
+        return key
 
     def _gran_tables(self) -> tuple[np.ndarray, np.ndarray, np.ndarray | None]:
         """Cached per-class-code (granularity, per-access, invalid) tables.
@@ -387,38 +426,62 @@ class CounterModeProtection(ProtectionScheme):
         reuse-distance engine once, stream every batch's sequential runs
         (and the walks and write-back chains they trigger) through it,
         and store the final state back — byte-identical to pricing the
-        batches one at a time, without per-batch state churn.
+        batches one at a time, without per-batch state churn.  The same
+        session object serves chunked traces through
+        :meth:`pricing_session` (``sim/perf.run`` streams generator
+        phases batch by batch without materializing the trace).
         """
-        if self._cache is None or not batches:
-            return [self.price_batch(batch) for batch in batches]
-        engine = self._lru_engine()
-        engine.load_state(self._cache.contents())
-        sink = EventSink()
-        traffics = []
-        for batch in batches:
-            if len(batch) == 0:
-                traffics.append(ProtectionTraffic())
-                continue
-            traffics.append(self._price_batch_engine(batch, engine, sink))
-        self._cache.set_contents(engine.export_state())
-        self._cache.stats.add_counts({
-            "hits": sink.hits,
-            "misses": sink.miss_count,
-            "writebacks": sink.writeback_count,
-        })
+        if not batches:
+            return []
+        session = self.pricing_session()
+        traffics = [session.price(batch) for batch in batches]
+        session.close()
         return traffics
 
-    def _lru_engine(self) -> LruEngine:
+    def pricing_session(self) -> PricingSession:
+        if self._cache is None:
+            return PricingSession(self)
+        return _EngineSession(self)
+
+    def _lru_engine(self):
         assert self._cache is not None
         if self._engine is None:
-            self._engine = LruEngine(
+            self._engine = create_engine(
                 self._cache.capacity_lines,
                 line_bytes=self._cache.line_bytes,
                 ways=self._cache.ways,
+                geometry=self._tree_geometry(),
                 parent_of=self._parent_of,
                 parent_of_vec=self._parent_of_vec,
             )
         return self._engine
+
+    @property
+    def engine_backend(self) -> str:
+        """Which LRU-engine backend prices this scheme's runs."""
+        if self._cache is None:
+            return "none"
+        return self._lru_engine().backend_name
+
+    def _tree_geometry(self) -> TreeGeometry:
+        """The metadata layout's parent function as a flat region table.
+
+        Encodes exactly :meth:`_parent_of`: the VN region maps to
+        level-1 tree nodes, each stored level below the top to the next,
+        and MAC lines / the top stored level (whose parent is the
+        on-chip root) fall in no region.
+        """
+        regions: list[tuple[int, int, int, int]] = []
+        tree = self._tree
+        if tree is not None and tree.stored_levels >= 1:
+            regions.append((self._vn_base, self._tree_base,
+                            tree.level_base(1), tree.arity))
+            for level in range(1, tree.stored_levels):
+                base = tree.level_base(level)
+                end = base + tree.level_sizes[level - 1] * CACHE_BLOCK
+                regions.append((base, end, tree.level_base(level + 1),
+                                tree.arity))
+        return TreeGeometry(tuple(regions), CACHE_BLOCK)
 
     def _parent_of_vec(self, lines: np.ndarray) -> np.ndarray:
         """Vectorized :meth:`_parent_of` over a line-address column.
@@ -552,8 +615,10 @@ class CounterModeProtection(ProtectionScheme):
             # chains interleaved exactly as two back-to-back runs — in a
             # single engine call; the walk filters out the VN misses.
             run_misses: list = []
+            n_run = mac_lines + vn_lines
+            writebacks_before = sink.writeback_count
             if mac_lines:
-                lines = np.empty(mac_lines + vn_lines, dtype=np.int64)
+                lines = np.empty(n_run, dtype=np.int64)
                 first_line = mac_first[k] * line_bytes
                 lines[:mac_lines] = np.arange(
                     first_line, first_line + mac_lines * line_bytes,
@@ -569,7 +634,20 @@ class CounterModeProtection(ProtectionScheme):
                 engine.probe_range(self._vn_base + vn_first[k] * line_bytes,
                                    vn_lines, dirty, sink, run_misses)
             if run_misses:
-                self._engine_walk(engine, sink, run_misses)
+                # Flood-adjacent guard: a clean cache-sized (or larger)
+                # run that missed everywhere and chained nowhere has
+                # displaced the whole resident set with clean sub-tree
+                # lines, so the walk's outcome is closed-form (every
+                # level misses in full) — checked O(1) here, confirmed
+                # against the drained miss count inside the walk.
+                flood_run = (
+                    not dirty
+                    and n_run >= capacity
+                    and engine.n_sets == 1
+                    and sink.writeback_count == writebacks_before
+                )
+                self._engine_walk(engine, sink, run_misses,
+                                  flood_run=flood_run, run_length=n_run)
 
     def _engine_flood(self, engine: LruEngine, sink: EventSink,
                       traffic: ProtectionTraffic, n_lines: int, writes: bool,
@@ -602,7 +680,8 @@ class CounterModeProtection(ProtectionScheme):
         traffic.tree_seq += factor * tree_nodes * CACHE_BLOCK
 
     def _engine_walk(self, engine: LruEngine, sink: EventSink,
-                     run_misses: list) -> None:
+                     run_misses: list, flood_run: bool = False,
+                     run_length: int = 0) -> None:
         """Vectorized Bonsai walk: verify missed VN lines level by level.
 
         Contiguous leaves share ancestors, so each level touches the
@@ -610,29 +689,56 @@ class CounterModeProtection(ProtectionScheme):
         one :meth:`LruEngine.probe_lines` call per level) and the walk
         stops at the first fully-cached level — exactly
         :meth:`_walk_tree`, without the per-node Python walk.
+
+        When the triggering run was flood-adjacent (``flood_run`` and
+        every one of its ``run_length`` lines missed), the resident set
+        is exactly the run's clean tail below the tree region, so every
+        level probe is an all-miss clean conveyor: the walk collapses to
+        parent arithmetic on the level geometry plus one bulk
+        :meth:`LruEngine.flood_clean` replace — event- and
+        state-identical to the probed walk.
         """
         assert self._tree is not None
         tree = self._tree
-        miss_lines = EventSink._drain(run_misses)
+        miss_lines = drain_chunks(run_misses)
+        if flood_run and len(miss_lines) == run_length:
+            self._walk_flood(engine, sink, miss_lines)
+            return
         # Fused runs collect MAC misses too; only VN leaves walk.
         miss_lines = miss_lines[miss_lines >= self._vn_base]
         if not len(miss_lines):
             return
         pending = (miss_lines - self._vn_base) // CACHE_BLOCK
         for level in range(1, tree.stored_levels + 1):
-            parents = pending // tree.arity
-            if len(parents) > 1:  # already ascending: cheap dedup
-                keep = np.empty(len(parents), dtype=bool)
-                keep[0] = True
-                np.not_equal(parents[1:], parents[:-1], out=keep[1:])
-                parents = parents[keep]
+            parents = _dedup_ascending(pending // tree.arity)
             addresses = tree.node_addresses(level, parents)
             level_misses: list = []
             engine.probe_lines(addresses, False, sink, level_misses)
             if not level_misses:
                 break
-            missed = EventSink._drain(level_misses)
+            missed = drain_chunks(level_misses)
             pending = (missed - tree.level_base(level)) // CACHE_BLOCK
+
+    def _walk_flood(self, engine: LruEngine, sink: EventSink,
+                    miss_lines: np.ndarray) -> None:
+        """Closed-form walk for a flood-adjacent run (see `_engine_walk`).
+
+        All residents sit below the tree region and are clean, so no
+        level probe can hit, chain, or stop early: each level's touched
+        nodes are just the deduped parents of the level below, and the
+        whole walk is one ascending clean all-miss stream.
+        """
+        tree = self._tree
+        miss_lines = miss_lines[miss_lines >= self._vn_base]
+        if not len(miss_lines):
+            return
+        pending = (miss_lines - self._vn_base) // CACHE_BLOCK
+        chunks = []
+        for level in range(1, tree.stored_levels + 1):
+            pending = _dedup_ascending(pending // tree.arity)
+            chunks.append(tree.node_addresses(level, pending))
+        if chunks:
+            engine.flood_clean(np.concatenate(chunks), sink)
 
     def _route_events(self, sink: EventSink, traffic: ProtectionTraffic) -> None:
         """Bulk-route the engine's events into the traffic buckets.
@@ -1035,3 +1141,50 @@ class _BatchColumns:
     n_bursts: np.ndarray
     gather_mac: np.ndarray  # per-burst MAC line fetches of a gather
     data: np.ndarray  # payload + verification read amplification
+
+
+def _dedup_ascending(values: np.ndarray) -> np.ndarray:
+    """Drop adjacent duplicates of an already-ascending index column."""
+    if len(values) <= 1:
+        return values
+    keep = np.empty(len(values), dtype=bool)
+    keep[0] = True
+    np.not_equal(values[1:], values[:-1], out=keep[1:])
+    return values[keep]
+
+
+class _EngineSession(PricingSession):
+    """Engine-backed pricing session for cached/tree configurations.
+
+    Loads the metadata cache's LRU state into the reuse-distance engine
+    once, prices every batch of the stream against it, and writes state
+    and hit/miss/writeback counts back on :meth:`close` — the factored
+    body of the old whole-trace ``price_trace`` pass, so a list of
+    batches and a generator of batches price byte-identically.
+    """
+
+    def __init__(self, scheme: CounterModeProtection) -> None:
+        super().__init__(scheme)
+        assert scheme._cache is not None
+        self._engine = scheme._lru_engine()
+        self._engine.load_state(scheme._cache.contents())
+        self._sink = EventSink()
+        self._closed = False
+
+    def price(self, batch: AccessBatch) -> ProtectionTraffic:
+        if len(batch) == 0:
+            return ProtectionTraffic()
+        return self._scheme._price_batch_engine(batch, self._engine,
+                                                self._sink)
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        cache = self._scheme._cache
+        cache.set_contents(self._engine.export_state())
+        cache.stats.add_counts({
+            "hits": self._sink.hits,
+            "misses": self._sink.miss_count,
+            "writebacks": self._sink.writeback_count,
+        })

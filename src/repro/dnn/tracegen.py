@@ -100,23 +100,42 @@ class DnnTraceGenerator:
     def inference(self) -> DnnTrace:
         """Forward-pass trace for one batch."""
         vn_state = DnnVnState()
-        vn_state.ingest_features("input")
-        phases = [self._forward_phase(layer, vn_state) for layer in self.model.layers]
+        phases = list(self.iter_inference(vn_state))
         return DnnTrace(phases=phases, vn_state=vn_state, address_space=self._space)
 
     def training_step(self) -> DnnTrace:
         """One training iteration: forward (features saved) + backward."""
         vn_state = DnnVnState()
+        phases = list(self.iter_training_step(vn_state))
+        return DnnTrace(phases=phases, vn_state=vn_state, address_space=self._space)
+
+    def iter_inference(self, vn_state: DnnVnState | None = None):
+        """Generator form of :meth:`inference`: one phase at a time.
+
+        Yields the exact phases :meth:`inference` would list — streaming
+        consumers (``StreamingTrace``) price each phase as it is built,
+        so the trace never materializes as a whole.
+        """
+        if vn_state is None:
+            vn_state = DnnVnState()
         vn_state.ingest_features("input")
-        phases = [self._forward_phase(layer, vn_state) for layer in self.model.layers]
+        for layer in self.model.layers:
+            yield self._forward_phase(layer, vn_state)
+
+    def iter_training_step(self, vn_state: DnnVnState | None = None):
+        """Generator form of :meth:`training_step` (see `iter_inference`)."""
+        if vn_state is None:
+            vn_state = DnnVnState()
+        vn_state.ingest_features("input")
+        for layer in self.model.layers:
+            yield self._forward_phase(layer, vn_state)
         # Loss gradient seeds the backward pass at the last layer's output.
         last = self.model.layers[-1]
         vn_state.write_gradients(last.name)
         for layer in reversed(self.model.layers):
             phase = self._backward_phase(layer, vn_state)
             if phase is not None:
-                phases.append(phase)
-        return DnnTrace(phases=phases, vn_state=vn_state, address_space=self._space)
+                yield phase
 
     # ------------------------------------------------------------------
     def _forward_phase(self, layer: Layer, vn_state: DnnVnState) -> Phase:

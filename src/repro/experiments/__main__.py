@@ -115,6 +115,13 @@ def cache_main(argv: list[str]) -> int:
         print(f"  queue: {stats['queue_locks']} locks "
               f"({stats['stale_queue_locks']} stale), "
               f"{stats['tmp_files']} tmp files")
+        from repro.core.engine_backend import active_backend, native_error
+
+        backend = active_backend()
+        detail = ""
+        if backend != "native" and os.environ.get("REPRO_ENGINE") != "python":
+            detail = f" ({native_error()})"
+        print(f"  engine: {backend} pricing backend{detail}")
         return 0
 
     if args.command == "gc":
@@ -279,7 +286,8 @@ def main(argv: list[str] | None = None) -> int:
     )
     print(
         f"trace cache: {cache['hits']} hits, {cache['disk_hits']} disk hits, "
-        f"{cache['misses']} misses ({kinds}), {cache['entries']} entries",
+        f"{cache['misses']} misses ({kinds}), {cache['entries']} entries, "
+        f"{cache['engine_backend']} pricing engine",
         file=sys.stderr,
     )
     report = ("\n\n" + "=" * 72 + "\n\n").join(sections)

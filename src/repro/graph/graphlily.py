@@ -263,13 +263,44 @@ class GraphTraceGenerator:
             iterations = max(1, result.iterations)
         return self._run(iterations, sparse_vector=False)
 
+    def default_iterations(self, algorithm: str, source: int = 0) -> int:
+        """The functional iteration count each trace method defaults to.
+
+        Mirrors the defaults of :meth:`pagerank_trace` (20-iteration
+        cap), :meth:`bfs_trace`, :meth:`sssp_trace` (16) and
+        :meth:`spmspv_trace` (4); streaming consumers resolve the count
+        once up front so the phase factory itself stays pure.
+        """
+        if algorithm == "PR":
+            return min(20, pagerank(self.graph, max_iterations=20).iterations)
+        if algorithm == "BFS":
+            return max(1, bfs(self.graph, source).iterations)
+        if algorithm == "SSSP":
+            from repro.graph.algorithms import sssp
+
+            return max(1, sssp(self.graph, source,
+                               max_iterations=16).iterations)
+        if algorithm == "SpMSpV":
+            return 4
+        raise ValueError(f"unknown algorithm {algorithm!r}")
+
     def _run(self, iterations: int, sparse_vector: bool) -> GraphTrace:
-        if iterations < 1:
-            raise ConfigError(f"iterations must be >= 1, got {iterations}")
         vn_state = IterationVnState()
-        phases: list[Phase] = []
-        for _ in range(iterations):
-            phases.extend(self.iteration_phases(vn_state, sparse_vector))
-            vn_state.advance_iteration()
+        phases = list(self.iter_run(iterations, sparse_vector, vn_state))
         return GraphTrace(phases=phases, vn_state=vn_state,
                           address_space=self._space, iterations=iterations)
+
+    def iter_run(self, iterations: int, sparse_vector: bool = False,
+                 vn_state: IterationVnState | None = None):
+        """Generator form of :meth:`_run`: iteration phases on demand.
+
+        Yields exactly the phases the batch form lists; streaming
+        consumers price each iteration's phases as they are built.
+        """
+        if iterations < 1:
+            raise ConfigError(f"iterations must be >= 1, got {iterations}")
+        if vn_state is None:
+            vn_state = IterationVnState()
+        for _ in range(iterations):
+            yield from self.iteration_phases(vn_state, sparse_vector)
+            vn_state.advance_iteration()

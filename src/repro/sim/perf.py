@@ -13,6 +13,7 @@ residual few-percent overhead the paper reports for MGX.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Iterable
 
 from repro.common.errors import ConfigError
 from repro.core.access import AccessBatch, Phase
@@ -109,16 +110,25 @@ class PerformanceModel:
             cycles = max(cycles, crypto_cycles)
         return cycles
 
-    def run(self, phases: list[Phase], scheme: ProtectionScheme,
+    def run(self, phases: Iterable[Phase], scheme: ProtectionScheme,
             keep_phase_results: bool = False,
-            batches: list[AccessBatch] | None = None) -> SimResult:
+            batches: Iterable[AccessBatch] | None = None) -> SimResult:
         """Execute the trace under ``scheme``; returns timing and traffic.
 
         ``batches`` optionally supplies precomputed structure-of-arrays
         views of the phases (one per phase, same order), letting a sweep
         convert the trace once and share the columns across schemes.
+
+        ``phases`` (and ``batches``) may be any iterables, including
+        generators: each phase is priced through the scheme's
+        :class:`~repro.core.schemes.base.PricingSession` as it arrives
+        and then dropped, so a chunk-iterable trace far larger than
+        memory runs in bounded space — byte-identical to the list form,
+        since a session over the stream *is* ``price_trace``.
         """
-        if batches is not None and len(batches) != len(phases):
+        if (batches is not None and isinstance(phases, list)
+                and isinstance(batches, list)
+                and len(batches) != len(phases)):
             raise ConfigError(
                 f"{len(batches)} batches supplied for {len(phases)} phases"
             )
@@ -128,18 +138,24 @@ class PerformanceModel:
         total_cycles = 0.0
         phase_results: list[PhaseResult] = []
         # Whole-trace pricing: stateful cached schemes stream every
-        # phase through their reuse-distance engine in one pass, which
-        # is byte-identical to per-phase pricing but amortizes the LRU
-        # state handling across the trace.
-        if batches is None and scheme.vectorizes:
-            batches = [AccessBatch.from_phase(phase) for phase in phases]
-        traffics = scheme.price_trace(batches) if batches is not None else None
-        for index, phase in enumerate(phases):
-            if traffics is not None:
-                traffic = traffics[index]
+        # phase through their reuse-distance engine in one session,
+        # which is byte-identical to per-phase pricing but amortizes the
+        # LRU state handling across the trace.
+        session = None
+        if batches is not None:
+            session = scheme.pricing_session()
+            pairs = zip(phases, batches)
+        elif scheme.vectorizes:
+            session = scheme.pricing_session()
+            pairs = ((p, AccessBatch.from_phase(p)) for p in phases)
+        else:
+            # Stateful per-access schemes walk accesses anyway; skip the
+            # structure-of-arrays conversion they would discard.
+            pairs = ((p, None) for p in phases)
+        for phase, batch in pairs:
+            if session is not None:
+                traffic = session.price(batch)
             else:
-                # Stateful schemes walk accesses anyway; skip the
-                # structure-of-arrays conversion they would discard.
                 traffic = ProtectionTraffic()
                 for access in phase.accesses:
                     traffic.merge(scheme.process(access))
@@ -150,6 +166,8 @@ class PerformanceModel:
                 phase_results.append(
                     PhaseResult(phase.name, phase.compute_cycles, memory_cycles)
                 )
+        if session is not None:
+            session.close()
         tail = scheme.finish()
         total.merge(tail)
         total_cycles += self._memory_cycles(tail, protected)

@@ -29,7 +29,7 @@ import os
 from collections import Counter, OrderedDict
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Callable, Hashable
+from typing import Callable, Hashable, Iterator
 
 from repro.core.access import AccessBatch, Phase
 from repro.core.schemes import ProtectionScheme, scheme_suite
@@ -75,6 +75,29 @@ class BatchedTrace:
     @property
     def total_accesses(self) -> int:
         return sum(len(batch) for batch in self.batches)
+
+    def iter_phases(self) -> Iterator[Phase]:
+        return iter(self.phases)
+
+
+@dataclass
+class StreamingTrace:
+    """A chunk-iterable trace: phases built on demand, never held whole.
+
+    ``build_phases`` is a *factory* returning a fresh phase iterator —
+    every scheme of a sweep re-iterates the trace from scratch, and the
+    generators are deterministic, so each iteration yields identical
+    phases.  Streaming traces bypass the :class:`TraceCache` (there is
+    nothing bounded to hold) and price through
+    :meth:`~repro.sim.perf.PerformanceModel.run`'s session path, which
+    converts and drops one phase at a time — a trace much larger than
+    memory runs in bounded space, byte-identical to the batched form.
+    """
+
+    build_phases: Callable[[], Iterator[Phase]]
+
+    def iter_phases(self) -> Iterator[Phase]:
+        return self.build_phases()
 
 
 #: Bump when the disk-tier file layout changes (existing spills ignored).
@@ -386,8 +409,8 @@ class TraceCache:
     def __len__(self) -> int:
         return len(self._entries)
 
-    def stats(self) -> dict[str, int]:
-        counters = {
+    def stats(self) -> dict[str, int | str]:
+        counters: dict[str, int | str] = {
             "hits": self.hits,
             "misses": self.misses,
             "disk_hits": self.disk_hits,
@@ -395,6 +418,12 @@ class TraceCache:
         }
         for kind in ARTIFACT_KINDS:
             counters[f"{kind}_misses"] = self.miss_kinds.get(kind, 0)
+        # Which LRU-engine backend priced this run's misses: cached
+        # artifacts are backend-independent (all backends are
+        # byte-identical), but perf numbers are not, so reports carry it.
+        from repro.core.engine_backend import active_backend
+
+        counters["engine_backend"] = active_backend()
         return counters
 
 
@@ -408,7 +437,7 @@ class Workload:
     """A priced-workload bundle: trace columns + the machine to run on."""
 
     label: str
-    trace: BatchedTrace
+    trace: BatchedTrace | StreamingTrace
     protected_bytes: int
     accel_freq_hz: float
     dram_model: DramModel
@@ -480,9 +509,61 @@ def sweep_schemes(
     return sweep
 
 
+def sweep_schemes_streaming(
+    workload: str,
+    trace: StreamingTrace,
+    model: PerformanceModel,
+    protected_bytes: int,
+    schemes: dict[str, ProtectionScheme] | None = None,
+) -> SchemeSweep:
+    """Run every scheme over a chunk-iterable trace, never holding it.
+
+    Each scheme re-iterates the trace from the factory (the generators
+    are deterministic, so all schemes see identical phases) and prices
+    it through :meth:`~repro.sim.perf.PerformanceModel.run`'s session
+    path one phase at a time.  Results are bit-identical to
+    :func:`sweep_schemes` over the materialized phase list.
+    """
+    suite = schemes if schemes is not None else scheme_suite(protected_bytes)
+    names = [name for name in SCHEMES if name in suite]
+    names += [name for name in suite if name not in SCHEMES]
+    sweep = SchemeSweep(workload=workload)
+    for name in names:
+        sweep.results[name] = model.run(trace.iter_phases(), suite[name])
+    return sweep
+
+
 # ---------------------------------------------------------------------------
 # Workload constructors
 # ---------------------------------------------------------------------------
+
+def dnn_workload_streaming(model_name: str, config_name: str = "Cloud",
+                           training: bool = False,
+                           batch: int = 1) -> Workload:
+    """One DNN workload as a chunk-iterable trace (cache bypassed).
+
+    A fresh :class:`~repro.dnn.tracegen.DnnTraceGenerator` per iteration
+    makes the phase stream re-iterable and deterministic, so pricing it
+    matches :func:`dnn_workload`'s batched trace byte for byte while a
+    multi-GB trace never materializes.
+    """
+    config: DnnAcceleratorConfig = CONFIGS[config_name]
+
+    def build_phases() -> Iterator[Phase]:
+        generator = DnnTraceGenerator(build_model(model_name), config,
+                                      batch=batch)
+        if training:
+            return generator.iter_training_step()
+        return generator.iter_inference()
+
+    return Workload(
+        label=dnn_label(model_name, config_name, training),
+        trace=StreamingTrace(build_phases),
+        protected_bytes=config.protected_bytes,
+        accel_freq_hz=config.array.freq_hz,
+        dram_model=DramModel(config.dram),
+    )
+
 
 def dnn_workload(model_name: str, config_name: str = "Cloud",
                  training: bool = False, batch: int = 1,
@@ -505,6 +586,41 @@ def dnn_workload(model_name: str, config_name: str = "Cloud",
         trace=trace,
         protected_bytes=config.protected_bytes,
         accel_freq_hz=config.array.freq_hz,
+        dram_model=DramModel(config.dram),
+    )
+
+
+def graph_workload_streaming(benchmark: str, algorithm: str = "PR",
+                             iterations: int | None = None,
+                             scale_divisor: int = 64,
+                             config: GraphAcceleratorConfig | None = None,
+                             ) -> Workload:
+    """One graph workload as a chunk-iterable trace (cache bypassed).
+
+    The CSR graph and the iteration count (functional run when not
+    given) resolve once up front; the phase factory then replays
+    deterministic per-iteration phases, matching :func:`graph_workload`
+    byte for byte without holding the trace.
+    """
+    config = config or GraphAcceleratorConfig()
+    graph = build_benchmark_graph(benchmark, scale_divisor=scale_divisor)
+    resolved = (
+        iterations if iterations is not None
+        else GraphTraceGenerator(graph, config).default_iterations(algorithm)
+    )
+    if algorithm not in ("PR", "BFS", "SSSP", "SpMSpV"):
+        raise ValueError(f"unknown algorithm {algorithm!r}")
+    sparse_vector = algorithm == "SpMSpV"
+
+    def build_phases() -> Iterator[Phase]:
+        generator = GraphTraceGenerator(graph, config)
+        return generator.iter_run(resolved, sparse_vector)
+
+    return Workload(
+        label=graph_label(benchmark, algorithm),
+        trace=StreamingTrace(build_phases),
+        protected_bytes=config.protected_bytes,
+        accel_freq_hz=config.freq_hz,
         dram_model=DramModel(config.dram),
     )
 

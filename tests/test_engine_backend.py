@@ -1,0 +1,236 @@
+"""Backend selection, tree-geometry encoding, and cross-backend pricing.
+
+``REPRO_ENGINE`` picks which LRU-engine implementation prices the
+cached/tree schemes; every backend must be byte-identical, so the tests
+here pin (a) the selection rules themselves, (b) the
+:class:`TreeGeometry` region tables counter-mode schemes hand the native
+backend, (c) whole-suite pricing equality between forced backends, and
+(d) the closed-form flood-adjacent walk against the probed walk it
+replaces.
+"""
+
+from __future__ import annotations
+
+import pickle
+
+import pytest
+
+import repro.core.engine_backend as engine_backend
+from repro.common.errors import ConfigError
+from repro.core.access import AccessBatch, AccessKind, DataClass, MemAccess
+from repro.core.engine_backend import (
+    TreeGeometry,
+    active_backend,
+    create_engine,
+    native_available,
+    native_error,
+    requested_backend,
+    resolve_backend,
+)
+from repro.core.lru_engine import LruEngine
+from repro.core.schemes import scheme_suite
+from repro.core.schemes.counter_mode import (
+    FINE_MAC_POLICY,
+    CounterModeProtection,
+)
+
+needs_native = pytest.mark.skipif(
+    not native_available(),
+    reason=f"native engine unavailable: {native_error()}",
+)
+
+BACKENDS = ("python",) + (("native",) if native_available() else ())
+
+
+class TestSelection:
+    def test_requested_backend_default_and_forced(self, monkeypatch):
+        monkeypatch.delenv("REPRO_ENGINE", raising=False)
+        assert requested_backend() == "auto"
+        monkeypatch.setenv("REPRO_ENGINE", "python")
+        assert requested_backend() == "python"
+        monkeypatch.setenv("REPRO_ENGINE", " Native ")
+        assert requested_backend() == "native"
+
+    def test_invalid_request_rejected(self, monkeypatch):
+        monkeypatch.setenv("REPRO_ENGINE", "cython")
+        with pytest.raises(ConfigError):
+            requested_backend()
+
+    def test_python_always_resolves(self):
+        assert resolve_backend("python") == "python"
+
+    def test_auto_never_fails(self, monkeypatch):
+        monkeypatch.delenv("REPRO_ENGINE", raising=False)
+        assert resolve_backend() in ("python", "native")
+        assert active_backend() in ("python", "native")
+        if native_available():
+            assert resolve_backend() == "native"
+
+    def test_forced_native_without_compiler_is_config_error(self, monkeypatch):
+        monkeypatch.setattr(engine_backend, "_lib", False)
+        monkeypatch.setattr(engine_backend, "_load_error", "no C compiler")
+        with pytest.raises(ConfigError, match="no C compiler"):
+            resolve_backend("native")
+        # auto degrades gracefully to the reference implementation
+        assert resolve_backend("auto") == "python"
+        assert native_error() == "no C compiler"
+
+    def test_create_engine_python_forced(self):
+        engine = create_engine(8, backend="python",
+                               geometry=TreeGeometry(()))
+        assert isinstance(engine, LruEngine)
+        assert engine.backend_name == "python"
+
+    @needs_native
+    def test_create_engine_native_with_geometry(self):
+        from repro.core.lru_native import NativeLruEngine
+
+        engine = create_engine(8, backend="native", geometry=TreeGeometry(()))
+        assert isinstance(engine, NativeLruEngine)
+        assert engine.backend_name == "native"
+
+    @needs_native
+    def test_callable_parent_without_geometry_pins_python(self):
+        # The C engine cannot call back into Python for parents.
+        engine = create_engine(8, backend="native",
+                               parent_of=lambda address: None)
+        assert isinstance(engine, LruEngine)
+
+
+class TestTreeGeometry:
+    def test_encode_layout(self):
+        table = TreeGeometry(((0, 640, 640, 8), (640, 720, 720, 4)), 64)
+        assert table.encode().tolist() == [2, 0, 640, 640, 8, 640, 720, 720, 4]
+
+    def test_parent_of_outside_regions_is_none(self):
+        table = TreeGeometry(((128, 256, 512, 4),), 64)
+        assert table.parent_of(0) is None
+        assert table.parent_of(256) is None
+        assert table.parent_of(128) == 512
+        assert table.parent_of(192) == 512
+        assert table.parent_of(128 + 4 * 64) is None  # past the region
+
+    def test_scheme_geometry_matches_parent_of(self):
+        """The region table a scheme builds IS its ``_parent_of``."""
+        scheme = CounterModeProtection(
+            "T", vn_onchip=False, mac_policy=FINE_MAC_POLICY,
+            protected_bytes=1 << 20, cache_bytes=32 * 1024,
+        )
+        table = scheme._tree_geometry()
+        top = scheme._tree.level_base(scheme._tree.stored_levels) + \
+            scheme._tree.level_sizes[scheme._tree.stored_levels - 1] * 64
+        for address in range(0, top + 8 * 64, 64):
+            assert table.parent_of(address) == scheme._parent_of(address), \
+                hex(address)
+
+
+def _sequential_trace():
+    """A few batches that exercise runs, walks, chains, and floods."""
+    base = 0
+    accesses = [
+        MemAccess(base, 96 * 1024, AccessKind.READ, DataClass.FEATURE, vn=1),
+        MemAccess(base + 128 * 1024, 8 * 1024, AccessKind.WRITE,
+                  DataClass.FEATURE, vn=2),
+        MemAccess(base, 96 * 1024, AccessKind.READ, DataClass.FEATURE, vn=1),
+        MemAccess(base + 512 * 1024, 256 * 1024, AccessKind.WRITE,
+                  DataClass.WEIGHT, vn=3),
+        MemAccess(base + 64 * 1024, 32 * 1024, AccessKind.READ,
+                  DataClass.FEATURE, vn=2),
+    ]
+    return [AccessBatch.from_accesses(accesses[:2]),
+            AccessBatch.from_accesses(accesses[2:])]
+
+
+@needs_native
+class TestCrossBackendPricing:
+    def test_suite_tables_identical_across_backends(self, monkeypatch):
+        """Every scheme's priced traffic is byte-identical per backend."""
+        batches = _sequential_trace()
+        results = {}
+        for backend in ("python", "native"):
+            monkeypatch.setenv("REPRO_ENGINE", backend)
+            suite = scheme_suite(1 << 20)
+            table = {}
+            for name, scheme in suite.items():
+                traffics = scheme.price_trace(batches)
+                tail = scheme.finish()
+                table[name] = ([t.__dict__ for t in traffics], tail.__dict__)
+                if isinstance(scheme, CounterModeProtection) and \
+                        scheme._cache is not None:
+                    assert scheme.engine_backend == backend
+                    table[name] += (scheme._cache.stats.as_dict(),)
+            results[backend] = table
+        assert results["python"] == results["native"]
+
+    def test_scheme_pickles_without_engine(self, monkeypatch):
+        """Sweep workers pickle schemes; the engine handle must not ride."""
+        monkeypatch.setenv("REPRO_ENGINE", "native")
+        scheme = CounterModeProtection(
+            "T", vn_onchip=False, mac_policy=FINE_MAC_POLICY,
+            protected_bytes=1 << 20, cache_bytes=32 * 1024,
+        )
+        batches = _sequential_trace()
+        first = [t.__dict__ for t in scheme.price_trace(batches)]
+        assert scheme._engine is not None
+        clone = pickle.loads(pickle.dumps(scheme))
+        assert clone._engine is None
+        # The clone carries the cache state and prices the next batches
+        # exactly as the original would.
+        again_orig = [t.__dict__ for t in scheme.price_trace(batches)]
+        again_clone = [t.__dict__ for t in clone.price_trace(batches)]
+        assert again_orig == again_clone
+        assert first  # the warm-up actually priced something
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+class TestClosedFormWalk:
+    def _scheme(self, monkeypatch, backend):
+        monkeypatch.setenv("REPRO_ENGINE", backend)
+        # Eight metadata-cache lines: a ~3 KiB sequential access floods
+        # MAC+VN runs past capacity without either run flooding alone.
+        return CounterModeProtection(
+            "T", vn_onchip=False, mac_policy=FINE_MAC_POLICY,
+            protected_bytes=1 << 20, cache_bytes=8 * 64,
+        )
+
+    def test_flood_adjacent_walk_matches_probed_walk(self, monkeypatch,
+                                                     backend):
+        accesses = [
+            MemAccess(0, 3 * 1024, AccessKind.READ, DataClass.FEATURE, vn=1),
+            MemAccess(8 * 1024, 3 * 1024, AccessKind.READ,
+                      DataClass.FEATURE, vn=1),
+            MemAccess(0, 512, AccessKind.WRITE, DataClass.FEATURE, vn=2),
+            MemAccess(16 * 1024, 2 * 1024, AccessKind.READ,
+                      DataClass.FEATURE, vn=1),
+        ]
+        batches = [AccessBatch.from_accesses(accesses)]
+
+        fast = self._scheme(monkeypatch, backend)
+        flood_calls = []
+        orig_flood = CounterModeProtection._walk_flood
+
+        def spying_flood(self, engine, sink, miss_lines):
+            flood_calls.append(len(miss_lines))
+            return orig_flood(self, engine, sink, miss_lines)
+
+        monkeypatch.setattr(CounterModeProtection, "_walk_flood",
+                            spying_flood)
+        fast_traffic = [t.__dict__ for t in fast.price_trace(batches)]
+        fast_state = fast._cache.contents()
+        fast_stats = fast.stats.as_dict()
+        assert flood_calls, "closed-form walk never engaged"
+
+        probed = self._scheme(monkeypatch, backend)
+        orig_walk = CounterModeProtection._engine_walk
+
+        def never_flood(self, engine, sink, run_misses, flood_run=False,
+                        run_length=0):
+            return orig_walk(self, engine, sink, run_misses,
+                             flood_run=False, run_length=run_length)
+
+        monkeypatch.setattr(CounterModeProtection, "_engine_walk",
+                            never_flood)
+        probed_traffic = [t.__dict__ for t in probed.price_trace(batches)]
+        assert fast_traffic == probed_traffic
+        assert fast_state == probed._cache.contents()
+        assert fast_stats == probed.stats.as_dict()

@@ -10,6 +10,13 @@ chains climb a two- or three-level parent geometry, and set-associative
 organizations — and require identical miss/writeback/parent-miss event
 lists, identical LRU state (order and dirty bits), and identical
 hit/miss/writeback counters after every probe.
+
+Every model test runs once per available *backend* (``python`` always;
+``native`` whenever the compiled engine builds), so the pure-Python
+reference and the C implementation are pinned to the same ground truth
+— and, transitively, to each other.  The tree-parent geometry reaches
+the native backend as a :class:`TreeGeometry` region table, which is
+itself pinned against the callable geometries the Python engine uses.
 """
 
 from __future__ import annotations
@@ -19,7 +26,12 @@ import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.common.errors import ConfigError
-from repro.core.lru_engine import EventSink, LruEngine
+from repro.core.engine_backend import (
+    TreeGeometry,
+    native_available,
+    native_error,
+)
+from repro.core.lru_engine import EventSink, LruEngine, drain_chunks
 from repro.core.metadata_cache import MetadataCache
 
 LINE = 64
@@ -42,6 +54,47 @@ def _parent_three_level(address):
 
 
 GEOMETRIES = {"none": None, "two": _parent_two_level, "three": _parent_three_level}
+
+#: The same geometries as flat region tables — the form the native
+#: backend consumes.  ``test_geometry_tables_match_callables`` pins the
+#: two representations to each other.
+GEOMETRY_TABLES = {
+    "none": TreeGeometry((), LINE),
+    "two": TreeGeometry(((0, 64 * LINE, 64 * LINE, 8),), LINE),
+    "three": TreeGeometry(
+        ((0, 64 * LINE, 64 * LINE, 4), (64 * LINE, 80 * LINE, 80 * LINE, 4)),
+        LINE,
+    ),
+}
+
+#: Engine backends under test: the Python reference always, the compiled
+#: engine whenever a working C toolchain is available.
+BACKENDS = ("python",) + (("native",) if native_available() else ())
+
+needs_native = pytest.mark.skipif(
+    not native_available(),
+    reason=f"native engine unavailable: {native_error()}",
+)
+
+
+def make_engine(backend, capacity, geometry="none", ways=None):
+    """One engine on the requested backend over a named test geometry."""
+    if backend == "native":
+        from repro.core.lru_native import NativeLruEngine
+
+        return NativeLruEngine(capacity, line_bytes=LINE, ways=ways,
+                               geometry=GEOMETRY_TABLES[geometry])
+    return LruEngine(capacity, line_bytes=LINE, ways=ways,
+                     parent_of=GEOMETRIES[geometry])
+
+
+def test_geometry_tables_match_callables():
+    for name, parent_of in GEOMETRIES.items():
+        table = GEOMETRY_TABLES[name]
+        for line in range(120):
+            address = line * LINE
+            expected = parent_of(address) if parent_of else None
+            assert table.parent_of(address) == expected, (name, address)
 
 
 def _drive_reference(cache, start_line, n_lines, dirty, parent_of):
@@ -73,6 +126,7 @@ def _assert_state_equal(engine, cache):
     assert engine.export_state() == reference
 
 
+@pytest.mark.parametrize("backend", BACKENDS)
 class TestModelEquivalence:
     """Randomized streams: engine events/state/stats ≡ sequential walk."""
 
@@ -87,11 +141,11 @@ class TestModelEquivalence:
         geometry=st.sampled_from(sorted(GEOMETRIES)),
     )
     @settings(max_examples=120, deadline=None)
-    def test_probe_stream_matches_access_walk(self, segments, capacity,
-                                              geometry):
+    def test_probe_stream_matches_access_walk(self, backend, segments,
+                                              capacity, geometry):
         parent_of = GEOMETRIES[geometry]
         cache = MetadataCache(capacity * LINE)
-        engine = LruEngine(capacity, parent_of=parent_of)
+        engine = make_engine(backend, capacity, geometry)
         for start, n_lines, dirty in segments:
             expected = _drive_reference(cache, start, n_lines, dirty, parent_of)
             sink = EventSink()
@@ -111,9 +165,9 @@ class TestModelEquivalence:
         ways=st.sampled_from([1, 2, 4]),
     )
     @settings(max_examples=60, deadline=None)
-    def test_set_associative_matches(self, segments, ways):
+    def test_set_associative_matches(self, backend, segments, ways):
         cache = MetadataCache(8 * LINE, ways=ways)
-        engine = LruEngine(8, ways=ways, parent_of=_parent_two_level)
+        engine = make_engine(backend, 8, "two", ways=ways)
         for start, n_lines, dirty in segments:
             expected = _drive_reference(cache, start, n_lines, dirty,
                                         _parent_two_level)
@@ -135,10 +189,10 @@ class TestModelEquivalence:
         ),
     )
     @settings(max_examples=60, deadline=None)
-    def test_sparse_ascending_runs_match(self, runs):
+    def test_sparse_ascending_runs_match(self, backend, runs):
         """Walk-shaped probes: distinct ascending but not consecutive."""
         cache = MetadataCache(4 * LINE)
-        engine = LruEngine(4, parent_of=_parent_two_level)
+        engine = make_engine(backend, 4, "two")
         for lines, dirty in runs:
             ordered = sorted(lines)
             expected_misses, expected_wb, expected_pm = [], [], []
@@ -156,10 +210,10 @@ class TestModelEquivalence:
             assert sink.drain_parent_misses().tolist() == expected_pm
             _assert_state_equal(engine, cache)
 
-    def test_stats_counters_match(self):
+    def test_stats_counters_match(self, backend):
         """hit/miss/writeback counters track the reference exactly."""
         cache = MetadataCache(4 * LINE)
-        engine = LruEngine(4, parent_of=_parent_two_level)
+        engine = make_engine(backend, 4, "two")
         sink = EventSink()
         for start, n_lines, dirty in [(0, 8, True), (2, 6, False),
                                       (60, 10, True), (0, 8, True)]:
@@ -168,6 +222,176 @@ class TestModelEquivalence:
         assert sink.hits == cache.stats.get("hits")
         assert sink.miss_count == cache.stats.get("misses")
         assert sink.writeback_count == cache.stats.get("writebacks")
+
+    def test_forced_flood_runs_match(self, backend):
+        """Cache-sized clean runs: every line misses, residents wash out."""
+        capacity = 4
+        cache = MetadataCache(capacity * LINE)
+        engine = make_engine(backend, capacity, "three")
+        sink = EventSink()
+        # Dirty warm-up, then repeated clean floods over fresh ranges.
+        for start, n_lines, dirty in [(0, 6, True), (0, 16, False),
+                                      (16, 16, False), (0, 32, False)]:
+            expected = _drive_reference(cache, start, n_lines, dirty,
+                                        _parent_three_level)
+            engine.probe_range(start * LINE, n_lines, dirty, sink)
+            assert sink.drain_misses().tolist() == expected[0]
+            assert sink.drain_writebacks().tolist() == expected[1]
+            assert sink.drain_parent_misses().tolist() == expected[2]
+            _assert_state_equal(engine, cache)
+
+    def test_forced_chain_thrash_matches(self, backend):
+        """A write stream larger than a tiny cache: every eviction is a
+        dirty self-conveyor whose chain touches the parent level."""
+        capacity = 8
+        cache = MetadataCache(capacity * LINE)
+        engine = make_engine(backend, capacity, "two")
+        sink = EventSink()
+        for _ in range(4):
+            for start in (0, 24, 48):
+                expected = _drive_reference(cache, start, 16, True,
+                                            _parent_two_level)
+                engine.probe_range(start * LINE, 16, True, sink)
+                assert sink.drain_writebacks().tolist() == expected[1]
+                assert sink.drain_parent_misses().tolist() == expected[2]
+        _assert_state_equal(engine, cache)
+
+
+@needs_native
+class TestBackendParity:
+    """Python and native engines, driven side by side, never diverge."""
+
+    @given(
+        runs=st.lists(
+            st.tuples(
+                st.lists(st.integers(min_value=0, max_value=99),
+                         min_size=1, max_size=20, unique=True),
+                st.booleans(),
+            ),
+            min_size=1, max_size=40,
+        ),
+        capacity=st.sampled_from([2, 4, 8]),
+        geometry=st.sampled_from(sorted(GEOMETRIES)),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_event_and_state_parity(self, runs, capacity, geometry):
+        python = make_engine("python", capacity, geometry)
+        native = make_engine("native", capacity, geometry)
+        for lines, dirty in runs:
+            column = np.array(sorted(lines), dtype=np.int64) * LINE
+            sink_py, sink_nat = EventSink(), EventSink()
+            python.probe_lines(column, dirty, sink_py)
+            native.probe_lines(column, dirty, sink_nat)
+            assert sink_py.drain_misses().tolist() == \
+                sink_nat.drain_misses().tolist()
+            assert sink_py.drain_writebacks().tolist() == \
+                sink_nat.drain_writebacks().tolist()
+            assert sink_py.drain_parent_misses().tolist() == \
+                sink_nat.drain_parent_misses().tolist()
+            assert (sink_py.hits, sink_py.miss_count,
+                    sink_py.writeback_count) == \
+                (sink_nat.hits, sink_nat.miss_count, sink_nat.writeback_count)
+            assert python.export_state() == native.export_state()
+
+    def test_cross_backend_state_round_trip(self):
+        """State exported from one backend loads into the other."""
+        python = make_engine("python", 4, "two")
+        native = make_engine("native", 4, "two")
+        sink = EventSink()
+        python.probe_range(0, 3, True, sink)
+        state = python.export_state()
+        native.load_state([dict(pairs) for pairs in state])
+        assert native.export_state() == state
+        assert len(native) == 3
+        assert native.contains(0) and not native.contains(5 * LINE)
+        assert native.flush().tolist() == [0, LINE, 2 * LINE]
+
+    def test_event_buffer_pause_resume(self):
+        """Runs far larger than the native event buffers stay exact."""
+        capacity = 8
+        python = make_engine("python", capacity, "two")
+        native = make_engine("native", capacity, "two")
+        native._ev_cap = 16  # force many pause/resume round trips
+        lines = np.arange(0, 60, dtype=np.int64) * LINE
+        for dirty in (True, True, False):
+            sink_py, sink_nat = EventSink(), EventSink()
+            python.probe_lines(lines, dirty, sink_py)
+            native.probe_lines(lines, dirty, sink_nat)
+            assert sink_py.drain_misses().tolist() == \
+                sink_nat.drain_misses().tolist()
+            assert sink_py.drain_writebacks().tolist() == \
+                sink_nat.drain_writebacks().tolist()
+            assert sink_py.drain_parent_misses().tolist() == \
+                sink_nat.drain_parent_misses().tolist()
+            assert python.export_state() == native.export_state()
+
+    def test_native_ring_compaction_preserves_state(self):
+        """Drive the native ring far past its slack to force compaction."""
+        capacity = 4
+        cache = MetadataCache(capacity * LINE)
+        engine = make_engine("native", capacity, "two")
+        sink = EventSink()
+        rounds = int(engine._hdr[3]) // 2 + 200  # > ring size touches
+        for round_index in range(rounds):
+            start = (round_index * 3) % 60
+            _drive_reference(cache, start, 4, bool(round_index % 2),
+                             _parent_two_level)
+            engine.probe_range(start * LINE, 4, bool(round_index % 2), sink)
+        _assert_state_equal(engine, cache)
+        assert sink.miss_count == cache.stats.get("misses")
+
+    def test_invalid_configurations_rejected(self):
+        from repro.core.lru_native import NativeLruEngine
+
+        with pytest.raises(ConfigError):
+            NativeLruEngine(0)
+        with pytest.raises(ConfigError):
+            NativeLruEngine(8, ways=3)
+        engine = make_engine("native", 4)
+        with pytest.raises(ConfigError):
+            engine.load_state([{}, {}])  # one set expected
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+class TestClosedFormHooks:
+    """`flood_clean` / `clean_walk_ready` ≡ the probed path they replace."""
+
+    def test_clean_walk_ready(self, backend):
+        engine = make_engine(backend, 4, "two")
+        sink = EventSink()
+        engine.probe_range(0, 3, False, sink)
+        assert engine.clean_walk_ready(64 * LINE)
+        assert not engine.clean_walk_ready(2 * LINE)  # resident >= floor
+        engine.probe_range(0, 1, True, sink)  # dirty resident
+        assert not engine.clean_walk_ready(64 * LINE)
+
+    def test_set_associative_never_ready(self, backend):
+        engine = make_engine(backend, 4, "two", ways=2)
+        assert not engine.clean_walk_ready(64 * LINE)
+
+    @pytest.mark.parametrize("n_lines", [2, 4, 7])
+    def test_flood_clean_matches_probe_lines(self, backend, n_lines):
+        """Bulk replace ≡ probing the same all-miss clean stream."""
+        capacity = 4
+        reference = make_engine(backend, capacity, "two")
+        flooded = make_engine(backend, capacity, "two")
+        warm = EventSink()
+        reference.probe_range(0, 3, False, warm)
+        flooded.probe_range(0, 3, False, warm)
+        lines = (64 + np.arange(n_lines, dtype=np.int64)) * LINE
+        sink_ref, sink_flood = EventSink(), EventSink()
+        miss_ref, miss_flood = [], []
+        reference.probe_lines(lines, False, sink_ref, miss_ref)
+        flooded.flood_clean(lines, sink_flood, miss_flood)
+        assert sink_ref.drain_misses().tolist() == \
+            sink_flood.drain_misses().tolist()
+        assert sink_ref.drain_writebacks().tolist() == \
+            sink_flood.drain_writebacks().tolist()
+        assert sink_ref.miss_count == sink_flood.miss_count
+        assert sink_ref.writeback_count == sink_flood.writeback_count
+        assert drain_chunks(miss_ref).tolist() == \
+            drain_chunks(miss_flood).tolist()
+        assert reference.export_state() == flooded.export_state()
 
 
 class TestBulkMachineryStress:
@@ -201,50 +425,49 @@ class TestBulkMachineryStress:
             assert sink.drain_parent_misses().tolist() == expected[2]
             _assert_state_equal(engine, cache)
 
-    def test_dirty_write_thrash_chains(self):
-        """A write stream larger than a tiny cache: every eviction is a
-        dirty self-conveyor whose chain touches the parent level."""
-        capacity = 8
-        cache = MetadataCache(capacity * LINE)
-        engine = LruEngine(capacity, parent_of=_parent_two_level)
-        sink = EventSink()
-        for _ in range(4):
-            for start in (0, 24, 48):
-                expected = _drive_reference(cache, start, 16, True,
-                                            _parent_two_level)
-                engine.probe_range(start * LINE, 16, True, sink)
-                assert sink.drain_writebacks().tolist() == expected[1]
-                assert sink.drain_parent_misses().tolist() == expected[2]
-        _assert_state_equal(engine, cache)
 
-
+@pytest.mark.parametrize("backend", BACKENDS)
 class TestStateAndSink:
-    def test_state_round_trip(self):
-        engine = LruEngine(4)
+    def test_state_round_trip(self, backend):
+        engine = make_engine(backend, 4)
         sink = EventSink()
         engine.probe_range(0, 3, True, sink)
         state = engine.export_state()
-        other = LruEngine(4)
+        other = make_engine(backend, 4)
         other.load_state([dict(pairs) for pairs in state])
         assert other.export_state() == state
         assert len(other) == 3
         assert other.contains(0) and not other.contains(5 * LINE)
 
-    def test_flush_returns_dirty_in_recency_order(self):
-        engine = LruEngine(4)
+    def test_flush_returns_dirty_in_recency_order(self, backend):
+        engine = make_engine(backend, 4)
         sink = EventSink()
         engine.probe_range(0, 2, True, sink)
         engine.probe_range(2 * LINE, 1, False, sink)
         assert engine.flush().tolist() == [0, LINE]
         assert len(engine) == 0
 
+
+class TestSinkMachinery:
     def test_sink_drain_batches_scalars_and_arrays(self):
         sink = EventSink()
-        sink.misses.append(3)
+        sink.misses.push(3)
         sink.misses.append(np.array([7, 9], dtype=np.int64))
-        sink.misses.append(11)
+        sink.misses.push(11)
+        assert len(sink.misses) == 4
         assert sink.drain_misses().tolist() == [3, 7, 9, 11]
         assert sink.drain_misses().tolist() == []
+
+    def test_sink_scratch_buffer_grows_past_initial_size(self):
+        sink = EventSink()
+        for value in range(1000):
+            sink.misses.push(value)
+        assert sink.drain_misses().tolist() == list(range(1000))
+
+    def test_drain_chunks_handles_mixed_plain_lists(self):
+        chunks = [3, np.array([7, 9], dtype=np.int64), 11]
+        assert drain_chunks(chunks).tolist() == [3, 7, 9, 11]
+        assert drain_chunks([]).tolist() == []
 
     def test_invalid_configurations_rejected(self):
         with pytest.raises(ConfigError):
@@ -260,7 +483,6 @@ class TestStateAndSink:
         capacity = 4
         cache = MetadataCache(capacity * LINE)
         engine = LruEngine(capacity, parent_of=_parent_two_level)
-        engine._RING_SLACK  # attribute exists; compaction path below
         sink = EventSink()
         for round_index in range(3000):
             start = (round_index * 3) % 60
