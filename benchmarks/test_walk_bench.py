@@ -1,0 +1,86 @@
+"""Benchmark: whole-walk call overhead on a deep, hit-heavy tree.
+
+The whole-walk ABI exists to shrink per-level boundary crossings: a
+tree walk used to cost one engine call per level, so deep trees with
+warm (hit-heavy) upper levels were dominated by call overhead rather
+than cache work.  This microbenchmark isolates exactly that shape — a
+six-level tree, warmed once, then thousands of small-seed walks that
+mostly hit at the first level — once per available backend.  Entries
+record their backend in ``extra_info`` so ``bench_trend.py`` (filter
+term: ``walk_``) tracks each implementation separately and treats
+backend changes as record-only.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.engine_backend import TreeGeometry, create_engine, native_available
+from repro.core.lru_engine import EventSink
+
+BACKENDS = ("python",) + (("native",) if native_available() else ())
+
+LINE = 64
+ARITY = 4
+DEPTH = 6
+LEAF_LINES = ARITY**DEPTH  # 4096 leaves, levels of 1024/256/64/16/4 above
+CAPACITY = 8192  # roomy: upper levels stay resident between walks
+
+
+def _deep_geometry() -> TreeGeometry:
+    """A six-level 4:1 tree as a flat region table."""
+    regions = []
+    base = 0
+    size = LEAF_LINES
+    while size > 1:
+        end = base + size * LINE
+        regions.append((base, end, end, ARITY))
+        base, size = end, size // ARITY
+    return TreeGeometry(tuple(regions), LINE)
+
+
+def _make_engine(backend):
+    return create_engine(CAPACITY, geometry=_deep_geometry(), backend=backend)
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_walk_call_overhead(benchmark, backend):
+    """Thousands of small-seed walks on a warm tree: the per-call cost."""
+    benchmark.extra_info["engine_backend"] = backend
+    seeds = [np.array([(i * 19) % LEAF_LINES], dtype=np.int64) * LINE
+             for i in range(2000)]
+
+    def walks():
+        engine = _make_engine(backend)
+        warm = EventSink()
+        # One cold full walk per leaf stride warms every stored level.
+        engine.walk_tree(np.arange(LEAF_LINES, dtype=np.int64) * LINE, warm)
+        sink = EventSink()
+        for seed in seeds:
+            engine.walk_tree(seed, sink)
+        return sink
+
+    sink = benchmark.pedantic(walks, rounds=3, iterations=1, warmup_rounds=1)
+    # Warm tree: the overwhelming share of walk probes hit and stop at
+    # the first level — the benchmark times call overhead, not misses.
+    assert sink.hits > sink.miss_count
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_walk_deep_miss_cascade(benchmark, backend):
+    """Cold cascades: every walk climbs all six levels to the root."""
+    benchmark.extra_info["engine_backend"] = backend
+    lines = np.arange(LEAF_LINES, dtype=np.int64) * LINE
+
+    def cascades():
+        engine = create_engine(LEAF_LINES // 8, geometry=_deep_geometry(),
+                               backend=backend)
+        sink = EventSink()
+        for _ in range(3):
+            engine.walk_tree(lines, sink)
+        return sink
+
+    sink = benchmark.pedantic(cascades, rounds=3, iterations=1,
+                              warmup_rounds=1)
+    assert sink.miss_count > LEAF_LINES // ARITY

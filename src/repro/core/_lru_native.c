@@ -33,6 +33,17 @@
  * buffers fill mid-run the call pauses (between accesses, or mid-chain
  * with the pending victim parked in hdr[8]) so the wrapper can drain and
  * resume with bounded memory.
+ *
+ * lru_probe_range is lru_probe over `n` consecutive lines from `base`
+ * (no line array crosses the boundary).  lru_walk climbs the whole
+ * integrity tree from a wave of missed nodes in one call: each wave
+ * probes the deduped parents of the previous wave's misses clean, so
+ * the walk stops at the first fully-cached level.  lru_runs prices a
+ * whole column of fused MAC/VN runs — per row, the MAC range, the VN
+ * range (collecting its misses as walk seeds), then the walk — with
+ * the same pause/resume protocol; all cursor state lives in
+ * caller-owned state arrays so a paused call resumes exactly where it
+ * left off.
  */
 
 #include <stdint.h>
@@ -250,6 +261,78 @@ static int chain(Eng *g, int64_t *hdr, int64_t victim, int64_t *wb_out,
     }
 }
 
+/* One step of the whole-tree walk (shared by lru_walk and lru_runs).
+ *
+ * `ws` is the walk cursor: [0] index into the current wave, [1] wave
+ * length, [2] entries pushed into `next` so far, [3] seeded flag.
+ * While unseeded, `wave[0..wn)` holds the missed nodes of the level
+ * below (ascending, distinct) and is replaced by their deduped stored
+ * parents without probing — the walk starts one level up.  Each wave
+ * entry is then probed clean; a miss emits an event and pushes its
+ * parent (adjacent-dedup suffices: misses are an ascending subsequence
+ * and the parent mapping is monotone within a level).  When a wave
+ * drains, `next` becomes the wave; an empty `next` means some level
+ * fully hit (or the top stored level was reached) and the walk is done.
+ * Returns 1 on completion, 0 when pausing for full event buffers (a
+ * mid-chain victim parks in hdr[8] as usual). */
+static int walk_tick(Eng *g, int64_t *hdr, int64_t *wave, int64_t *next,
+                     int64_t *ws, int64_t *miss_out, int64_t *wb_out,
+                     int64_t *pm_out, int64_t *fills, int64_t ev_cap) {
+    int64_t i = ws[0], wn = ws[1], nn = ws[2];
+    if (!ws[3]) {
+        nn = 0;
+        for (int64_t k = 0; k < wn; k++) {
+            int64_t p = parent_of(g, wave[k]);
+            if (p != NIL && (nn == 0 || next[nn - 1] != p))
+                next[nn++] = p;
+        }
+        for (int64_t k = 0; k < nn; k++)
+            wave[k] = next[k];
+        wn = nn;
+        nn = 0;
+        i = 0;
+        ws[3] = 1;
+    }
+    for (;;) {
+        while (i < wn) {
+            if (fills[0] >= ev_cap || fills[1] >= ev_cap ||
+                fills[2] >= ev_cap) {
+                ws[0] = i;
+                ws[1] = wn;
+                ws[2] = nn;
+                return 0;
+            }
+            int64_t line = wave[i];
+            int64_t v, e;
+            if (touch(g, set_of(g, line), line, 0, &v, &e)) {
+                hdr[5]++;
+                i++;
+                continue;
+            }
+            hdr[6]++;
+            miss_out[fills[0]++] = line;
+            int64_t p = parent_of(g, line);
+            if (p != NIL && (nn == 0 || next[nn - 1] != p))
+                next[nn++] = p;
+            i++;
+            if (v != NIL &&
+                chain(g, hdr, v, wb_out, pm_out, fills, ev_cap)) {
+                ws[0] = i;
+                ws[1] = wn;
+                ws[2] = nn;
+                return 0;
+            }
+        }
+        if (nn == 0)
+            return 1;
+        for (int64_t k = 0; k < nn; k++)
+            wave[k] = next[k];
+        wn = nn;
+        nn = 0;
+        i = 0;
+    }
+}
+
 static Eng make_eng(int64_t *hdr, int64_t *heads, int64_t *tails,
                     int64_t *counts, int64_t *useds, int64_t *ring_lines,
                     uint8_t *ring_dirty, uint8_t *ring_valid, int64_t *keys,
@@ -311,6 +394,159 @@ int64_t lru_probe(ENG_ARGS, const int64_t *run, int64_t n, int64_t start,
         }
     }
     return n;
+}
+
+/* lru_probe over `n` consecutive lines from `base` (stride line_bytes).
+ * Same contract: returns the first unprocessed index, pausing on full
+ * event buffers with any mid-chain victim parked in hdr[8]. */
+int64_t lru_probe_range(ENG_ARGS, int64_t base, int64_t n, int64_t start,
+                        int64_t dirty, int64_t *miss_out, int64_t *wb_out,
+                        int64_t *pm_out, int64_t *fills, int64_t ev_cap) {
+    Eng g = make_eng(ENG_VALS);
+    int64_t i = start;
+    int64_t pending = hdr[8];
+    hdr[8] = NIL;
+    if (pending != NIL) {
+        if (chain(&g, hdr, pending, wb_out, pm_out, fills, ev_cap))
+            return i;
+    }
+    for (; i < n; i++) {
+        if (fills[0] >= ev_cap || fills[1] >= ev_cap || fills[2] >= ev_cap)
+            return i;
+        int64_t line = base + i * g.line_bytes;
+        int64_t v, e;
+        if (touch(&g, set_of(&g, line), line, (int)dirty, &v, &e)) {
+            hdr[5]++;
+            continue;
+        }
+        hdr[6]++;
+        miss_out[fills[0]++] = line;
+        if (v != NIL) {
+            if (chain(&g, hdr, v, wb_out, pm_out, fills, ev_cap))
+                return i + 1;
+        }
+    }
+    return n;
+}
+
+/* Whole-tree walk from a wave of missed nodes (see walk_tick).  The
+ * caller seeds `wave[0..wstate[1])` with the missed node addresses and
+ * zeroes the rest of `wstate`; `wave`/`next` must each hold at least
+ * that many entries (waves only shrink).  Returns 1 on completion, 0
+ * when pausing for full event buffers. */
+int64_t lru_walk(ENG_ARGS, int64_t *wave, int64_t *next, int64_t *wstate,
+                 int64_t *miss_out, int64_t *wb_out, int64_t *pm_out,
+                 int64_t *fills, int64_t ev_cap) {
+    Eng g = make_eng(ENG_VALS);
+    int64_t pending = hdr[8];
+    hdr[8] = NIL;
+    if (pending != NIL) {
+        if (chain(&g, hdr, pending, wb_out, pm_out, fills, ev_cap))
+            return 0;
+    }
+    return walk_tick(&g, hdr, wave, next, wstate, miss_out, wb_out, pm_out,
+                     fills, ev_cap);
+}
+
+/* Price a column of fused MAC/VN runs in one call.  Row r probes
+ * mac_n[r] consecutive lines from mac_first[r], then vn_n[r] from
+ * vn_first[r] (dirty per dirtyf[r]); when walkf[r], the VN range's
+ * misses seed the integrity-tree walk that follows the row.  `rstate`
+ * is the resume cursor: [0] row, [1] phase (0 MAC range, 1 VN range,
+ * 2 walk), [2] index within the range, [3..6] the walk cursor
+ * (walk_tick's `ws`; [4] doubles as the seed count while the VN range
+ * streams).  Returns 1 when every row is priced, 0 when pausing. */
+int64_t lru_runs(ENG_ARGS, const int64_t *mac_first, const int64_t *mac_n,
+                 const int64_t *vn_first, const int64_t *vn_n,
+                 const uint8_t *dirtyf, const uint8_t *walkf,
+                 int64_t n_runs, int64_t *wave, int64_t *next,
+                 int64_t *rstate, int64_t *miss_out, int64_t *wb_out,
+                 int64_t *pm_out, int64_t *fills, int64_t ev_cap) {
+    Eng g = make_eng(ENG_VALS);
+    int64_t pending = hdr[8];
+    hdr[8] = NIL;
+    if (pending != NIL) {
+        if (chain(&g, hdr, pending, wb_out, pm_out, fills, ev_cap))
+            return 0;
+    }
+    int64_t r = rstate[0], phase = rstate[1], j = rstate[2];
+    for (; r < n_runs; r++, phase = 0, j = 0) {
+        int dirty = (int)dirtyf[r];
+        if (phase == 0) {
+            int64_t cnt = mac_n[r], base = mac_first[r];
+            for (; j < cnt; j++) {
+                if (fills[0] >= ev_cap || fills[1] >= ev_cap ||
+                    fills[2] >= ev_cap) {
+                    rstate[0] = r;
+                    rstate[1] = 0;
+                    rstate[2] = j;
+                    return 0;
+                }
+                int64_t line = base + j * g.line_bytes;
+                int64_t v, e;
+                if (touch(&g, set_of(&g, line), line, dirty, &v, &e)) {
+                    hdr[5]++;
+                    continue;
+                }
+                hdr[6]++;
+                miss_out[fills[0]++] = line;
+                if (v != NIL &&
+                    chain(&g, hdr, v, wb_out, pm_out, fills, ev_cap)) {
+                    rstate[0] = r;
+                    rstate[1] = 0;
+                    rstate[2] = j + 1;
+                    return 0;
+                }
+            }
+            phase = 1;
+            j = 0;
+        }
+        if (phase == 1) {
+            int64_t cnt = vn_n[r], base = vn_first[r];
+            int collect = (int)walkf[r];
+            for (; j < cnt; j++) {
+                if (fills[0] >= ev_cap || fills[1] >= ev_cap ||
+                    fills[2] >= ev_cap) {
+                    rstate[0] = r;
+                    rstate[1] = 1;
+                    rstate[2] = j;
+                    return 0;
+                }
+                int64_t line = base + j * g.line_bytes;
+                int64_t v, e;
+                if (touch(&g, set_of(&g, line), line, dirty, &v, &e)) {
+                    hdr[5]++;
+                    continue;
+                }
+                hdr[6]++;
+                miss_out[fills[0]++] = line;
+                if (collect)
+                    wave[rstate[4]++] = line; /* ascending walk seeds */
+                if (v != NIL &&
+                    chain(&g, hdr, v, wb_out, pm_out, fills, ev_cap)) {
+                    rstate[0] = r;
+                    rstate[1] = 1;
+                    rstate[2] = j + 1;
+                    return 0;
+                }
+            }
+            phase = 2;
+            rstate[3] = rstate[5] = rstate[6] = 0; /* fresh walk cursor */
+        }
+        /* phase == 2: the walk (resumable via rstate[3..6]). */
+        if (walkf[r] && rstate[4] > 0) {
+            if (!walk_tick(&g, hdr, wave, next, rstate + 3, miss_out,
+                           wb_out, pm_out, fills, ev_cap)) {
+                rstate[0] = r;
+                rstate[1] = 2;
+                rstate[2] = 0;
+                return 0;
+            }
+        }
+        rstate[3] = rstate[4] = rstate[5] = rstate[6] = 0;
+    }
+    rstate[0] = n_runs;
+    return 1;
 }
 
 void lru_reset(ENG_ARGS) {

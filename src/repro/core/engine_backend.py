@@ -137,8 +137,15 @@ def _declare(lib) -> None:
     p = ctypes.c_void_p
     i64 = ctypes.c_int64
     state = [p] * 11  # hdr..geom, see ENG_ARGS in _lru_native.c
-    lib.lru_probe.argtypes = state + [p, i64, i64, i64, p, p, p, p, i64]
+    events = [p, p, p, p, i64]  # miss/wb/pm buffers, fills, capacity
+    lib.lru_probe.argtypes = state + [p, i64, i64, i64] + events
     lib.lru_probe.restype = i64
+    lib.lru_probe_range.argtypes = state + [i64, i64, i64, i64] + events
+    lib.lru_probe_range.restype = i64
+    lib.lru_walk.argtypes = state + [p, p, p] + events
+    lib.lru_walk.restype = i64
+    lib.lru_runs.argtypes = state + [p, p, p, p, p, p, i64, p, p, p] + events
+    lib.lru_runs.restype = i64
     lib.lru_reset.argtypes = state
     lib.lru_reset.restype = None
     lib.lru_load.argtypes = state + [p, p, p]
@@ -149,6 +156,32 @@ def _declare(lib) -> None:
     lib.lru_export.restype = i64
     lib.lru_contains.argtypes = state + [i64]
     lib.lru_contains.restype = i64
+
+
+def _load_library():
+    """Compile (or reuse) the cached ``.so`` and bind its symbols.
+
+    A corrupted or truncated artifact in the content-addressed cache —
+    a crashed writer, a bad disk, a stale CI cache entry — fails to
+    ``CDLL`` (or lacks a declared symbol); that single bad file must
+    not disable the backend, so it is deleted and rebuilt from source
+    once before giving up.
+    """
+    import ctypes
+
+    target = _compile_library()
+    try:
+        lib = ctypes.CDLL(str(target))
+        _declare(lib)
+        return lib
+    except (OSError, AttributeError):
+        try:
+            os.unlink(target)
+        except OSError:
+            pass
+        lib = ctypes.CDLL(str(_compile_library()))
+        _declare(lib)
+        return lib
 
 
 def native_library():
@@ -163,11 +196,8 @@ def native_library():
             raise RuntimeError(_load_error or "native engine unavailable")
         return _lib
     try:
-        import ctypes
-
-        lib = ctypes.CDLL(str(_compile_library()))
-        _declare(lib)
-    except (RuntimeError, OSError) as exc:
+        lib = _load_library()
+    except (RuntimeError, OSError, AttributeError) as exc:
         _lib = False
         _load_error = str(exc)
         raise RuntimeError(_load_error) from exc

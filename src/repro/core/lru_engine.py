@@ -57,6 +57,16 @@ _EMPTY = np.empty(0, dtype=np.int64)
 _SCRATCH_MIN = 64
 
 
+def dedup_ascending(values: np.ndarray) -> np.ndarray:
+    """Drop adjacent duplicates of an already-ascending column."""
+    if len(values) <= 1:
+        return values
+    keep = np.empty(len(values), dtype=bool)
+    keep[0] = True
+    np.not_equal(values[1:], values[:-1], out=keep[1:])
+    return values[keep]
+
+
 def drain_chunks(chunks: list) -> np.ndarray:
     """Concatenate a plain chunk list (arrays and/or ints) and reset it.
 
@@ -808,6 +818,128 @@ class LruEngine:
         """Touch ``n_lines`` consecutive lines starting at ``base_line``."""
         lines = base_line + self.line_bytes * np.arange(n_lines, dtype=np.int64)
         self.probe_lines(lines, dirty, sink, miss_sink)
+
+    # -- whole-walk and run-batch entry points --------------------------
+    def _parent_wave(self, lines: np.ndarray) -> np.ndarray:
+        """Deduped stored parents of an ascending node-address column.
+
+        The parent mapping is monotone within a tree level, so adjacent
+        deduplication of the ascending input equals global dedup — one
+        wave is exactly one level's unique touched parents.
+        """
+        if self.parent_of_vec is not None:
+            parents = self.parent_of_vec(lines)
+        elif self.parent_of is None:
+            return _EMPTY
+        else:
+            resolved = [self._parent(line) for line in lines.tolist()]
+            parents = np.array([-1 if p is None else p for p in resolved],
+                               dtype=np.int64)
+        parents = parents[parents != -1]
+        return dedup_ascending(parents)
+
+    def walk_tree(self, seed_lines: np.ndarray, sink: EventSink,
+                  flood: bool = False) -> None:
+        """Climb the integrity tree from missed leaves in one call.
+
+        ``seed_lines`` are the node addresses (distinct, ascending) that
+        missed at the level below.  Each wave probes the deduped stored
+        parents of the previous wave's *misses* clean, so the walk stops
+        at the first fully-cached level and terminates at the top stored
+        level (whose parent is the on-chip root) — event- and
+        state-identical to one ``probe_lines`` call per level over the
+        missed nodes' unique parents.
+
+        ``flood=True`` is the closed form for a flood-adjacent run
+        (caller-checked: the resident set is exactly the run's clean
+        tail below the tree region): no level probe can hit, chain, or
+        stop early, so the waves are pure parent arithmetic and the
+        whole walk is one bulk :meth:`flood_clean` replace.
+        """
+        wave = self._parent_wave(seed_lines)
+        if flood:
+            chunks: list[np.ndarray] = []
+            while len(wave):
+                chunks.append(wave)
+                wave = self._parent_wave(wave)
+            if chunks:
+                self.flood_clean(np.concatenate(chunks), sink)
+            return
+        while len(wave):
+            level_misses: list = []
+            self.probe_lines(wave, False, sink, level_misses)
+            if not level_misses:
+                return
+            wave = self._parent_wave(drain_chunks(level_misses))
+
+    def probe_run_batch(self, mac_first: np.ndarray, mac_count: np.ndarray,
+                        vn_first: np.ndarray, vn_count: np.ndarray,
+                        dirty: np.ndarray, walk: np.ndarray,
+                        sink: EventSink) -> None:
+        """Price a column of fused MAC/VN runs, tree walks included.
+
+        Row ``k`` describes one sequential access: ``mac_count[k]``
+        consecutive MAC lines from address ``mac_first[k]`` fused with
+        ``vn_count[k]`` consecutive VN lines from ``vn_first[k]`` into
+        one ascending run (the VN region sits above the MAC region),
+        probed dirty when ``dirty[k]``; when ``walk[k]``, the run's
+        missed VN lines then climb the tree via :meth:`walk_tree`.
+        Event- and state-identical to probing run by run in row order.
+        """
+        line_bytes = self.line_bytes
+        capacity = self.capacity_lines
+        fully = self.n_sets == 1
+        mac_first_l = mac_first.tolist()
+        mac_count_l = mac_count.tolist()
+        vn_first_l = vn_first.tolist()
+        vn_count_l = vn_count.tolist()
+        dirty_l = np.asarray(dirty, dtype=bool).tolist()
+        walk_l = np.asarray(walk, dtype=bool).tolist()
+        for k in range(len(mac_count_l)):
+            mac_lines = mac_count_l[k]
+            vn_lines = vn_count_l[k]
+            run_dirty = dirty_l[k]
+            if not vn_lines:
+                if mac_lines:
+                    self.probe_range(mac_first_l[k], mac_lines, run_dirty,
+                                     sink)
+                continue
+            run_misses: list | None = [] if walk_l[k] else None
+            n_run = mac_lines + vn_lines
+            writebacks_before = sink.writeback_count
+            if mac_lines:
+                lines = np.empty(n_run, dtype=np.int64)
+                first_line = mac_first_l[k]
+                lines[:mac_lines] = np.arange(
+                    first_line, first_line + mac_lines * line_bytes,
+                    line_bytes, dtype=np.int64,
+                )
+                first_line = vn_first_l[k]
+                lines[mac_lines:] = np.arange(
+                    first_line, first_line + vn_lines * line_bytes,
+                    line_bytes, dtype=np.int64,
+                )
+                self.probe_lines(lines, run_dirty, sink, run_misses)
+            else:
+                self.probe_range(vn_first_l[k], vn_lines, run_dirty, sink,
+                                 run_misses)
+            if run_misses:
+                miss_lines = drain_chunks(run_misses)
+                # Flood-adjacent guard: a clean cache-sized (or larger)
+                # run that missed everywhere and chained nowhere has
+                # displaced the whole resident set with clean run lines
+                # below the tree region, so the walk's outcome is
+                # closed-form (every level misses in full).
+                flood = (
+                    not run_dirty
+                    and fully
+                    and n_run >= capacity
+                    and sink.writeback_count == writebacks_before
+                    and len(miss_lines) == n_run
+                )
+                seeds = miss_lines[miss_lines >= vn_first_l[k]]
+                if len(seeds):
+                    self.walk_tree(seeds, sink, flood=flood)
 
     # -- closed-form flood paths ----------------------------------------
     def clean_walk_ready(self, floor_address: int) -> bool:

@@ -100,9 +100,17 @@ class NativeLruEngine:
                          int(self._pm_buf.ctypes.data),
                          int(self._fills.ctypes.data))
         #: Bound methods/constants hoisted out of the probe hot path —
-        #: the wrapper is called once per walk level, so per-call
-        #: attribute traffic is measurable on cold suite runs.
+        #: per-call attribute traffic is measurable on cold suite runs.
         self._probe = self._lib.lru_probe
+        self._probe_range = self._lib.lru_probe_range
+        self._walk = self._lib.lru_walk
+        self._runs = self._lib.lru_runs
+        #: Walk scratch (wave/next buffers), grown on demand; waves only
+        #: ever shrink, so "holds the seeds" bounds the whole walk.
+        self._wave_buf = np.empty(0, dtype=np.int64)
+        self._next_buf = np.empty(0, dtype=np.int64)
+        self._wstate = np.zeros(4, dtype=np.int64)
+        self._rstate = np.zeros(8, dtype=np.int64)
 
     # -- state import/export -------------------------------------------
     def load_state(self, sets: list) -> None:
@@ -160,6 +168,33 @@ class NativeLruEngine:
         return bool(self._lib.lru_contains(*self._state_args, int(line)))
 
     # -- probing --------------------------------------------------------
+    def _drain_events(self, sink: EventSink,
+                      miss_sink: list | None = None) -> None:
+        """Copy one pause's event chunks out of the C buffers."""
+        n_miss, n_wb, n_pm = self._fills.tolist()
+        if n_miss:
+            chunk = self._miss_buf[:n_miss].copy()
+            sink.misses.append(chunk)
+            if miss_sink is not None:
+                miss_sink.append(chunk)
+        if n_wb:
+            sink.writebacks.append(self._wb_buf[:n_wb].copy())
+        if n_pm:
+            sink.parent_misses.append(self._pm_buf[:n_pm].copy())
+
+    def _apply_counts(self, sink: EventSink, before: list) -> None:
+        """Fold the header counters' delta since ``before`` into the sink."""
+        hits1, misses1, writebacks1 = self._hdr[_H_HITS:_H_PENDING].tolist()
+        sink.hits += hits1 - before[0]
+        sink.miss_count += misses1 - before[1]
+        sink.writeback_count += writebacks1 - before[2]
+
+    def _ensure_scratch(self, n: int) -> None:
+        if len(self._wave_buf) < n:
+            size = _pow2_at_least(n)
+            self._wave_buf = np.empty(size, dtype=np.int64)
+            self._next_buf = np.empty(size, dtype=np.int64)
+
     def probe_lines(self, lines: np.ndarray, dirty: bool, sink: EventSink,
                     miss_sink: list | None = None) -> None:
         """Touch ``lines`` (distinct, ascending) in order, chains included.
@@ -172,7 +207,7 @@ class NativeLruEngine:
             return
         run = np.ascontiguousarray(lines, dtype=np.int64)
         hdr = self._hdr
-        hits0, misses0, writebacks0 = hdr[_H_HITS:_H_PENDING].tolist()
+        before = hdr[_H_HITS:_H_PENDING].tolist()
         fills = self._fills
         probe = self._probe
         run_args = self._state_args + (run.ctypes.data, n)
@@ -182,29 +217,113 @@ class NativeLruEngine:
         while True:
             fills[:] = 0
             index = probe(*run_args, index, dirty_flag, *tail_args)
-            n_miss, n_wb, n_pm = fills.tolist()
-            if n_miss:
-                chunk = self._miss_buf[:n_miss].copy()
-                sink.misses.append(chunk)
-                if miss_sink is not None:
-                    miss_sink.append(chunk)
-            if n_wb:
-                sink.writebacks.append(self._wb_buf[:n_wb].copy())
-            if n_pm:
-                sink.parent_misses.append(self._pm_buf[:n_pm].copy())
+            self._drain_events(sink, miss_sink)
             if index >= n and hdr[_H_PENDING] == _NIL:
                 break
-        hits1, misses1, writebacks1 = hdr[_H_HITS:_H_PENDING].tolist()
-        sink.hits += hits1 - hits0
-        sink.miss_count += misses1 - misses0
-        sink.writeback_count += writebacks1 - writebacks0
+        self._apply_counts(sink, before)
 
     def probe_range(self, base_line: int, n_lines: int, dirty: bool,
                     sink: EventSink, miss_sink: list | None = None) -> None:
-        """Touch ``n_lines`` consecutive lines starting at ``base_line``."""
-        lines = base_line + self.line_bytes * np.arange(n_lines,
-                                                        dtype=np.int64)
-        self.probe_lines(lines, dirty, sink, miss_sink)
+        """Touch ``n_lines`` consecutive lines starting at ``base_line``.
+
+        Runs entirely inside the library (``lru_probe_range``): no line
+        array is materialized on either side of the boundary.
+        """
+        if n_lines <= 0:
+            return
+        hdr = self._hdr
+        before = hdr[_H_HITS:_H_PENDING].tolist()
+        fills = self._fills
+        probe = self._probe_range
+        run_args = self._state_args + (int(base_line), int(n_lines))
+        tail_args = self._ev_args + (self._ev_cap,)
+        dirty_flag = 1 if dirty else 0
+        index = 0
+        while True:
+            fills[:] = 0
+            index = probe(*run_args, index, dirty_flag, *tail_args)
+            self._drain_events(sink, miss_sink)
+            if index >= n_lines and hdr[_H_PENDING] == _NIL:
+                break
+        self._apply_counts(sink, before)
+
+    # -- whole-walk and run-batch entry points --------------------------
+    def walk_tree(self, seed_lines: np.ndarray, sink: EventSink,
+                  flood: bool = False) -> None:
+        """Climb the integrity tree from missed leaves in one call.
+
+        Event- and state-identical to the Python engine's
+        :meth:`~repro.core.lru_engine.LruEngine.walk_tree`; ``flood``
+        needs no special path here — the compiled per-level probe *is*
+        the bulk replace — so both flavours share ``lru_walk``.
+        """
+        n = len(seed_lines)
+        if n == 0:
+            return
+        self._ensure_scratch(n)
+        wave = self._wave_buf
+        wave[:n] = seed_lines
+        wstate = self._wstate
+        wstate[:] = 0
+        wstate[1] = n
+        hdr = self._hdr
+        before = hdr[_H_HITS:_H_PENDING].tolist()
+        fills = self._fills
+        walk = self._walk
+        walk_args = self._state_args + (
+            wave.ctypes.data, self._next_buf.ctypes.data, wstate.ctypes.data,
+        )
+        tail_args = self._ev_args + (self._ev_cap,)
+        while True:
+            fills[:] = 0
+            done = walk(*walk_args, *tail_args)
+            self._drain_events(sink)
+            if done:
+                break
+        self._apply_counts(sink, before)
+
+    def probe_run_batch(self, mac_first: np.ndarray, mac_count: np.ndarray,
+                        vn_first: np.ndarray, vn_count: np.ndarray,
+                        dirty: np.ndarray, walk: np.ndarray,
+                        sink: EventSink) -> None:
+        """Price a column of fused MAC/VN runs, tree walks included.
+
+        One ``lru_runs`` call per batch (plus pause/resume round trips):
+        the run columns cross the boundary once, and every probe, chain
+        and walk of every row happens inside the library.  Event- and
+        state-identical to the Python engine's ``probe_run_batch``.
+        """
+        n_runs = len(mac_count)
+        if n_runs == 0:
+            return
+        mac_first = np.ascontiguousarray(mac_first, dtype=np.int64)
+        mac_count = np.ascontiguousarray(mac_count, dtype=np.int64)
+        vn_first = np.ascontiguousarray(vn_first, dtype=np.int64)
+        vn_count = np.ascontiguousarray(vn_count, dtype=np.int64)
+        dirty8 = np.ascontiguousarray(dirty, dtype=np.uint8)
+        walk8 = np.ascontiguousarray(walk, dtype=np.uint8)
+        self._ensure_scratch(max(1, int(vn_count.max())))
+        rstate = self._rstate
+        rstate[:] = 0
+        hdr = self._hdr
+        before = hdr[_H_HITS:_H_PENDING].tolist()
+        fills = self._fills
+        runs = self._runs
+        run_args = self._state_args + (
+            mac_first.ctypes.data, mac_count.ctypes.data,
+            vn_first.ctypes.data, vn_count.ctypes.data,
+            dirty8.ctypes.data, walk8.ctypes.data, n_runs,
+            self._wave_buf.ctypes.data, self._next_buf.ctypes.data,
+            rstate.ctypes.data,
+        )
+        tail_args = self._ev_args + (self._ev_cap,)
+        while True:
+            fills[:] = 0
+            done = runs(*run_args, *tail_args)
+            self._drain_events(sink)
+            if done:
+                break
+        self._apply_counts(sink, before)
 
     # -- closed-form hooks ----------------------------------------------
     def clean_walk_ready(self, floor_address: int) -> bool:

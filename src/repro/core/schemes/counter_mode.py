@@ -66,7 +66,7 @@ from repro.common.stats import StatsGroup
 from repro.common.units import CACHE_BLOCK, ceil_div, round_up
 from repro.core.access import DATA_CLASSES, AccessBatch, DataClass, MemAccess
 from repro.core.engine_backend import TreeGeometry, create_engine
-from repro.core.lru_engine import EventSink, LruEngine, drain_chunks
+from repro.core.lru_engine import EventSink, LruEngine
 from repro.core.merkle import TreeLayout
 from repro.core.metadata_cache import MetadataCache
 from repro.core.schemes.base import (
@@ -149,6 +149,7 @@ class CounterModeProtection(ProtectionScheme):
         protected_bytes: int,
         cache_bytes: int = 0,
         tree_arity: int = 8,
+        cache_ways: int | None = None,
     ) -> None:
         if protected_bytes <= 0:
             raise ConfigError("protected_bytes must be positive")
@@ -159,6 +160,7 @@ class CounterModeProtection(ProtectionScheme):
         self.mac_policy = mac_policy
         self.protected_bytes = protected_bytes
         self.cache_bytes = cache_bytes
+        self.cache_ways = cache_ways
         self.stats = StatsGroup(name)
 
         # ---- metadata address layout -------------------------------------
@@ -174,27 +176,35 @@ class CounterModeProtection(ProtectionScheme):
             if not vn_onchip
             else None
         )
-        self._cache = MetadataCache(cache_bytes) if cache_bytes else None
+        self._cache = (
+            MetadataCache(cache_bytes, ways=cache_ways) if cache_bytes
+            else None
+        )
         #: Reuse-distance engine for batched pricing; created lazily on
         #: the ``REPRO_ENGINE``-selected backend and kept across resets
         #: (its tree-parent tables depend only on the metadata layout,
         #: which is fixed per scheme instance).
         self._engine = None
+        #: Compiled region table for the engine, memoized alongside it.
+        self._geometry_memo = None
         self._finished = False
 
     def __getstate__(self) -> dict:
         # The engine is a pure cache-state accelerator (the durable LRU
         # state lives in ``_cache``) and the native backend holds ctypes
-        # handles, so pickling to sweep workers drops it; it is rebuilt
-        # lazily on first use in the worker.
+        # handles, so pickling to sweep workers drops it — along with
+        # the compiled geometry table it was built from; both are
+        # rebuilt lazily on first use in the worker.
         state = self.__dict__.copy()
         state["_engine"] = None
+        state["_geometry_memo"] = None
         return state
 
     # ------------------------------------------------------------------
     def reset(self) -> None:
         if self._cache is not None:
-            self._cache = MetadataCache(self.cache_bytes)
+            self._cache = MetadataCache(self.cache_bytes,
+                                        ways=self.cache_ways)
         self.stats.reset()
         self._finished = False
 
@@ -469,8 +479,13 @@ class CounterModeProtection(ProtectionScheme):
         Encodes exactly :meth:`_parent_of`: the VN region maps to
         level-1 tree nodes, each stored level below the top to the next,
         and MAC lines / the top stored level (whose parent is the
-        on-chip root) fall in no region.
+        on-chip root) fall in no region.  Memoized per scheme instance
+        (and dropped from pickles like ``_engine``), so repeated
+        ``pricing_session()`` opens stop rebuilding it.
         """
+        memo = getattr(self, "_geometry_memo", None)
+        if memo is not None:
+            return memo
         regions: list[tuple[int, int, int, int]] = []
         tree = self._tree
         if tree is not None and tree.stored_levels >= 1:
@@ -481,7 +496,9 @@ class CounterModeProtection(ProtectionScheme):
                 end = base + tree.level_sizes[level - 1] * CACHE_BLOCK
                 regions.append((base, end, tree.level_base(level + 1),
                                 tree.arity))
-        return TreeGeometry(tuple(regions), CACHE_BLOCK)
+        memo = TreeGeometry(tuple(regions), CACHE_BLOCK)
+        self._geometry_memo = memo
+        return memo
 
     def _parent_of_vec(self, lines: np.ndarray) -> np.ndarray:
         """Vectorized :meth:`_parent_of` over a line-address column.
@@ -570,84 +587,75 @@ class CounterModeProtection(ProtectionScheme):
         Each sequential access contributes one run of MAC lines (unless
         its class is per-access) and, under stored VNs, one run of VN
         lines followed by the integrity-tree walk of its missed leaves —
-        in batch order, exactly as the per-access walk would.
+        in batch order, exactly as the per-access walk would.  The runs
+        are packed as columns (first line, length, dirty, walk flag) and
+        handed to the engine in one :meth:`LruEngine.probe_run_batch`
+        call, so pricing a batch is O(1) boundary crossings; only rows
+        whose runs are at least cache-sized take the closed-form flood
+        path here (flush + arithmetic), splitting the batch around them.
         """
         capacity = self._cache.capacity_lines
-        per_access = cols.per_access[seq_index].tolist()
-        writes = cols.is_write[seq_index].tolist()
-        mac_first = (
-            (self._mac_base + cols.first * ENTRY_BYTES) // CACHE_BLOCK
-        )[seq_index].tolist()
-        mac_last = (
-            (self._mac_base + cols.last * ENTRY_BYTES) // CACHE_BLOCK
-        )[seq_index].tolist()
+        line_bytes = CACHE_BLOCK
+        n = len(seq_index)
+        first_idx = (self._mac_base + cols.first * ENTRY_BYTES) // line_bytes
+        last_idx = (self._mac_base + cols.last * ENTRY_BYTES) // line_bytes
+        mac_count = np.where(cols.per_access, 0,
+                             last_idx - first_idx + 1)[seq_index]
+        mac_first = first_idx[seq_index] * line_bytes
         stored = not self.vn_onchip
         if stored:
-            vn_first = (
-                (batch.address // CACHE_BLOCK) // _ENTRIES_PER_LINE
-            )[seq_index].tolist()
-            vn_last = (
-                ((cols.end - 1) // CACHE_BLOCK) // _ENTRIES_PER_LINE
-            )[seq_index].tolist()
-        line_bytes = CACHE_BLOCK
-        for k in range(len(seq_index)):
-            dirty = writes[k]
-            mac_lines = 0 if per_access[k] else mac_last[k] - mac_first[k] + 1
-            vn_lines = (vn_last[k] - vn_first[k] + 1) if stored else 0
+            vn_first_idx = (
+                (batch.address // line_bytes) // _ENTRIES_PER_LINE
+            )[seq_index]
+            vn_last_idx = (
+                ((cols.end - 1) // line_bytes) // _ENTRIES_PER_LINE
+            )[seq_index]
+            vn_count = vn_last_idx - vn_first_idx + 1
+            vn_first = self._vn_base + vn_first_idx * line_bytes
+            walk = np.ones(n, dtype=bool)
+        else:
+            vn_count = np.zeros(n, dtype=np.int64)
+            vn_first = np.zeros(n, dtype=np.int64)
+            walk = np.zeros(n, dtype=bool)
+        dirty = cols.is_write[seq_index]
+        flood_rows = (mac_count >= capacity) | (vn_count >= capacity)
+        if not flood_rows.any():
+            engine.probe_run_batch(mac_first, mac_count, vn_first, vn_count,
+                                   dirty, walk, sink)
+            return
+        start = 0
+        for row in np.nonzero(flood_rows)[0].tolist():
+            if row > start:
+                sub = slice(start, row)
+                engine.probe_run_batch(mac_first[sub], mac_count[sub],
+                                       vn_first[sub], vn_count[sub],
+                                       dirty[sub], walk[sub], sink)
+            mac_lines = int(mac_count[row])
+            vn_lines = int(vn_count[row])
+            row_dirty = bool(dirty[row])
             if mac_lines >= capacity:
-                self._engine_flood(engine, sink, traffic, mac_lines, dirty,
-                                   vn_kind=False)
+                self._engine_flood(engine, sink, traffic, mac_lines,
+                                   row_dirty, vn_kind=False)
                 mac_lines = 0
             if vn_lines >= capacity:
                 if mac_lines:
-                    engine.probe_range(mac_first[k] * line_bytes, mac_lines,
-                                       dirty, sink)
-                self._engine_flood(engine, sink, traffic, vn_lines, dirty,
-                                   vn_kind=True)
-                continue
-            if not vn_lines:
-                if mac_lines:
-                    engine.probe_range(mac_first[k] * line_bytes, mac_lines,
-                                       dirty, sink)
-                continue
-            # The access's MAC lines and VN lines form one ascending run
-            # (the VN region sits above the MAC region), so both probe —
-            # chains interleaved exactly as two back-to-back runs — in a
-            # single engine call; the walk filters out the VN misses.
-            run_misses: list = []
-            n_run = mac_lines + vn_lines
-            writebacks_before = sink.writeback_count
-            if mac_lines:
-                lines = np.empty(n_run, dtype=np.int64)
-                first_line = mac_first[k] * line_bytes
-                lines[:mac_lines] = np.arange(
-                    first_line, first_line + mac_lines * line_bytes,
-                    line_bytes, dtype=np.int64,
-                )
-                first_line = self._vn_base + vn_first[k] * line_bytes
-                lines[mac_lines:] = np.arange(
-                    first_line, first_line + vn_lines * line_bytes,
-                    line_bytes, dtype=np.int64,
-                )
-                engine.probe_lines(lines, dirty, sink, run_misses)
-            else:
-                engine.probe_range(self._vn_base + vn_first[k] * line_bytes,
-                                   vn_lines, dirty, sink, run_misses)
-            if run_misses:
-                # Flood-adjacent guard: a clean cache-sized (or larger)
-                # run that missed everywhere and chained nowhere has
-                # displaced the whole resident set with clean sub-tree
-                # lines, so the walk's outcome is closed-form (every
-                # level misses in full) — checked O(1) here, confirmed
-                # against the drained miss count inside the walk.
-                flood_run = (
-                    not dirty
-                    and n_run >= capacity
-                    and engine.n_sets == 1
-                    and sink.writeback_count == writebacks_before
-                )
-                self._engine_walk(engine, sink, run_misses,
-                                  flood_run=flood_run, run_length=n_run)
+                    engine.probe_range(int(mac_first[row]), mac_lines,
+                                       row_dirty, sink)
+                self._engine_flood(engine, sink, traffic, vn_lines,
+                                   row_dirty, vn_kind=True)
+            elif vn_lines:
+                # MAC run flooded, the VN run (and its walk) still probes.
+                sub = slice(row, row + 1)
+                engine.probe_run_batch(np.zeros(1, dtype=np.int64),
+                                       np.zeros(1, dtype=np.int64),
+                                       vn_first[sub], vn_count[sub],
+                                       dirty[sub], walk[sub], sink)
+            start = row + 1
+        if start < n:
+            sub = slice(start, n)
+            engine.probe_run_batch(mac_first[sub], mac_count[sub],
+                                   vn_first[sub], vn_count[sub],
+                                   dirty[sub], walk[sub], sink)
 
     def _engine_flood(self, engine: LruEngine, sink: EventSink,
                       traffic: ProtectionTraffic, n_lines: int, writes: bool,
@@ -678,67 +686,6 @@ class CounterModeProtection(ProtectionScheme):
                 break
         factor = 2 if writes else 1
         traffic.tree_seq += factor * tree_nodes * CACHE_BLOCK
-
-    def _engine_walk(self, engine: LruEngine, sink: EventSink,
-                     run_misses: list, flood_run: bool = False,
-                     run_length: int = 0) -> None:
-        """Vectorized Bonsai walk: verify missed VN lines level by level.
-
-        Contiguous leaves share ancestors, so each level touches the
-        *unique* parents of the nodes that missed below it (ascending,
-        one :meth:`LruEngine.probe_lines` call per level) and the walk
-        stops at the first fully-cached level — exactly
-        :meth:`_walk_tree`, without the per-node Python walk.
-
-        When the triggering run was flood-adjacent (``flood_run`` and
-        every one of its ``run_length`` lines missed), the resident set
-        is exactly the run's clean tail below the tree region, so every
-        level probe is an all-miss clean conveyor: the walk collapses to
-        parent arithmetic on the level geometry plus one bulk
-        :meth:`LruEngine.flood_clean` replace — event- and
-        state-identical to the probed walk.
-        """
-        assert self._tree is not None
-        tree = self._tree
-        miss_lines = drain_chunks(run_misses)
-        if flood_run and len(miss_lines) == run_length:
-            self._walk_flood(engine, sink, miss_lines)
-            return
-        # Fused runs collect MAC misses too; only VN leaves walk.
-        miss_lines = miss_lines[miss_lines >= self._vn_base]
-        if not len(miss_lines):
-            return
-        pending = (miss_lines - self._vn_base) // CACHE_BLOCK
-        for level in range(1, tree.stored_levels + 1):
-            parents = _dedup_ascending(pending // tree.arity)
-            addresses = tree.node_addresses(level, parents)
-            level_misses: list = []
-            engine.probe_lines(addresses, False, sink, level_misses)
-            if not level_misses:
-                break
-            missed = drain_chunks(level_misses)
-            pending = (missed - tree.level_base(level)) // CACHE_BLOCK
-
-    def _walk_flood(self, engine: LruEngine, sink: EventSink,
-                    miss_lines: np.ndarray) -> None:
-        """Closed-form walk for a flood-adjacent run (see `_engine_walk`).
-
-        All residents sit below the tree region and are clean, so no
-        level probe can hit, chain, or stop early: each level's touched
-        nodes are just the deduped parents of the level below, and the
-        whole walk is one ascending clean all-miss stream.
-        """
-        tree = self._tree
-        miss_lines = miss_lines[miss_lines >= self._vn_base]
-        if not len(miss_lines):
-            return
-        pending = (miss_lines - self._vn_base) // CACHE_BLOCK
-        chunks = []
-        for level in range(1, tree.stored_levels + 1):
-            pending = _dedup_ascending(pending // tree.arity)
-            chunks.append(tree.node_addresses(level, pending))
-        if chunks:
-            engine.flood_clean(np.concatenate(chunks), sink)
 
     def _route_events(self, sink: EventSink, traffic: ProtectionTraffic) -> None:
         """Bulk-route the engine's events into the traffic buckets.
@@ -1141,16 +1088,6 @@ class _BatchColumns:
     n_bursts: np.ndarray
     gather_mac: np.ndarray  # per-burst MAC line fetches of a gather
     data: np.ndarray  # payload + verification read amplification
-
-
-def _dedup_ascending(values: np.ndarray) -> np.ndarray:
-    """Drop adjacent duplicates of an already-ascending index column."""
-    if len(values) <= 1:
-        return values
-    keep = np.empty(len(values), dtype=bool)
-    keep[0] = True
-    np.not_equal(values[1:], values[:-1], out=keep[1:])
-    return values[keep]
 
 
 class _EngineSession(PricingSession):

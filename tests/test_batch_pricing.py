@@ -205,6 +205,38 @@ class TestBatchPricingEquivalence:
         actual = _price_batched(make(), AccessBatch.from_accesses(accesses))
         assert astuple(actual) == astuple(expected)
 
+    @pytest.mark.parametrize("seed", range(4))
+    @pytest.mark.parametrize("ways", [2, 4])
+    def test_set_associative_caches_price_on_the_engine(self, seed, ways):
+        """Set-associative configs ride the engine (native when built —
+        no scalar fallback) and still match per-access pricing."""
+        from repro.core.engine_backend import active_backend
+        from repro.core.schemes.counter_mode import (
+            FINE_MAC_POLICY,
+            CounterModeProtection,
+        )
+
+        def make():
+            return CounterModeProtection(
+                name="assoc",
+                vn_onchip=False,
+                mac_policy=FINE_MAC_POLICY,
+                protected_bytes=_PROTECTED,
+                cache_bytes=32 * 1024,
+                cache_ways=ways,
+            )
+
+        accesses = _random_accesses(seed, n=80)
+        batched = make()
+        expected = _price_per_access(make(), accesses)
+        actual = _price_batched(batched, AccessBatch.from_accesses(accesses))
+        assert astuple(actual) == astuple(expected)
+        assert batched.cache.ways == ways
+        # Whatever backend is active prices the set-associative config:
+        # native when the compiled engine is available, never a scalar
+        # per-access fallback.
+        assert batched.engine_backend == active_backend()
+
     @pytest.mark.parametrize("name", ["BP", "MGX_MAC"])
     def test_cached_schemes_on_dnn_trace(self, name):
         """Per-acceptance: BP and MGX_MAC pinned on a real DNN trace."""

@@ -120,6 +120,48 @@ def _drive_reference(cache, start_line, n_lines, dirty, parent_of):
     return misses, writebacks, parent_misses
 
 
+def _drive_reference_runs(cache, rows, parent_of):
+    """Ground truth for ``probe_run_batch``: per row, access the MAC
+    range then the VN range per line, then climb the tree level by
+    level from the row's missed VN lines (deduped parents, probed
+    clean, chains followed) until a level fully hits."""
+    misses, writebacks, parent_misses = [], [], []
+    for mac_first, mac_n, vn_first, vn_n, dirty, walk in rows:
+        row_misses = []
+        for first, count in ((mac_first, mac_n), (vn_first, vn_n)):
+            m, w, p = _drive_reference(cache, first // LINE, count, dirty,
+                                       parent_of)
+            row_misses += m
+            misses += m
+            writebacks += w
+            parent_misses += p
+        if not walk:
+            continue
+        wave = [line for line in row_misses if line >= vn_first]
+        while wave:
+            parents = []
+            for line in wave:
+                parent = parent_of(line) if parent_of else None
+                if parent is not None and \
+                        (not parents or parents[-1] != parent):
+                    parents.append(parent)
+            wave = []
+            for line in parents:
+                m, w, p = _drive_reference(cache, line // LINE, 1, False,
+                                           parent_of)
+                misses += m
+                writebacks += w
+                parent_misses += p
+                wave += m
+    return misses, writebacks, parent_misses
+
+
+def _run_batch_columns(rows):
+    columns = np.array(rows, dtype=np.int64).reshape(-1, 6).T
+    return (columns[0], columns[1], columns[2], columns[3],
+            columns[4].astype(bool), columns[5].astype(bool))
+
+
 def _assert_state_equal(engine, cache):
     reference = [[(line, bool(dirty)) for line, dirty in lines.items()]
                  for lines in cache.contents()]
@@ -177,6 +219,76 @@ class TestModelEquivalence:
             assert sink.drain_writebacks().tolist() == expected[1]
             assert sink.drain_parent_misses().tolist() == expected[2]
             _assert_state_equal(engine, cache)
+
+    @given(
+        rows=st.lists(
+            st.tuples(st.integers(min_value=0, max_value=8),
+                      st.integers(min_value=0, max_value=6),
+                      st.integers(min_value=16, max_value=40),
+                      st.integers(min_value=1, max_value=10),
+                      st.booleans(),
+                      st.booleans()),
+            min_size=1, max_size=25,
+        ),
+        capacity=st.sampled_from([2, 4, 8]),
+        ways=st.sampled_from([0, 1, 2]),
+        geometry=st.sampled_from(sorted(GEOMETRIES)),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_run_batch_matches_access_walk(self, backend, rows, capacity,
+                                           ways, geometry):
+        """Whole batches of fused MAC/VN runs with tree walks ≡ the
+        per-line walk, across geometries and set organizations."""
+        parent_of = GEOMETRIES[geometry]
+        ways = ways or None
+        cache = MetadataCache(capacity * LINE, ways=ways)
+        engine = make_engine(backend, capacity, geometry, ways=ways)
+        byte_rows = [(mac_start * LINE, mac_n, vn_start * LINE, vn_n,
+                      dirty, walk)
+                     for mac_start, mac_n, vn_start, vn_n, dirty, walk
+                     in rows]
+        expected = _drive_reference_runs(cache, byte_rows, parent_of)
+        sink = EventSink()
+        engine.probe_run_batch(*_run_batch_columns(byte_rows), sink)
+        assert sink.drain_misses().tolist() == expected[0]
+        assert sink.drain_writebacks().tolist() == expected[1]
+        assert sink.drain_parent_misses().tolist() == expected[2]
+        assert (sink.hits, sink.miss_count, sink.writeback_count) == \
+            (cache.stats.get("hits"), cache.stats.get("misses"),
+             cache.stats.get("writebacks"))
+        _assert_state_equal(engine, cache)
+
+    @given(
+        rows=st.lists(
+            st.tuples(st.integers(min_value=0, max_value=4),
+                      st.integers(min_value=0, max_value=4),
+                      st.integers(min_value=8, max_value=30),
+                      st.integers(min_value=1, max_value=8),
+                      st.booleans(),
+                      st.booleans()),
+            min_size=1, max_size=20,
+        ),
+        ways=st.sampled_from([1, 2, 4]),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_set_associative_run_batches_match(self, backend, rows, ways):
+        """Set-associative run batches stay native — no scalar-path
+        fallback — and still track the reference walk exactly."""
+        cache = MetadataCache(8 * LINE, ways=ways)
+        engine = make_engine(backend, 8, "two", ways=ways)
+        assert engine.backend_name == backend
+        byte_rows = [(mac_start * LINE, mac_n, vn_start * LINE, vn_n,
+                      dirty, walk)
+                     for mac_start, mac_n, vn_start, vn_n, dirty, walk
+                     in rows]
+        expected = _drive_reference_runs(cache, byte_rows,
+                                         _parent_two_level)
+        sink = EventSink()
+        engine.probe_run_batch(*_run_batch_columns(byte_rows), sink)
+        assert sink.drain_misses().tolist() == expected[0]
+        assert sink.drain_writebacks().tolist() == expected[1]
+        assert sink.drain_parent_misses().tolist() == expected[2]
+        _assert_state_equal(engine, cache)
 
     @given(
         runs=st.lists(
@@ -325,6 +437,34 @@ class TestBackendParity:
                 sink_nat.drain_parent_misses().tolist()
             assert python.export_state() == native.export_state()
 
+    def test_run_batch_pause_resume(self):
+        """Run batches far larger than the native event buffers pause,
+        drain, and resume mid-row without losing a single event."""
+        capacity = 8
+        python = make_engine("python", capacity, "three")
+        native = make_engine("native", capacity, "three")
+        native._ev_cap = 16  # force pauses inside probes AND walks
+        rows = []
+        for round_index in range(6):
+            mac_start = (round_index * 3) % 8
+            vn_start = 16 + (round_index * 7) % 24
+            rows.append((mac_start * LINE, 6, vn_start * LINE, 10,
+                         round_index % 2 == 0, True))
+        columns = _run_batch_columns(rows)
+        sink_py, sink_nat = EventSink(), EventSink()
+        python.probe_run_batch(*columns, sink_py)
+        native.probe_run_batch(*columns, sink_nat)
+        assert sink_py.drain_misses().tolist() == \
+            sink_nat.drain_misses().tolist()
+        assert sink_py.drain_writebacks().tolist() == \
+            sink_nat.drain_writebacks().tolist()
+        assert sink_py.drain_parent_misses().tolist() == \
+            sink_nat.drain_parent_misses().tolist()
+        assert (sink_py.hits, sink_py.miss_count,
+                sink_py.writeback_count) == \
+            (sink_nat.hits, sink_nat.miss_count, sink_nat.writeback_count)
+        assert python.export_state() == native.export_state()
+
     def test_native_ring_compaction_preserves_state(self):
         """Drive the native ring far past its slack to force compaction."""
         capacity = 4
@@ -368,6 +508,28 @@ class TestClosedFormHooks:
     def test_set_associative_never_ready(self, backend):
         engine = make_engine(backend, 4, "two", ways=2)
         assert not engine.clean_walk_ready(64 * LINE)
+
+    def test_walk_tree_flood_matches_probed(self, backend):
+        """The closed-form flood walk ≡ the probed walk it replaces."""
+        capacity = 4
+        flooded = make_engine(backend, capacity, "three")
+        probed = make_engine(backend, capacity, "three")
+        seeds = np.arange(capacity, dtype=np.int64) * LINE
+        warm_f, warm_p = EventSink(), EventSink()
+        flooded.probe_lines(seeds, False, warm_f)
+        probed.probe_lines(seeds, False, warm_p)
+        # Flood-adjacent precondition holds: the resident set is exactly
+        # the clean all-miss run below the tree region.
+        sink_f, sink_p = EventSink(), EventSink()
+        flooded.walk_tree(seeds, sink_f, flood=True)
+        probed.walk_tree(seeds, sink_p, flood=False)
+        assert sink_f.drain_misses().tolist() == \
+            sink_p.drain_misses().tolist()
+        assert sink_f.drain_writebacks().tolist() == \
+            sink_p.drain_writebacks().tolist()
+        assert sink_f.miss_count == sink_p.miss_count
+        assert sink_f.miss_count > 1  # the walk actually climbed levels
+        assert flooded.export_state() == probed.export_state()
 
     @pytest.mark.parametrize("n_lines", [2, 4, 7])
     def test_flood_clean_matches_probe_lines(self, backend, n_lines):
