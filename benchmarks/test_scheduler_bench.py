@@ -57,8 +57,9 @@ def test_cross_workload_prefetch_cold(benchmark, disk_cache):
 
     def cold_prefetch():
         disk_cache.clear()
-        for spill in disk_cache.cache_dir.glob("*.json"):
-            spill.unlink()
+        for pattern in ("*.json", "*.bin"):
+            for spill in disk_cache.cache_dir.glob(pattern):
+                spill.unlink()
         return prefetch_sweeps(_QUICK_SPECS, jobs=4)
 
     summary = benchmark(cold_prefetch)

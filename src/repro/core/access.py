@@ -137,6 +137,67 @@ class Phase:
         return sum(a.size for a in self.accesses)
 
 
+class LazyAccessList(list):
+    """A phase's access list, materialized from its column batch on demand.
+
+    Warm loads of columnar (v3) trace spills rebuild phases directly
+    from read-only column views; ``vectorizes=True`` schemes price the
+    columns and never look at individual accesses, so the ``MemAccess``
+    objects are constructed only if something actually reads the list —
+    the per-access fallback path, JSON re-encoding, or the losslessness
+    tests.  ``len()`` is answered from the batch without materializing.
+    Mutation materializes first, so ordering is always preserved.
+    """
+
+    __slots__ = ("_batch",)
+
+    def __init__(self, batch: "AccessBatch") -> None:
+        super().__init__()
+        self._batch: AccessBatch | None = batch
+
+    def _materialize(self) -> None:
+        batch, self._batch = self._batch, None
+        if batch is not None:
+            self.extend(batch.to_accesses(reconstruct=True))
+            # The batch's object form now exists; share it so
+            # ``to_accesses()`` never reconstructs a second copy.
+            batch.source = self
+
+    def __len__(self) -> int:
+        if self._batch is not None:
+            return len(self._batch)
+        return list.__len__(self)
+
+    def __reduce__(self):
+        # Pickle as a plain list: the lazy view is a load-time
+        # optimization, not part of the trace's identity.
+        return (list, (), None, iter(self))
+
+
+def _lazy_reader(name):
+    def method(self, *args, **kwargs):
+        self._materialize()
+        return getattr(list, name)(self, *args, **kwargs)
+
+    method.__name__ = name
+    return method
+
+
+for _name in ("__iter__", "__getitem__", "__eq__", "__ne__", "__contains__",
+              "__reversed__", "__repr__", "index", "count", "copy",
+              "__add__", "__mul__", "append", "extend", "insert", "remove",
+              "pop", "sort", "reverse", "__setitem__", "__delitem__",
+              "__iadd__", "__imul__"):
+    setattr(LazyAccessList, _name, _lazy_reader(_name))
+del _name
+
+
+def lazy_phase(name: str, compute_cycles: float, batch: "AccessBatch") -> Phase:
+    """A phase over ``batch`` whose access objects build only on demand."""
+    return Phase(name=name, compute_cycles=compute_cycles,
+                 accesses=LazyAccessList(batch))
+
+
 @dataclass
 class AccessBatch:
     """Structure-of-arrays view of a sequence of :class:`MemAccess`.

@@ -107,10 +107,12 @@ def cache_main(argv: list[str]) -> int:
         for kind in ARTIFACT_KINDS:
             bucket = stats["kinds"][kind]
             print(f"  {kind:>8s}: {bucket['files']:5d} files, "
-                  f"{cache_gc.format_bytes(bucket['bytes'])}")
+                  f"{cache_gc.format_bytes(bucket['bytes'])} "
+                  f"(v2 {bucket['v2']}, v3 {bucket['v3']})")
         print(f"  {'total':>8s}: {stats['total_files']:5d} files, "
               f"{cache_gc.format_bytes(stats['total_bytes'])} "
-              f"({stats['reachable']} reachable, "
+              f"(v2 {stats['format_v2']}, v3 {stats['format_v3']}; "
+              f"{stats['reachable']} reachable, "
               f"{stats['unreachable']} unreachable)")
         print(f"  queue: {stats['queue_locks']} locks "
               f"({stats['stale_queue_locks']} stale), "

@@ -12,8 +12,10 @@ discard anything, and the only question is what is worth keeping.
 * **Mark** — the live set is derived exactly the way the distributed
   queue derives its job list: expand the suite's artifact graph
   (figures *and* ablation/extra tables, quick and full mode) and map
-  every job key to its spill file name
-  (:func:`~repro.sim.runner.spill_filename`).  Reachable artifacts are
+  every job key to its spill file names
+  (:func:`~repro.sim.runner.spill_filenames` — for binary kinds that is
+  both the current ``.bin`` name and the legacy v2 ``.json`` one, so a
+  reachable v2 spill survives the sweep too).  Reachable artifacts are
   never deleted, by any policy.
 * **Sweep** — unreachable artifacts are deletion candidates, filtered
   by an age grace (``max_age``) and, after that, by a size budget
@@ -24,9 +26,11 @@ discard anything, and the only question is what is worth keeping.
   spill temporaries are removed; fresh locks of live workers are left
   alone.
 * **Verify** — every spill carries a ``#sha256:`` content-digest
-  trailer (:func:`~repro.sim.runner.split_spill`); ``verify`` re-hashes
-  the payloads and decodes them under their kind codec, flagging
-  corruption and stale layouts without touching the artifacts.
+  trailer (:func:`~repro.sim.runner.split_spill` for JSON spills,
+  :func:`~repro.sim.runner.split_spill_bytes` for columnar binary
+  ones); ``verify`` re-hashes the payloads — binary spills over a
+  memoryview, no text copy — and decodes them under their kind codec,
+  flagging corruption and stale layouts without touching the artifacts.
 
 CLI: ``python -m repro.experiments cache {stats,gc,verify}``.
 """
@@ -44,8 +48,9 @@ from repro.sim.runner import (
     ARTIFACT_KINDS,
     decode_spill,
     payload_digest,
-    spill_filename,
+    spill_filenames,
     split_spill,
+    split_spill_bytes,
 )
 
 #: A queue lock this old has no live heartbeat behind it (workers touch
@@ -60,17 +65,23 @@ TMP_STALE_SECONDS = 3600.0
 
 @dataclass(frozen=True)
 class ArtifactFile:
-    """One artifact spill on disk (a `<kind>-<keydigest>.json` file)."""
+    """One artifact spill on disk (a ``<kind>-<keydigest>.json`` file in
+    disk format v2, ``<kind>-<keydigest>.bin`` in format v3)."""
 
     path: Path
     kind: str
     size: int
     mtime: float
 
+    @property
+    def format_version(self) -> int:
+        """The disk-format version the file's framing encodes."""
+        return 3 if self.path.suffix == ".bin" else 2
+
 
 def _artifact_kind(name: str) -> str | None:
     """The artifact kind a spill file name encodes (``None``: not one)."""
-    if not name.endswith(".json"):
+    if not (name.endswith(".json") or name.endswith(".bin")):
         return None
     kind = name.split("-", 1)[0]
     return kind if kind in ARTIFACT_KINDS else None
@@ -79,7 +90,9 @@ def _artifact_kind(name: str) -> str | None:
 def scan_artifacts(cache_dir: str | os.PathLike) -> list[ArtifactFile]:
     """Every artifact spill in the cache dir, sorted by file name."""
     files: list[ArtifactFile] = []
-    for path in sorted(Path(cache_dir).glob("*.json")):
+    paths = list(Path(cache_dir).glob("*.json"))
+    paths += Path(cache_dir).glob("*.bin")
+    for path in sorted(paths):
         kind = _artifact_kind(path.name)
         if kind is None:
             continue
@@ -92,12 +105,15 @@ def scan_artifacts(cache_dir: str | os.PathLike) -> list[ArtifactFile]:
 
 
 def live_file_names(jobs: Iterable) -> set[str]:
-    """The spill names a job graph's artifacts occupy (the mark set)."""
+    """The spill names a job graph's artifacts occupy (the mark set).
+
+    A binary-kind key contributes every name it is readable under —
+    current ``.bin`` and legacy ``.json`` — so pre-migration spills of a
+    live key are reachable, not garbage.
+    """
     names: set[str] = set()
     for job in jobs:
-        name = spill_filename(job.key)
-        if name is not None:
-            names.add(name)
+        names.update(spill_filenames(job.key))
     return names
 
 
@@ -267,16 +283,30 @@ def verify_artifacts(cache_dir: str | os.PathLike) -> tuple[int, list[VerifyIssu
     ok = 0
     issues: list[VerifyIssue] = []
     for artifact in scan_artifacts(cache_dir):
+        binary = artifact.format_version >= 3
         try:
-            text = artifact.path.read_text()
+            raw = artifact.path.read_bytes()
         except OSError as exc:
             issues.append(VerifyIssue(artifact.path, "corrupt", str(exc)))
             continue
-        payload, digest = split_spill(text)
+        payload: str | memoryview
+        if binary:
+            payload, digest = split_spill_bytes(raw)
+        else:
+            try:
+                text = raw.decode()
+            except UnicodeDecodeError as exc:
+                issues.append(VerifyIssue(artifact.path, "corrupt", str(exc)))
+                continue
+            payload, digest = split_spill(text)
         if digest is None:
-            issues.append(VerifyIssue(artifact.path, "unverifiable",
-                                      "no digest trailer (legacy spill)"))
+            status = "corrupt" if binary else "unverifiable"
+            detail = ("missing digest trailer (truncated binary spill)"
+                      if binary else "no digest trailer (legacy spill)")
+            issues.append(VerifyIssue(artifact.path, status, detail))
             continue
+        # payload_digest hashes the binary payload through its
+        # memoryview — no intermediate copy of a multi-megabyte spill.
         if payload_digest(payload) != digest:
             issues.append(VerifyIssue(artifact.path, "corrupt",
                                       "payload does not match its digest"))
@@ -297,9 +327,12 @@ def cache_stats(cache_dir: str | os.PathLike,
         live = default_live_names()
     stats: dict = {
         "cache_dir": str(cache_dir),
-        "kinds": {kind: {"files": 0, "bytes": 0} for kind in ARTIFACT_KINDS},
+        "kinds": {kind: {"files": 0, "bytes": 0, "v2": 0, "v3": 0}
+                  for kind in ARTIFACT_KINDS},
         "total_files": 0,
         "total_bytes": 0,
+        "format_v2": 0,
+        "format_v3": 0,
         "reachable": 0,
         "unreachable": 0,
     }
@@ -307,8 +340,10 @@ def cache_stats(cache_dir: str | os.PathLike,
         bucket = stats["kinds"][artifact.kind]
         bucket["files"] += 1
         bucket["bytes"] += artifact.size
+        bucket[f"v{artifact.format_version}"] += 1
         stats["total_files"] += 1
         stats["total_bytes"] += artifact.size
+        stats[f"format_v{artifact.format_version}"] += 1
         if artifact.path.name in live:
             stats["reachable"] += 1
         else:

@@ -21,10 +21,14 @@ artifact", and a shared filesystem can answer it with lock files —
 
 Because every job is deterministic and artifacts are content-addressed,
 duplicate computation after a reclaim race is harmless — both workers
-write byte-identical bytes.  ``python -m repro.experiments --workers N``
-drains the graph this way; processes on separate machines sharing
-``REPRO_CACHE_DIR`` cooperate with no other channel, and the figure
-tables rendered afterwards are byte-identical to a serial run.
+write byte-identical bytes (the columnar binary trace layout of
+:mod:`repro.sim.spillfmt` included).  ``python -m repro.experiments
+--workers N`` drains the graph this way; processes on separate machines
+sharing ``REPRO_CACHE_DIR`` cooperate with no other channel, and the
+figure tables rendered afterwards are byte-identical to a serial run.
+Workers consuming a finished trace spill mmap it through the cache's
+zero-copy load path, so co-located workers share one copy of the
+columns in the OS page cache rather than each parsing its own JSON.
 """
 
 from __future__ import annotations

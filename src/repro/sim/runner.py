@@ -23,8 +23,10 @@ packages that loop as a pipeline with three levers:
 
 from __future__ import annotations
 
+import functools
 import hashlib
 import json
+import mmap
 import os
 from collections import Counter, OrderedDict
 from dataclasses import dataclass, field
@@ -100,36 +102,64 @@ class StreamingTrace:
         return self.build_phases()
 
 
-#: Bump when the disk-tier file layout changes (existing spills ignored).
-#: v2: every spill carries a ``#sha256:`` content-digest trailer, verified
-#: on load and re-checkable offline by ``python -m repro.experiments cache
-#: verify`` (see :mod:`repro.sim.gc`).
-_DISK_FORMAT_VERSION = 2
+#: Bump when the disk-tier file layout changes.
+#: v2: single-line JSON payloads with a ``#sha256:`` content-digest
+#: trailer, verified on load and re-checkable offline by ``python -m
+#: repro.experiments cache verify`` (see :mod:`repro.sim.gc`).
+#: v3: **trace** spills switch to the columnar binary layout of
+#: :mod:`repro.sim.spillfmt` (``trace-<digest>.bin``), mmapped and
+#: decoded zero-copy on load; all other kinds keep the v2 JSON layout,
+#: and v2 trace spills remain readable (same digest trailer framing).
+_DISK_FORMAT_VERSION = 3
 
-#: Trailer separating a spill's payload from its content digest.  The
-#: payload is always single-line JSON, so the first occurrence of the
-#: marker is unambiguous.
+#: The disk-format version pinned into the key→filename digest.  Keys
+#: are content addresses: v3 changed the *payload* layout, not what a
+#: key means, so filenames keep their v2-era digests and existing cache
+#: dirs stay addressable without re-keying.  Bump only when the key
+#: schema itself changes meaning.
+_KEY_DIGEST_VERSION = 2
+
+#: Trailer separating a spill's payload from its content digest.  v2
+#: payloads are single-line JSON, so the first occurrence of the marker
+#: is unambiguous; v3 binary spills carry the same trailer as a
+#: fixed-size tail (see :func:`split_spill_bytes`).
 DIGEST_TRAILER = "\n#sha256:"
+DIGEST_TRAILER_BYTES = DIGEST_TRAILER.encode()
+
+#: Exact byte length of a binary spill's trailer: marker + 64 hex digits
+#: of sha256 + newline.
+_TRAILER_LEN = len(DIGEST_TRAILER_BYTES) + 64 + 1
 
 
+@functools.lru_cache(maxsize=4096)
 def _key_digest(key: Hashable) -> str:
-    """Stable content hash of a cache key (tuples of primitives only)."""
-    canonical = f"v{_DISK_FORMAT_VERSION}|{key!r}"
+    """Stable content hash of a cache key (tuples of primitives only).
+
+    Memoized: executors recompute spill paths for the same keys on every
+    poll of the shared store, and keys are immutable primitive tuples.
+    """
+    canonical = f"v{_KEY_DIGEST_VERSION}|{key!r}"
     return hashlib.sha256(canonical.encode()).hexdigest()[:32]
 
 
-def payload_digest(payload: str) -> str:
-    """The content digest a spill's trailer must carry for ``payload``."""
-    return hashlib.sha256(payload.encode()).hexdigest()
+def payload_digest(payload: str | bytes | bytearray | memoryview) -> str:
+    """The content digest a spill's trailer must carry for ``payload``.
+
+    Accepts text or a bytes-like view; binary payloads (and mmapped
+    files) hash directly, without an intermediate ``.encode()`` copy.
+    """
+    if isinstance(payload, str):
+        payload = payload.encode()
+    return hashlib.sha256(payload).hexdigest()
 
 
 def attach_digest(payload: str) -> str:
-    """Append the content-digest trailer to a spill payload."""
+    """Append the content-digest trailer to a text spill payload."""
     return f"{payload}{DIGEST_TRAILER}{payload_digest(payload)}\n"
 
 
 def split_spill(text: str) -> tuple[str, str | None]:
-    """Split a spill file into ``(payload, digest)``.
+    """Split a text spill file into ``(payload, digest)``.
 
     ``digest`` is ``None`` for legacy spills without a trailer; callers
     that verify must treat those as unverifiable rather than corrupt.
@@ -140,19 +170,57 @@ def split_spill(text: str) -> tuple[str, str | None]:
     return payload, trailer.strip()
 
 
-def _encode_trace(value: "BatchedTrace") -> str:
+def split_spill_bytes(data: bytes | memoryview,
+                      ) -> tuple[memoryview, str | None]:
+    """Split a binary spill into ``(payload view, digest)`` — zero-copy.
+
+    Binary payloads may contain the trailer marker as data, so the
+    trailer is framed by *position*, not by search: a well-formed binary
+    spill ends with exactly ``\\n#sha256:<64 hex>\\n``.  Anything else
+    returns the whole buffer with ``digest=None`` (unverifiable).
+    """
+    view = memoryview(data)
+    if len(view) < _TRAILER_LEN:
+        return view, None
+    tail = bytes(view[len(view) - _TRAILER_LEN:])
+    if not tail.startswith(DIGEST_TRAILER_BYTES) or not tail.endswith(b"\n"):
+        return view, None
+    digest = tail[len(DIGEST_TRAILER_BYTES):-1].decode("ascii", "replace")
+    return view[: len(view) - _TRAILER_LEN], digest
+
+
+#: The trace-spill JSON schema of disk format v2, still accepted on load.
+_V2_TRACE_VERSION = 2
+
+
+def _encode_trace(value: "BatchedTrace") -> bytes:
+    from repro.sim import spillfmt
+
+    return spillfmt.encode_trace(value)
+
+
+def encode_trace_v2(value: "BatchedTrace") -> str:
+    """The legacy (format v2) JSON payload for a trace.
+
+    Kept for the back-compat tests and CI's migration gate, which seed
+    v2 spills into a cache dir and assert they load byte-identically.
+    """
     from repro.sim.tracefile import phases_to_doc
 
-    return json.dumps({"version": _DISK_FORMAT_VERSION,
+    return json.dumps({"version": _V2_TRACE_VERSION,
                        "phases": phases_to_doc(value.phases)})
 
 
-def _decode_trace(text: str) -> "BatchedTrace":
+def _decode_trace(payload: str | bytes | memoryview) -> "BatchedTrace":
+    if not isinstance(payload, str):
+        from repro.sim import spillfmt
+
+        return spillfmt.decode_trace(payload)
+    doc = json.loads(payload)
+    if doc.get("version") != _V2_TRACE_VERSION:
+        raise ValueError(f"unsupported trace spill version {doc.get('version')!r}")
     from repro.sim.tracefile import phases_from_doc
 
-    doc = json.loads(text)
-    if doc.get("version") != _DISK_FORMAT_VERSION:
-        raise ValueError(f"unsupported trace spill version {doc.get('version')!r}")
     return BatchedTrace.from_phases(phases_from_doc(doc["phases"]))
 
 
@@ -196,8 +264,11 @@ def _decode_profile(text: str):
 #: ``("dnn-trace", ...)`` → ``trace``).  Kinds without a codec stay
 #: memory-only.  ``result`` entries are the artifact graph's per-scheme
 #: price nodes and ``profile`` entries its functional-pipeline nodes
-#: (fig16 tile factors, fig19 GOP profiles).
-_DISK_CODECS: dict[str, tuple[Callable[[object], str], Callable[[str], object]]] = {
+#: (fig16 tile factors, fig19 GOP profiles).  Encoders return ``str``
+#: (JSON spills) or ``bytes`` (columnar binary spills); decoders accept
+#: whichever framing the file on disk carries.
+_DISK_CODECS: dict[str, tuple[Callable[[object], str | bytes],
+                              Callable[[str | bytes | memoryview], object]]] = {
     "trace": (_encode_trace, _decode_trace),
     "sweep": (_encode_sweep, _decode_sweep),
     "result": (_encode_result, _decode_result),
@@ -207,21 +278,47 @@ _DISK_CODECS: dict[str, tuple[Callable[[object], str], Callable[[str], object]]]
 #: Every artifact kind with a disk codec, in reporting order.
 ARTIFACT_KINDS = ("trace", "sweep", "result", "profile")
 
+#: Kinds spilled in the columnar binary layout (``.bin``) under format
+#: v3; everything else keeps the single-line JSON layout (``.json``).
+_BINARY_KINDS = frozenset({"trace"})
 
-def spill_filename(key: Hashable) -> str | None:
-    """The disk-tier file name for a cache key (``None``: memory-only kind).
 
-    This is the content address the GC's mark phase uses: a live graph's
-    keys map to exactly the file names that must survive a sweep.
+@functools.lru_cache(maxsize=4096)
+def spill_filenames(key: Hashable) -> tuple[str, ...]:
+    """Every disk-tier file name for a cache key, preferred first.
+
+    Binary kinds list the current ``.bin`` name and then the legacy v2
+    ``.json`` name — both are valid addresses for the key, so loads try
+    them in order and the GC's mark phase keeps either alive.  Empty for
+    memory-only kinds.
     """
     kind = TraceCache._kind(key)
     if kind not in _DISK_CODECS:
-        return None
-    return f"{kind}-{_key_digest(key)}.json"
+        return ()
+    digest = _key_digest(key)
+    if kind in _BINARY_KINDS:
+        return (f"{kind}-{digest}.bin", f"{kind}-{digest}.json")
+    return (f"{kind}-{digest}.json",)
 
 
-def decode_spill(kind: str, payload: str) -> object:
-    """Decode one spill payload under its kind's codec (raises on stale)."""
+def spill_filename(key: Hashable) -> str | None:
+    """The *current* disk-tier file name for a cache key (``None``:
+    memory-only kind).
+
+    This is the content address new spills are written under; the full
+    set of readable names (including a binary kind's legacy ``.json``)
+    is :func:`spill_filenames`.
+    """
+    names = spill_filenames(key)
+    return names[0] if names else None
+
+
+def decode_spill(kind: str, payload: str | bytes | memoryview) -> object:
+    """Decode one spill payload under its kind's codec (raises on stale).
+
+    ``payload`` is text for JSON spills and a bytes-like view (possibly
+    over an mmap) for columnar binary spills.
+    """
     return _DISK_CODECS[kind][1](payload)
 
 
@@ -235,12 +332,16 @@ class TraceCache:
     consumer.
 
     An optional **disk tier** (``cache_dir`` / :meth:`set_cache_dir`,
-    opt-in via ``--cache-dir`` or ``REPRO_CACHE_DIR``) spills generated
-    traces and finished sweeps as JSON keyed by a content hash of the
-    workload configuration, so a fresh process restores them instead of
-    regenerating — a warm rerun of the whole figure suite prices zero
-    traces.  Writes are atomic (tmp + rename), making the directory safe
-    to share between the sweep workers and the parent.
+    opt-in via ``--cache-dir`` or ``REPRO_CACHE_DIR``) spills artifacts
+    keyed by a content hash of the workload configuration, so a fresh
+    process restores them instead of regenerating — a warm rerun of the
+    whole figure suite prices zero traces.  Traces spill in the columnar
+    binary layout of :mod:`repro.sim.spillfmt` and load **zero-copy**:
+    the file is mmapped and the phases are rebuilt as read-only column
+    views, so cooperating ``--jobs``/``--workers`` processes loading the
+    same spill share one copy in the OS page cache.  Other kinds spill
+    as single-line JSON.  Writes are atomic (tmp + rename), making the
+    directory safe to share between the sweep workers and the parent.
     """
 
     def __init__(self, max_entries: int = 512,
@@ -251,6 +352,10 @@ class TraceCache:
         self.misses = 0
         self.disk_hits = 0
         self.miss_kinds: Counter[str] = Counter()
+        #: Per-kind count / byte totals of spills *written* by this
+        #: process (reset by :meth:`clear` with the other counters).
+        self.spill_kinds: Counter[str] = Counter()
+        self.spill_bytes: Counter[str] = Counter()
         self._entries: "OrderedDict[Hashable, object]" = OrderedDict()
         self._cache_dir: Path | None = None
         if cache_dir:
@@ -276,41 +381,87 @@ class TraceCache:
             return key[0].rsplit("-", 1)[-1]
         return "other"
 
-    def _disk_path(self, key: Hashable) -> Path | None:
+    def _disk_paths(self, key: Hashable) -> list[Path]:
+        """Candidate spill files for a key, preferred (current) first."""
         if self._cache_dir is None:
-            return None
-        name = spill_filename(key)
-        if name is None:
-            return None
-        return self._cache_dir / name
+            return []
+        return [self._cache_dir / name for name in spill_filenames(key)]
 
-    def _disk_load(self, key: Hashable) -> object | None:
-        path = self._disk_path(key)
-        if path is None:
-            return None
+    def _disk_path(self, key: Hashable) -> Path | None:
+        """The current-format spill path (writes go here; loads try all
+        of :meth:`_disk_paths`)."""
+        paths = self._disk_paths(key)
+        return paths[0] if paths else None
+
+    @staticmethod
+    def _load_binary_spill(path: Path, kind: str) -> object | None:
+        """mmap a columnar spill and decode it into zero-copy views.
+
+        Structural validation (magic, version, bounds) happens in the
+        decoder and catches truncation; the digest trailer is *not*
+        hashed here — that would fault in every page and defeat the lazy
+        mmap — full bit-rot detection is ``cache verify``'s job.  The
+        mmap stays alive exactly as long as the decoded arrays reference
+        it.
+        """
         try:
-            text = path.read_text()
-        except OSError:
-            return None
-        payload, digest = split_spill(text)
-        if digest is not None and digest != payload_digest(payload):
-            return None  # bit-rot or torn write: rebuild (gc verify flags it)
+            with open(path, "rb") as f:
+                mm = mmap.mmap(f.fileno(), 0, access=mmap.ACCESS_READ)
+        except (OSError, ValueError):
+            return None  # unreadable or empty file: rebuild
+        payload, _digest = split_spill_bytes(mm)
         try:
-            return _DISK_CODECS[self._kind(key)][1](payload)
+            return _DISK_CODECS[kind][1](payload)
         except (ValueError, KeyError, TypeError, AttributeError):
             return None  # stale, truncated or foreign spill: rebuild
+
+    def _disk_load(self, key: Hashable) -> object | None:
+        kind = self._kind(key)
+        for path in self._disk_paths(key):
+            if path.suffix == ".bin":
+                value = self._load_binary_spill(path, kind)
+                if value is not None:
+                    return value
+                continue
+            try:
+                text = path.read_text()
+            except OSError:
+                continue
+            payload, digest = split_spill(text)
+            if digest is not None and digest != payload_digest(payload):
+                continue  # bit-rot or torn write: rebuild (gc verify flags it)
+            try:
+                return _DISK_CODECS[kind][1](payload)
+            except (ValueError, KeyError, TypeError, AttributeError):
+                continue  # stale, truncated or foreign spill: rebuild
+        return None
 
     def _disk_store(self, key: Hashable, value: object) -> None:
         path = self._disk_path(key)
         if path is None:
             return
+        kind = self._kind(key)
         try:
-            text = attach_digest(_DISK_CODECS[self._kind(key)][0](value))
+            payload = _DISK_CODECS[kind][0](value)
             tmp = path.with_suffix(f".tmp.{os.getpid()}")
-            tmp.write_text(text)
+            if isinstance(payload, str):
+                text = attach_digest(payload)
+                tmp.write_text(text)
+                nbytes = len(text.encode())
+            else:
+                # Payload and trailer are written as separate pieces —
+                # no concatenation copy of a multi-megabyte buffer.
+                trailer = (DIGEST_TRAILER_BYTES
+                           + payload_digest(payload).encode() + b"\n")
+                with open(tmp, "wb") as f:
+                    f.write(payload)
+                    f.write(trailer)
+                nbytes = len(payload) + len(trailer)
             os.replace(tmp, path)
         except (OSError, TypeError, ValueError):
-            pass  # the disk tier is best-effort; the value stays in memory
+            return  # the disk tier is best-effort; the value stays in memory
+        self.spill_kinds[kind] += 1
+        self.spill_bytes[kind] += nbytes
 
     # -- lookup --------------------------------------------------------
     def _lookup(self, key: Hashable) -> object | None:
@@ -360,8 +511,7 @@ class TraceCache:
         """
         if not self.enabled:
             return False
-        path = self._disk_path(key)
-        return path is not None and path.exists()
+        return any(path.exists() for path in self._disk_paths(key))
 
     def has(self, key: Hashable) -> bool:
         """Cheap presence check: memory tier, or a spill file on disk.
@@ -405,6 +555,8 @@ class TraceCache:
         self.misses = 0
         self.disk_hits = 0
         self.miss_kinds.clear()
+        self.spill_kinds.clear()
+        self.spill_bytes.clear()
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -418,6 +570,16 @@ class TraceCache:
         }
         for kind in ARTIFACT_KINDS:
             counters[f"{kind}_misses"] = self.miss_kinds.get(kind, 0)
+            counters[f"{kind}_spills"] = self.spill_kinds.get(kind, 0)
+            counters[f"{kind}_spill_bytes"] = self.spill_bytes.get(kind, 0)
+        counters["spill_bytes"] = sum(self.spill_bytes.values())
+        if self._cache_dir is not None:
+            # On-disk format census so migrations are observable: every
+            # ``.bin`` artifact is format v3, every ``.json`` one v2.
+            counters["disk_spills_v3"] = sum(
+                1 for _ in self._cache_dir.glob("*-*.bin"))
+            counters["disk_spills_v2"] = sum(
+                1 for _ in self._cache_dir.glob("*-*.json"))
         # Which LRU-engine backend priced this run's misses: cached
         # artifacts are backend-independent (all backends are
         # byte-identical), but perf numbers are not, so reports carry it.

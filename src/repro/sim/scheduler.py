@@ -47,6 +47,7 @@ always use the temporary store, which :func:`shutdown` removes.
 from __future__ import annotations
 
 import atexit
+import mmap
 import os
 import shutil
 import tempfile
@@ -133,24 +134,30 @@ def store_trace(trace: "BatchedTrace") -> str:
     External traces always land in the temporary store (cleaned at
     shutdown), never the persistent cache dir: their cache-key spill
     would duplicate them there with nothing ever reclaiming the space.
+    The payload is the columnar binary layout of
+    :mod:`repro.sim.spillfmt`, so every pool worker pricing this trace
+    mmaps the same file — one copy of the columns in the OS page cache
+    shared across ``--jobs``, instead of N independent JSON parses.
     """
     from repro.sim.runner import _encode_trace
     from repro.sim.tracefile import doc_digest
 
-    text = _encode_trace(trace)
-    digest = doc_digest(text)
-    path = _temp_store_dir() / f"xtrace-{digest}.json"
+    payload = _encode_trace(trace)
+    digest = doc_digest(payload)
+    path = _temp_store_dir() / f"xtrace-{digest}.bin"
     if not path.exists():
         tmp = path.with_suffix(f".tmp.{os.getpid()}")
-        tmp.write_text(text)
+        tmp.write_bytes(payload)
         os.replace(tmp, path)
     return digest
 
 
 #: Worker-side memo of external traces, keyed by content digest, so a
-#: worker pricing several schemes of one trace parses the spill once.
+#: worker pricing several schemes of one trace decodes the spill once.
 #: Bounded: workers are long-lived (the pool is shared suite-wide), so
 #: an unbounded memo would pin every trace ever priced in every worker.
+#: (A memoized trace holds its mmap alive via the column views, which
+#: is cheap: the pages are shared and reclaimable.)
 _TRACE_MEMO: "OrderedDict[str, BatchedTrace]" = OrderedDict()
 _TRACE_MEMO_ENTRIES = 8
 
@@ -160,8 +167,16 @@ def _load_stored_trace(digest: str, store_dir: str) -> "BatchedTrace":
 
     trace = _TRACE_MEMO.get(digest)
     if trace is None:
-        text = (Path(store_dir) / f"xtrace-{digest}.json").read_text()
-        trace = _decode_trace(text)
+        path = Path(store_dir) / f"xtrace-{digest}.bin"
+        try:
+            with open(path, "rb") as f:
+                payload: object = mmap.mmap(f.fileno(), 0,
+                                            access=mmap.ACCESS_READ)
+        except FileNotFoundError:
+            # A store populated by an older process: fall back to the
+            # legacy JSON spill name.
+            payload = (Path(store_dir) / f"xtrace-{digest}.json").read_text()
+        trace = _decode_trace(payload)
         _TRACE_MEMO[digest] = trace
         while len(_TRACE_MEMO) > _TRACE_MEMO_ENTRIES:
             _TRACE_MEMO.popitem(last=False)

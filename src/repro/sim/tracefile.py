@@ -129,15 +129,18 @@ def phases_to_doc(phases: list[Phase]) -> list[dict]:
     ]
 
 
-def doc_digest(text: str) -> str:
+def doc_digest(doc: str | bytes | bytearray | memoryview) -> str:
     """Stable content digest of a serialized trace/artifact document.
 
     This is the content-addressing primitive shared by the scheduler's
     spill store and the distributed work queue: equal documents get equal
     names on every machine, so a shared cache directory deduplicates by
-    construction.
+    construction.  Accepts text or a bytes-like view; binary documents
+    (columnar trace spills) hash without an intermediate encode copy.
     """
-    return hashlib.sha256(text.encode()).hexdigest()[:32]
+    if isinstance(doc, str):
+        doc = doc.encode()
+    return hashlib.sha256(doc).hexdigest()[:32]
 
 
 def loads(text: str) -> TraceFile:

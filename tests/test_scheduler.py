@@ -102,9 +102,14 @@ class TestPrefetchParallel:
         for job in build_graph([spec]):
             assert disk_cache.has(job.key), job.kind
         on_disk = sorted(
-            p.name.split("-")[0] for p in disk_cache.cache_dir.glob("*.json")
+            p.name.split("-")[0]
+            for suffix in ("*.json", "*.bin")
+            for p in disk_cache.cache_dir.glob(suffix)
         )
         assert on_disk == (["result"] * len(SCHEMES) + ["sweep", "trace"])
+        # Traces spill in the columnar binary layout, everything else as JSON.
+        assert [p.name.split("-")[0]
+                for p in disk_cache.cache_dir.glob("*.bin")] == ["trace"]
 
     def test_effective_workers_clamps_to_cores(self):
         assert effective_workers(None) == 1
@@ -171,6 +176,8 @@ class TestDiskTier:
         dnn_sweep("AlexNet", "Cloud")
         for spill in disk_cache.cache_dir.glob("*.json"):
             spill.write_text("{not json")
+        for spill in disk_cache.cache_dir.glob("*.bin"):
+            spill.write_bytes(b"NOTMAGIC" + spill.read_bytes()[8:])
         disk_cache.clear()
         sweep = dnn_sweep("AlexNet", "Cloud")  # rebuilt, not crashed
         assert set(sweep.results) == set(SCHEMES)
