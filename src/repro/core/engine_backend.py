@@ -32,6 +32,7 @@ import hashlib
 import os
 import shutil
 import subprocess
+import sys
 import tempfile
 from dataclasses import dataclass
 from pathlib import Path
@@ -220,6 +221,34 @@ def native_error() -> str | None:
     return _load_error
 
 
+#: Set when an ``auto`` session demoted itself to the python backend
+#: after a native-engine fault; holds the reason.  The demotion prints
+#: exactly one warning and is sticky for the session: an engine that
+#: faulted once should not be retried per-workload mid-suite (the
+#: python backend is byte-identical, so tables are unaffected).
+_demotion_reason: str | None = None
+
+
+def demote_to_python(reason: str) -> None:
+    """Demote this session's ``auto`` backend resolution to python."""
+    global _demotion_reason
+    if _demotion_reason is None:
+        print(f"repro: native engine faulted ({reason}); using the python "
+              "backend for the rest of this session", file=sys.stderr)
+    _demotion_reason = reason
+
+
+def demotion_reason() -> str | None:
+    """Why this session demoted to python (``None``: not demoted)."""
+    return _demotion_reason
+
+
+def clear_demotion() -> None:
+    """Undo a session demotion (tests and explicit re-probes)."""
+    global _demotion_reason
+    _demotion_reason = None
+
+
 def resolve_backend(name: str | None = None) -> str:
     """Resolve a request (default: ``REPRO_ENGINE``) to python/native."""
     name = requested_backend() if name is None else name
@@ -232,6 +261,8 @@ def resolve_backend(name: str | None = None) -> str:
                 f"{native_error()}"
             )
         return "native"
+    if _demotion_reason is not None:
+        return "python"  # degraded mode: the session saw native fault
     return "native" if native_available() else "python"
 
 
@@ -262,10 +293,23 @@ def create_engine(capacity_lines: int, line_bytes: int = CACHE_BLOCK,
     """
     resolved = resolve_backend(backend)
     if resolved == "native" and (geometry is not None or parent_of is None):
-        from repro.core.lru_native import NativeLruEngine
+        # Imported lazily: core must stay importable without repro.sim
+        # (the sim package imports core during its own init).
+        from repro.sim import faults
 
-        return NativeLruEngine(capacity_lines, line_bytes=line_bytes,
-                               ways=ways, geometry=geometry)
+        try:
+            faults.maybe_fault("native_call", f"engine-{capacity_lines}")
+            from repro.core.lru_native import NativeLruEngine
+
+            return NativeLruEngine(capacity_lines, line_bytes=line_bytes,
+                                   ways=ways, geometry=geometry)
+        except (faults.FaultInjected, RuntimeError, OSError) as exc:
+            request = requested_backend() if backend is None else backend
+            if request == "native":
+                raise  # forced native: degraded mode is not an answer
+            # auto: demote the whole session once — the python backend
+            # is byte-identical, so only speed degrades, never tables.
+            demote_to_python(f"{type(exc).__name__}: {exc}")
     from repro.core.lru_engine import LruEngine
 
     if parent_of is None and geometry is not None:

@@ -11,11 +11,12 @@ Usage::
     python -m repro.experiments --cache-dir .repro-cache   # persistent cache
     python -m repro.experiments --no-cache       # regenerate every trace
     python -m repro.experiments --workers 2      # distributed artifact drain
+    python -m repro.experiments --faults 'compute:crash:0.2@seed=7'  # chaos
     python -m repro.experiments -o EXPERIMENTS_RUN.txt
 
-    python -m repro.experiments cache stats      # what's in the cache dir
+    python -m repro.experiments cache stats [--json]   # census (+ quarantine)
     python -m repro.experiments cache gc --max-age 7d --max-bytes 2G
-    python -m repro.experiments cache verify     # re-hash stored artifacts
+    python -m repro.experiments cache verify [--json]  # re-hash artifacts
 
 ``--jobs N`` hands the selected experiments' artifact graph — every
 (workload × scheme) pair, the functional fig16/fig19 pipelines and the
@@ -30,7 +31,14 @@ computes nothing.
 in the shared cache directory (see :mod:`repro.sim.queue`): N local
 processes — and any other ``--workers`` invocations on machines sharing
 the cache dir — claim jobs cooperatively, and every participant renders
-identical tables afterwards.  Requires a cache dir.
+identical tables afterwards.  Requires a cache dir.  Jobs that keep
+failing are quarantined after repeated attempts (dependents skipped,
+exit code 3) instead of deadlocking the drain.
+
+``--faults SPEC`` (or ``REPRO_FAULTS``) installs the deterministic
+fault-injection plan from :mod:`repro.sim.faults` — comma-separated
+``point:mode:rate[:param]`` rules plus ``@seed=N`` — to exercise the
+retry/quarantine/degraded-mode machinery reproducibly.
 
 ``cache {stats,gc,verify}`` manages the shared cache directory's
 lifecycle (see :mod:`repro.sim.gc`): ``gc`` mark-and-sweeps unreachable
@@ -78,6 +86,9 @@ def cache_main(argv: list[str]) -> int:
 
     p_stats = sub.add_parser("stats", help="per-kind artifact counts/bytes")
     add_common(p_stats)
+    p_stats.add_argument("--json", action="store_true",
+                         help="machine-readable JSON on stdout (includes "
+                              "the quarantine census)")
 
     p_gc = sub.add_parser(
         "gc", help="mark-and-sweep unreachable artifacts + queue hygiene"
@@ -97,12 +108,23 @@ def cache_main(argv: list[str]) -> int:
         "verify", help="re-hash and re-decode every stored artifact"
     )
     add_common(p_verify)
+    p_verify.add_argument("--json", action="store_true",
+                          help="machine-readable JSON on stdout (per-issue "
+                               "records and corruption counts)")
 
     args = parser.parse_args(argv)
     cache_dir = _resolve_cache_dir(args.cache_dir, parser)
 
     if args.command == "stats":
+        from repro.core.engine_backend import active_backend
+
         stats = cache_gc.cache_stats(cache_dir)
+        stats["engine_backend"] = active_backend()
+        if args.json:
+            import json
+
+            print(json.dumps(stats, indent=2, sort_keys=True))
+            return 0
         print(f"cache {stats['cache_dir']}:")
         for kind in ARTIFACT_KINDS:
             bucket = stats["kinds"][kind]
@@ -116,10 +138,13 @@ def cache_main(argv: list[str]) -> int:
               f"{stats['unreachable']} unreachable)")
         print(f"  queue: {stats['queue_locks']} locks "
               f"({stats['stale_queue_locks']} stale), "
-              f"{stats['tmp_files']} tmp files")
-        from repro.core.engine_backend import active_backend, native_error
+              f"{stats['tmp_files']} tmp files, "
+              f"{stats['attempt_records']} attempt records")
+        if stats["quarantined_jobs"]:
+            print(f"  quarantined: {', '.join(stats['quarantined_jobs'])}")
+        from repro.core.engine_backend import native_error
 
-        backend = active_backend()
+        backend = stats["engine_backend"]
         detail = ""
         if backend != "native" and os.environ.get("REPRO_ENGINE") != "python":
             detail = f" ({native_error()})"
@@ -145,17 +170,34 @@ def cache_main(argv: list[str]) -> int:
               f"{verb} {summary['deleted']} artifacts "
               f"({cache_gc.format_bytes(summary['bytes_freed'])}), "
               f"{summary['locks_removed']} stale locks, "
-              f"{summary['tmp_removed']} tmp files")
+              f"{summary['tmp_removed']} tmp files, "
+              f"{summary['attempts_removed']} attempt records")
         return 0
 
     ok, issues = cache_gc.verify_artifacts(cache_dir)
+    corrupt = sum(1 for issue in issues if issue.status == "corrupt")
+    stale = sum(1 for i in issues if i.status == "stale")
+    unverifiable = sum(1 for i in issues if i.status == "unverifiable")
+    if args.json:
+        import json
+
+        print(json.dumps({
+            "cache_dir": str(cache_dir),
+            "ok": ok,
+            "corrupt": corrupt,
+            "stale": stale,
+            "unverifiable": unverifiable,
+            "issues": [
+                {"file": issue.path.name, "status": issue.status,
+                 "detail": issue.detail}
+                for issue in issues
+            ],
+        }, indent=2, sort_keys=True))
+        return 1 if corrupt else 0
     for issue in issues:
         print(f"  [{issue.status}] {issue.path.name}: {issue.detail}")
-    corrupt = sum(1 for issue in issues if issue.status == "corrupt")
     print(f"verify: {ok} artifacts ok, {corrupt} corrupt, "
-          f"{sum(1 for i in issues if i.status == 'stale')} stale, "
-          f"{sum(1 for i in issues if i.status == 'unverifiable')} "
-          f"unverifiable")
+          f"{stale} stale, {unverifiable} unverifiable")
     return 1 if corrupt else 0
 
 
@@ -193,9 +235,25 @@ def main(argv: list[str] | None = None) -> int:
                              "prices zero traces")
     parser.add_argument("--no-cache", action="store_true",
                         help="disable the trace/sweep cache (regenerate everything)")
+    parser.add_argument("--faults", default=None, metavar="SPEC",
+                        help="inject deterministic faults, e.g. "
+                             "'spill_read:io:0.05,compute:crash:0.1@seed=7' "
+                             "(also honours REPRO_FAULTS); see "
+                             "repro.sim.faults")
     parser.add_argument("-o", "--output", help="write the report to this file")
     args = parser.parse_args(argv)
 
+    if args.faults is not None:
+        from repro.common.errors import ConfigError
+        from repro.sim import faults
+
+        try:
+            faults.install(args.faults)
+        except ConfigError as exc:
+            parser.error(str(exc))
+        # Also exported so helper/pool worker processes spawned later
+        # inherit the same chaos plan through the environment.
+        os.environ["REPRO_FAULTS"] = args.faults
     if args.cache_dir:
         TRACE_CACHE.set_cache_dir(args.cache_dir)
     if args.no_cache:
@@ -245,7 +303,7 @@ def main(argv: list[str] | None = None) -> int:
             parser.error("--workers needs a shared cache dir "
                          "(--cache-dir or REPRO_CACHE_DIR, without --no-cache)")
         from repro.experiments.registry import suite_graph
-        from repro.sim.queue import QUEUE_SUBDIR, run_workers
+        from repro.sim.queue import QUARANTINE_AFTER, QUEUE_SUBDIR, run_workers
 
         start = time.time()
         graph = suite_graph(selected_ids, args.quick)
@@ -254,10 +312,25 @@ def main(argv: list[str] | None = None) -> int:
         print(
             f"drain: {summary['computed']}/{summary['jobs']} jobs computed "
             f"here ({summary['reclaimed']} stale locks reclaimed, "
+            f"{summary['failures']} failures, "
             f"queue {TRACE_CACHE.cache_dir / QUEUE_SUBDIR}) "
             f"in {time.time() - start:.1f}s",
             file=sys.stderr,
         )
+        if summary["quarantined"] or summary["skipped"]:
+            # Poisoned jobs: the drain completed around them, but their
+            # artifacts do not exist, so rendering tables would recompute
+            # them inline (and fail the same way).  Report and exit
+            # nonzero instead — degraded coverage, never a deadlock.
+            for job_id in summary["quarantined"]:
+                print(f"quarantined: {job_id} "
+                      f"(failed {QUARANTINE_AFTER}+ times; see "
+                      f"{TRACE_CACHE.cache_dir / QUEUE_SUBDIR}/"
+                      f"{job_id}.attempts)", file=sys.stderr)
+            for job_id in summary["skipped"]:
+                print(f"skipped: {job_id} (depends on a quarantined job)",
+                      file=sys.stderr)
+            return 3
     elif jobs is not None and jobs > 1 and not args.only:
         # Cross-workload fan-out: compute the whole selection's missing
         # artifacts on the shared pool before any driver runs.

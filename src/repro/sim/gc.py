@@ -43,7 +43,12 @@ from pathlib import Path
 from typing import Iterable
 
 from repro.common.errors import ConfigError
-from repro.sim.queue import QUEUE_SUBDIR, find_stale_locks
+from repro.sim.queue import (
+    QUARANTINE_AFTER,
+    QUEUE_SUBDIR,
+    attempt_counts,
+    find_stale_locks,
+)
 from repro.sim.runner import (
     ARTIFACT_KINDS,
     decode_spill,
@@ -141,6 +146,11 @@ class GcPlan:
     spared: list[ArtifactFile] = field(default_factory=list)
     stale_locks: list[Path] = field(default_factory=list)
     stale_tmp: list[Path] = field(default_factory=list)
+    #: Queue ``*.attempts`` records whose job has since produced its
+    #: artifact (a transient failure that resolved) or that have aged
+    #: out — left in place they would keep reporting long-dead failures
+    #: in the quarantine census.
+    stale_attempts: list[Path] = field(default_factory=list)
 
     @property
     def bytes_freed(self) -> int:
@@ -154,6 +164,7 @@ def plan_gc(
     max_bytes: int | None = None,
     now: float | None = None,
     lock_stale_seconds: float = LOCK_STALE_SECONDS,
+    tmp_stale_seconds: float = TMP_STALE_SECONDS,
 ) -> GcPlan:
     """Plan a mark-and-sweep pass; nothing is deleted yet.
 
@@ -211,9 +222,29 @@ def plan_gc(
     if queue_dir.is_dir():
         plan.stale_locks = find_stale_locks(queue_dir, lock_stale_seconds,
                                             now=now)
+        for record in sorted(queue_dir.glob("*.attempts")):
+            # A failure record is stale once the job's artifact exists
+            # under either spill format (the failure resolved — usually a
+            # peer computed it, so nobody cleared the loser's record) or
+            # once it has aged past the tmp grace: either way, keeping
+            # it only pollutes the quarantine census.
+            resolved = any(
+                (Path(cache_dir) / f"{record.stem}{ext}").exists()
+                for ext in (".bin", ".json")
+            )
+            try:
+                aged = now - record.stat().st_mtime >= tmp_stale_seconds
+            except OSError:
+                continue  # cleared between glob and stat
+            if resolved or aged:
+                plan.stale_attempts.append(record)
+    # The tmp glob matches every artifact kind: spill temporaries keep
+    # their `<kind>-<keydigest>` stem and only swap the extension for
+    # `.tmp.<pid>`, so a worker SIGKILLed mid-write leaves exactly one
+    # matching orphan regardless of kind or format version.
     for tmp in sorted(Path(cache_dir).glob("*.tmp.*")):
         try:
-            if now - tmp.stat().st_mtime >= TMP_STALE_SECONDS:
+            if now - tmp.stat().st_mtime >= tmp_stale_seconds:
                 plan.stale_tmp.append(tmp)
         except OSError:
             continue
@@ -233,6 +264,7 @@ def run_gc(plan: GcPlan, dry_run: bool = False) -> dict:
         "bytes_freed": 0,
         "locks_removed": 0,
         "tmp_removed": 0,
+        "attempts_removed": 0,
         "dry_run": dry_run,
     }
     for artifact in plan.delete:
@@ -257,6 +289,13 @@ def run_gc(plan: GcPlan, dry_run: bool = False) -> dict:
             except OSError:
                 continue
         summary["tmp_removed"] += 1
+    for record in plan.stale_attempts:
+        if not dry_run:
+            try:
+                record.unlink()
+            except OSError:
+                continue
+        summary["attempts_removed"] += 1
     return summary
 
 
@@ -355,6 +394,14 @@ def cache_stats(cache_dir: str | os.PathLike,
     stats["queue_locks"] = len(locks)
     stats["stale_queue_locks"] = len(stale)
     stats["tmp_files"] = len(list(Path(cache_dir).glob("*.tmp.*")))
+    # Quarantine census from the durable attempt records, so fleet
+    # tooling can gate on poisoned jobs without scraping drain output.
+    counts = attempt_counts(queue_dir) if queue_dir.is_dir() else {}
+    stats["attempt_records"] = len(counts)
+    stats["failed_attempts"] = sum(counts.values())
+    stats["quarantined_jobs"] = sorted(
+        job_id for job_id, n in counts.items() if n >= QUARANTINE_AFTER
+    )
     return stats
 
 

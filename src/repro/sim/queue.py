@@ -29,6 +29,24 @@ figure tables rendered afterwards are byte-identical to a serial run.
 Workers consuming a finished trace spill mmap it through the cache's
 zero-copy load path, so co-located workers share one copy of the
 columns in the OS page cache rather than each parsing its own JSON.
+
+Failure handling (chaos-hardened; see :mod:`repro.sim.faults`):
+
+* **attempt records** — a job whose computation raises gets a line
+  appended to ``<job-id>.attempts`` in the queue directory, so failure
+  counts are shared across workers and machines exactly like claims;
+* **poison-job quarantine** — a job that has failed
+  :data:`QUARANTINE_AFTER` times is quarantined: the drain stops
+  retrying it, drops every job depending (transitively) on its
+  artifact, **completes** instead of deadlocking, and reports the
+  quarantined set (the CLI exits nonzero);
+* **per-job deadlines** — a claim can carry a deadline after which its
+  heartbeat stops voluntarily, so a *hung* job (not just a dead one)
+  converts into a stale-reclaimable lock peers can take over;
+* **transient I/O** — claim/release/heartbeat filesystem operations run
+  under :func:`repro.sim.faults.call_with_retries` (bounded retries,
+  exponential backoff, deterministic jitter); a missed heartbeat is
+  skipped, not fatal, and a failed release is left to stale reclaim.
 """
 
 from __future__ import annotations
@@ -42,10 +60,31 @@ from pathlib import Path
 from typing import Sequence
 
 from repro.common.errors import ConfigError
+from repro.sim import faults
 from repro.sim.scheduler import ArtifactJob, compute_job
 
 #: Subdirectory of the shared cache dir that holds the lock files.
 QUEUE_SUBDIR = "queue"
+
+#: Failures (recorded in a job's ``*.attempts`` file) after which a job
+#: is quarantined as poisoned rather than retried forever.
+QUARANTINE_AFTER = 3
+
+
+def attempt_counts(queue_dir: str | os.PathLike) -> dict[str, int]:
+    """Per-job failure counts from the queue dir's ``*.attempts`` records.
+
+    The census ``cache stats`` and the GC read; sorted by job id so two
+    scans of the same state report identically.
+    """
+    counts: dict[str, int] = {}
+    for path in sorted(Path(queue_dir).glob("*.attempts")):
+        try:
+            text = path.read_text()
+        except OSError:
+            continue  # cleared between glob and read
+        counts[path.stem] = sum(1 for line in text.splitlines() if line.strip())
+    return counts
 
 
 def find_stale_locks(queue_dir: str | os.PathLike, stale_seconds: float,
@@ -84,11 +123,22 @@ class Claim:
     before touching the path, so a claim that was reclaimed while its
     owner stalled (and possibly re-claimed by a peer) can neither
     keep-alive nor delete the peer's lock.
+
+    ``deadline_seconds`` bounds how long the heartbeat keeps the claim
+    alive: past the deadline the beat thread stops *voluntarily*, so a
+    job that hangs (rather than dies) converts into an ordinary
+    stale-reclaimable lock and peers take the job over — the hang costs
+    one worker, never the drain.
     """
 
-    def __init__(self, path: Path, token: str, heartbeat_seconds: float) -> None:
+    def __init__(self, path: Path, token: str, heartbeat_seconds: float,
+                 deadline_seconds: float | None = None) -> None:
         self.path = path
         self.token = token
+        self._deadline = (
+            None if deadline_seconds is None
+            else time.monotonic() + deadline_seconds
+        )
         self._stop = threading.Event()
         self._thread = threading.Thread(
             target=self._beat, args=(heartbeat_seconds,), daemon=True
@@ -102,22 +152,46 @@ class Claim:
             return False  # reclaimed and not (yet) re-claimed
 
     def _beat(self, interval: float) -> None:
+        # Every wait in this loop — the beat interval, injected delays,
+        # retry backoffs — blocks on the stop event, never a bare
+        # sleep, so release() observes the thread exiting promptly even
+        # under chaos and can join it fully instead of truncating.
         while not self._stop.wait(interval):
+            if self._deadline is not None and time.monotonic() > self._deadline:
+                break  # job deadline passed: go stale, let peers reclaim
             if not self._owns_lock():
                 break  # lock was reclaimed under us; stop beating
             try:
+                faults.maybe_fault("heartbeat", self.path.name,
+                                   event=self._stop)
                 os.utime(self.path)
+            except faults.FaultInjected:
+                continue  # one missed beat; the stale window absorbs it
             except OSError:
                 break
 
-    def release(self) -> None:
-        """Stop the heartbeat and remove the lock file (if still ours)."""
+    def expired(self) -> bool:
+        """Whether this claim's job deadline has passed."""
+        return self._deadline is not None and time.monotonic() > self._deadline
+
+    def release(self, timeout: float | None = None) -> None:
+        """Stop the heartbeat and remove the lock file (if still ours).
+
+        The beat thread only ever waits on the stop event, so the join
+        returns as soon as the current ``utime`` finishes; ``timeout``
+        (``None``: join fully) is a last-ditch guard for a filesystem
+        call hung inside the beat.  A failed unlink is left to stale
+        reclaim — the heartbeat is already stopped, so the lock ages
+        out on its own.
+        """
         self._stop.set()
-        self._thread.join(timeout=1.0)
+        self._thread.join(timeout)
         if not self._owns_lock():
             return  # reclaimed by a peer, possibly re-claimed: leave it
         try:
-            self.path.unlink()
+            faults.call_with_retries(self.path.unlink, "release",
+                                     self.path.name,
+                                     no_retry=(FileNotFoundError,))
         except OSError:
             pass
 
@@ -142,11 +216,17 @@ class WorkQueue:
         heartbeat_seconds: float = 2.0,
         stale_seconds: float = 30.0,
         poll_seconds: float = 0.1,
+        quarantine_after: int = QUARANTINE_AFTER,
+        job_deadline_seconds: float | None = None,
     ) -> None:
         if stale_seconds <= heartbeat_seconds:
             raise ConfigError(
                 f"stale_seconds ({stale_seconds}) must exceed "
                 f"heartbeat_seconds ({heartbeat_seconds})"
+            )
+        if quarantine_after < 1:
+            raise ConfigError(
+                f"quarantine_after must be >= 1, got {quarantine_after}"
             )
         self.queue_dir = Path(queue_dir)
         self.queue_dir.mkdir(parents=True, exist_ok=True)
@@ -154,24 +234,87 @@ class WorkQueue:
         self.heartbeat_seconds = heartbeat_seconds
         self.stale_seconds = stale_seconds
         self.poll_seconds = poll_seconds
+        self.quarantine_after = quarantine_after
+        self.job_deadline_seconds = job_deadline_seconds
 
     def lock_path(self, job_id: str) -> Path:
         return self.queue_dir / f"{job_id}.lock"
 
     def try_claim(self, job_id: str) -> Claim | None:
-        """Atomically claim a job; ``None`` if a peer holds it."""
+        """Atomically claim a job; ``None`` if a peer holds it.
+
+        An existing lock is an answer, not an error, so it short-cuts
+        the retry loop; transient claim I/O (injected or real) retries
+        with backoff and, exhausted, reads as "not claimed" — the next
+        drain pass simply tries again.
+        """
         path = self.lock_path(job_id)
+
+        def _create() -> int:
+            return os.open(path, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+
         try:
-            fd = os.open(path, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+            fd = faults.call_with_retries(_create, "claim", job_id,
+                                          no_retry=(FileExistsError,))
         except FileExistsError:
             return None
+        except OSError:
+            return None  # transient claim I/O outlasted the retries
         token = f"{self.worker_id} {os.getpid()} {time.monotonic_ns()}\n"
         with os.fdopen(fd, "w") as f:
             f.write(token)
-        return Claim(path, token, self.heartbeat_seconds)
+        return Claim(path, token, self.heartbeat_seconds,
+                     deadline_seconds=self.job_deadline_seconds)
 
     def is_claimed(self, job_id: str) -> bool:
         return self.lock_path(job_id).exists()
+
+    # -- attempt records / quarantine ---------------------------------
+    def attempts_path(self, job_id: str) -> Path:
+        return self.queue_dir / f"{job_id}.attempts"
+
+    def failure_count(self, job_id: str) -> int:
+        """Recorded failures for a job (shared across workers/machines)."""
+        try:
+            text = self.attempts_path(job_id).read_text()
+        except OSError:
+            return 0
+        return sum(1 for line in text.splitlines() if line.strip())
+
+    def record_failure(self, job_id: str, error: BaseException) -> int:
+        """Append one failure line; returns the new failure count.
+
+        Appends are tiny single writes (``O_APPEND``), so concurrent
+        recorders interleave whole lines.  The record is durable in the
+        queue dir: any worker — this run or the next — counts the same
+        failures, which is what makes quarantine a *fleet* decision.
+        """
+        detail = f"{type(error).__name__}: {error}".replace("\n", " ")[:200]
+        line = f"{self.worker_id}\t{time.time():.3f}\t{detail}\n"
+        try:
+            with open(self.attempts_path(job_id), "a") as f:
+                f.write(line)
+        except OSError:
+            pass  # record loss only delays quarantine, never corrupts it
+        return self.failure_count(job_id)
+
+    def clear_failures(self, job_id: str) -> None:
+        """Forget a job's failures (it has since computed successfully)."""
+        try:
+            self.attempts_path(job_id).unlink()
+        except OSError:
+            pass
+
+    def is_quarantined(self, job_id: str) -> bool:
+        return self.failure_count(job_id) >= self.quarantine_after
+
+    def quarantined_jobs(self) -> list[str]:
+        """Job ids currently quarantined in this queue dir (sorted)."""
+        return sorted(
+            job_id
+            for job_id, count in attempt_counts(self.queue_dir).items()
+            if count >= self.quarantine_after
+        )
 
     def reclaim_stale(self) -> list[str]:
         """Remove locks whose heartbeat stopped; returns reclaimed job ids.
@@ -215,6 +358,16 @@ def drain_graph(
     ``timeout`` bounds the total wait (``RuntimeError`` on expiry) —
     mainly a test/CI guard against a peer that claimed work and then
     hangs while still heartbeating.
+
+    A job whose computation raises is **retried** (its failure recorded
+    in the shared queue dir) until it reaches the queue's quarantine
+    threshold; quarantined jobs — and, transitively, every job whose
+    dependencies can now never exist — are dropped from the drain and
+    reported in ``summary["quarantined"]`` / ``summary["skipped"]``, so
+    a poisoned job degrades the run's coverage, never its liveness.  A
+    computation that *returns* without its artifact landing in the
+    shared store (a persistently failing spill) counts as a failure
+    too, for the same reason.
     """
     from repro.sim.runner import TRACE_CACHE
     from repro.sim.scheduler import effective_workers
@@ -232,13 +385,22 @@ def drain_graph(
 
         pool = shared_pool(pool_jobs)
         store_dir = str(TRACE_CACHE.cache_dir)
-    summary = {"jobs": len(jobs), "computed": 0, "reclaimed": 0, "waits": 0}
+    summary = {"jobs": len(jobs), "computed": 0, "reclaimed": 0, "waits": 0,
+               "failures": 0, "quarantined": [], "skipped": []}
+    #: Keys that will never exist this drain: quarantined jobs' outputs
+    #: and, transitively, the outputs of jobs depending on them.
+    poisoned: set = set()
     deadline = None if timeout is None else time.monotonic() + timeout
     pending = list(jobs)
     in_flight: dict = {}
     #: Claims held at once: bounded by the pool width so one participant
     #: cannot hoard the whole ready frontier while peers idle.
     max_in_flight = 0 if pool is None else 2 * effective_workers(pool_jobs)
+
+    def job_failed(job: ArtifactJob, exc: BaseException) -> None:
+        queue.record_failure(job.job_id(), exc)
+        summary["failures"] += 1
+
     try:
         while pending or in_flight:
             progressed = False
@@ -248,7 +410,15 @@ def drain_graph(
                     job, claim = in_flight.pop(future)
                     try:
                         future.result()
+                        if not TRACE_CACHE.has_spill(job.key):
+                            raise RuntimeError(
+                                f"artifact missing after computing "
+                                f"{job.job_id()}"
+                            )
                         summary["computed"] += 1
+                        queue.clear_failures(job.job_id())
+                    except Exception as exc:  # noqa: BLE001 - any failure is one attempt
+                        job_failed(job, exc)
                     finally:
                         claim.release()
                     progressed = True
@@ -256,6 +426,20 @@ def drain_graph(
             for job in pending:
                 if TRACE_CACHE.has(job.key):
                     continue  # done — by us earlier, or by a peer
+                if queue.is_quarantined(job.job_id()):
+                    # Poisoned (here or by a peer): stop retrying, keep
+                    # draining everything else.
+                    summary["quarantined"].append(job.job_id())
+                    poisoned.add(job.key)
+                    progressed = True
+                    continue
+                if any(dep in poisoned for dep in job.deps):
+                    # A dependency will never exist: dropping this job
+                    # too is what keeps the drain from deadlocking.
+                    summary["skipped"].append(job.job_id())
+                    poisoned.add(job.key)
+                    progressed = True
+                    continue
                 if not all(TRACE_CACHE.has(dep) for dep in job.deps):
                     still_pending.append(job)
                     continue
@@ -272,14 +456,24 @@ def drain_graph(
                     claim.release()
                     progressed = True
                     continue
+                attempt = queue.failure_count(job.job_id())
                 if pool is not None:
-                    future = pool.submit(_compute_job_shared, job, store_dir)
+                    future = pool.submit(_compute_job_shared, job, store_dir,
+                                         attempt, faults.active_spec())
                     in_flight[future] = (job, claim)
                     progressed = True
                     continue
                 try:
-                    compute_job(job)
+                    compute_job(job, attempt=attempt)
+                    if not TRACE_CACHE.has_spill(job.key):
+                        raise RuntimeError(
+                            f"artifact missing after computing {job.job_id()}"
+                        )
                     summary["computed"] += 1
+                    queue.clear_failures(job.job_id())
+                except Exception as exc:  # noqa: BLE001 - any failure is one attempt
+                    job_failed(job, exc)
+                    still_pending.append(job)  # retry until quarantine
                 finally:
                     claim.release()
                 progressed = True
@@ -305,6 +499,8 @@ def drain_graph(
         # locking peers out of those jobs.
         for job, claim in in_flight.values():
             claim.release()
+    summary["quarantined"] = sorted(set(summary["quarantined"]))
+    summary["skipped"] = sorted(set(summary["skipped"]))
     return summary
 
 
@@ -361,4 +557,11 @@ def run_workers(jobs: Sequence[ArtifactJob], cache_dir: str | os.PathLike,
             helper.join(timeout=60.0)
             if helper.is_alive():
                 helper.terminate()
+    # Aggregate quarantine across all participants from the durable
+    # attempt records: a helper may have quarantined a job this worker
+    # never visited after it went poisoned.
+    graph_ids = {job.job_id() for job in jobs}
+    summary["quarantined"] = sorted(
+        graph_ids.intersection(queue.quarantined_jobs())
+    )
     return summary

@@ -41,6 +41,7 @@ from repro.dnn.tracegen import DnnTraceGenerator
 from repro.dram.model import DramModel
 from repro.graph.generators import build_benchmark_graph
 from repro.graph.graphlily import GraphAcceleratorConfig, GraphTraceGenerator
+from repro.sim import faults
 from repro.sim.perf import PerfConfig, PerformanceModel, SimResult
 
 #: Paper scheme names in presentation order.
@@ -356,6 +357,10 @@ class TraceCache:
         #: process (reset by :meth:`clear` with the other counters).
         self.spill_kinds: Counter[str] = Counter()
         self.spill_bytes: Counter[str] = Counter()
+        #: Digest-mismatch spills deleted on load (bit-rot / torn
+        #: writes): the artifact is rebuilt and respilled, and deleting
+        #: stops ``has`` from advertising a corrupt file as done.
+        self.corrupt_dropped = 0
         self._entries: "OrderedDict[Hashable, object]" = OrderedDict()
         self._cache_dir: Path | None = None
         if cache_dir:
@@ -415,21 +420,44 @@ class TraceCache:
         except (ValueError, KeyError, TypeError, AttributeError):
             return None  # stale, truncated or foreign spill: rebuild
 
+    def _drop_corrupt(self, path: Path) -> None:
+        """Delete a digest-mismatch spill so ``has`` stops advertising it.
+
+        A failed digest is bit-rot or a torn write, never version skew
+        (stale-codec spills keep valid digests), so deleting is safe —
+        and necessary: executors use spill *existence* as the completion
+        marker, and a corrupt file left in place would make every drain
+        treat the artifact as done while every decode fails.  The next
+        successful rebuild respills under the same name.
+        """
+        try:
+            path.unlink()
+        except OSError:
+            return  # still corrupt on disk; cache verify will flag it
+        self.corrupt_dropped += 1
+
     def _disk_load(self, key: Hashable) -> object | None:
         kind = self._kind(key)
         for path in self._disk_paths(key):
             if path.suffix == ".bin":
-                value = self._load_binary_spill(path, kind)
+                try:
+                    value = faults.call_with_retries(
+                        lambda: self._load_binary_spill(path, kind),
+                        "spill_read", path.name)
+                except OSError:
+                    continue  # transient read outlasted retries: rebuild
                 if value is not None:
                     return value
                 continue
             try:
-                text = path.read_text()
+                text = faults.call_with_retries(path.read_text, "spill_read",
+                                                path.name)
             except OSError:
                 continue
             payload, digest = split_spill(text)
             if digest is not None and digest != payload_digest(payload):
-                continue  # bit-rot or torn write: rebuild (gc verify flags it)
+                self._drop_corrupt(path)
+                continue  # bit-rot or torn write: rebuild
             try:
                 return _DISK_CODECS[kind][1](payload)
             except (ValueError, KeyError, TypeError, AttributeError):
@@ -443,7 +471,11 @@ class TraceCache:
         kind = self._kind(key)
         try:
             payload = _DISK_CODECS[kind][0](value)
-            tmp = path.with_suffix(f".tmp.{os.getpid()}")
+        except (TypeError, ValueError):
+            return  # unencodable value; the memory tier still has it
+        tmp = path.with_suffix(f".tmp.{os.getpid()}")
+
+        def _write() -> int:
             if isinstance(payload, str):
                 text = attach_digest(payload)
                 tmp.write_text(text)
@@ -458,8 +490,19 @@ class TraceCache:
                     f.write(trailer)
                 nbytes = len(payload) + len(trailer)
             os.replace(tmp, path)
+            return nbytes
+
+        try:
+            nbytes = faults.call_with_retries(_write, "spill_write", path.name)
         except (OSError, TypeError, ValueError):
-            return  # the disk tier is best-effort; the value stays in memory
+            # The disk tier is best-effort; the value stays in memory.
+            # Drop a torn tmp so it neither confuses peers nor waits for
+            # the GC's stale-tmp sweep.
+            try:
+                tmp.unlink()
+            except OSError:
+                pass
+            return
         self.spill_kinds[kind] += 1
         self.spill_bytes[kind] += nbytes
 
@@ -557,6 +600,7 @@ class TraceCache:
         self.miss_kinds.clear()
         self.spill_kinds.clear()
         self.spill_bytes.clear()
+        self.corrupt_dropped = 0
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -573,6 +617,7 @@ class TraceCache:
             counters[f"{kind}_spills"] = self.spill_kinds.get(kind, 0)
             counters[f"{kind}_spill_bytes"] = self.spill_bytes.get(kind, 0)
         counters["spill_bytes"] = sum(self.spill_bytes.values())
+        counters["corrupt_dropped"] = self.corrupt_dropped
         if self._cache_dir is not None:
             # On-disk format census so migrations are observable: every
             # ``.bin`` artifact is format v3, every ``.json`` one v2.

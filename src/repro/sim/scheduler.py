@@ -468,7 +468,7 @@ def build_graph(specs: Iterable["SweepSpec | ProfileSpec"]) -> list[ArtifactJob]
     return jobs
 
 
-def compute_job(job: ArtifactJob) -> None:
+def compute_job(job: ArtifactJob, attempt: int = 0) -> None:
     """Execute one job inline, storing its artifact in the shared cache.
 
     This is the single execution path the file-lock queue workers use;
@@ -476,9 +476,17 @@ def compute_job(job: ArtifactJob) -> None:
     :data:`~repro.sim.runner.TRACE_CACHE`, whose disk tier (atomic
     tmp+rename writes) makes concurrent duplicate computation harmless —
     deterministic jobs produce byte-identical artifacts.
+
+    ``attempt`` is the job's persisted failure count (from the queue's
+    attempt records, or a local retry counter): it indexes the
+    ``compute`` fault-injection decision, so whether a given attempt of
+    a given job crashes is identical across workers and orderings —
+    the property that makes quarantine sets deterministic.
     """
+    from repro.sim import faults
     from repro.sim.runner import SCHEMES, TRACE_CACHE, SchemeSweep
 
+    faults.maybe_fault("compute", job.job_id(), attempt=attempt)
     if job.kind == "trace":
         job.spec.build_workload()  # get_or_build spills under the trace key
     elif job.kind == "result":
@@ -527,18 +535,27 @@ def _attach_store(store_dir: str) -> None:
         TRACE_CACHE.set_cache_dir(store_dir)
 
 
-def _compute_job_shared(job: ArtifactJob, store_dir: str) -> None:
+def _compute_job_shared(job: ArtifactJob, store_dir: str, attempt: int = 0,
+                        fault_spec: str | None = None) -> None:
     """Pool entry point for a file-lock queue worker's claimed job.
 
     Attaches the worker's trace cache to the shared store, then runs the
     single inline execution path; the artifact's atomic tmp+rename spill
     makes a duplicate computation (claim reclaimed mid-flight) harmless.
+
+    ``fault_spec`` carries the parent's chaos plan explicitly: pool
+    workers are long-lived and shared, so a plan installed in the parent
+    *after* the pool forked would never reach them through the
+    environment alone.
     """
+    from repro.sim import faults
     from repro.sim.runner import TRACE_CACHE
 
+    if fault_spec != faults.active_spec():
+        faults.install(fault_spec)
     _attach_store(store_dir)
     if not TRACE_CACHE.has(job.key):
-        compute_job(job)
+        compute_job(job, attempt=attempt)
 
 
 def _price_spec(spec: SweepSpec, scheme_name: str) -> "SimResult":
@@ -684,14 +701,27 @@ def prefetch_artifacts(specs: Iterable["SweepSpec | ProfileSpec"],
             else:
                 waiting.append(job)
         in_flight: dict[Future, ArtifactJob] = {}
+        from repro.sim import faults
+        from repro.sim.queue import QUARANTINE_AFTER
+
+        #: Local retry ledger for the pool path.  The pool has no shared
+        #: queue dir to persist attempts in, but the counter still feeds
+        #: compute_job's fault-decision index, so a transient injected
+        #: crash resolves on retry instead of failing the whole prefetch.
+        attempts: dict[str, int] = {}
+
+        def submit(job: ArtifactJob) -> None:
+            future = pool.submit(_compute_job_shared, job, store,
+                                 attempts.get(job.job_id(), 0),
+                                 faults.active_spec())
+            in_flight[future] = job
 
         def submit_ready() -> None:
             nonlocal waiting
             blocked: list[ArtifactJob] = []
             for job in waiting:
                 if all(dep in done for dep in job.deps):
-                    future = pool.submit(_compute_job_shared, job, store)
-                    in_flight[future] = job
+                    submit(job)
                 else:
                     blocked.append(job)
             waiting = blocked
@@ -702,7 +732,15 @@ def prefetch_artifacts(specs: Iterable["SweepSpec | ProfileSpec"],
             finished, _ = wait(set(in_flight), return_when=FIRST_COMPLETED)
             for future in finished:
                 job = in_flight.pop(future)
-                future.result()  # propagate worker failures
+                try:
+                    future.result()
+                except Exception:
+                    job_id = job.job_id()
+                    attempts[job_id] = attempts.get(job_id, 0) + 1
+                    if attempts[job_id] >= QUARANTINE_AFTER:
+                        raise  # persistent failure: propagate to caller
+                    submit(job)
+                    continue
                 done.add(job.key)
                 computed[job.kind] += 1
             submit_ready()

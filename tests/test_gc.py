@@ -167,6 +167,83 @@ class TestQueueHygiene:
         assert not torn.exists()
         assert live_tmp.exists()
 
+    def test_abandoned_tmp_of_every_kind_is_swept(self, tmp_path):
+        """The stale-tmp sweep covers all four artifact kinds (and both
+        spill formats): tmp names keep the `<kind>-<digest>` stem."""
+        cache = tmp_path / "cache"
+        cache.mkdir()
+        orphans = []
+        for kind, ext in (("trace", "bin"), ("result", "json"),
+                          ("sweep", "json"), ("profile", "json")):
+            torn = cache / f"{kind}-{kind[0] * 8}.tmp.4242"
+            torn.write_bytes(b"torn " + ext.encode())
+            orphans.append(torn)
+        old = time.time() - 10.0
+        for torn in orphans:
+            os.utime(torn, (old, old))
+        plan = cache_gc.plan_gc(cache, live=set(), tmp_stale_seconds=1.0)
+        assert sorted(plan.stale_tmp) == sorted(orphans)
+        summary = cache_gc.run_gc(plan)
+        assert summary["tmp_removed"] == len(orphans)
+        assert not any(p.exists() for p in orphans)
+
+    def test_sigkill_mid_spill_leaves_tmp_the_gc_reclaims(self, tmp_path,
+                                                          disk_cache):
+        """A worker SIGKILLed mid-write leaves only a tmp orphan — the
+        real artifact name never appears — and `cache gc` removes it."""
+        import multiprocessing
+        import signal
+
+        cache_dir = disk_cache.cache_dir
+
+        def spill_forever(cache_dir, started):
+            # Open the tmp file exactly the way _disk_store names it,
+            # write a partial payload, then hang until SIGKILLed.
+            tmp = Path(cache_dir) / f"profile-12345678deadbeef.tmp.{os.getpid()}"
+            tmp.write_text('{"half": "a spill"')
+            started.set()
+            time.sleep(300.0)
+
+        ctx = multiprocessing.get_context("fork")
+        started = ctx.Event()
+        worker = ctx.Process(target=spill_forever,
+                             args=(str(cache_dir), started))
+        worker.start()
+        assert started.wait(timeout=30.0)
+        os.kill(worker.pid, signal.SIGKILL)
+        worker.join(timeout=30.0)
+        orphans = list(Path(cache_dir).glob("*.tmp.*"))
+        assert len(orphans) == 1  # the torn write survived the SIGKILL
+        time.sleep(0.05)
+        plan = cache_gc.plan_gc(cache_dir, live=set(),
+                                tmp_stale_seconds=0.01)
+        assert plan.stale_tmp == orphans
+        summary = cache_gc.run_gc(plan)
+        assert summary["tmp_removed"] == 1
+        assert list(Path(cache_dir).glob("*.tmp.*")) == []
+
+    def test_resolved_and_aged_attempt_records_are_swept(self, tmp_path):
+        """Attempt records whose job's artifact now exists (or that have
+        aged out) are GC'd; fresh records of unresolved failures stay."""
+        cache = tmp_path / "cache"
+        queue_dir = cache / QUEUE_SUBDIR
+        queue_dir.mkdir(parents=True)
+        resolved = queue_dir / "profile-abc.attempts"
+        resolved.write_text("w1\t0.0\tRuntimeError: transient\n")
+        (cache / "profile-abc.json").write_text("{}\n")  # artifact landed
+        aged = queue_dir / "trace-old.attempts"
+        aged.write_text("w1\t0.0\tOSError: io\n")
+        old = time.time() - 10.0
+        os.utime(aged, (old, old))
+        fresh = queue_dir / "result-live.attempts"
+        fresh.write_text("w2\t0.0\tRuntimeError: still failing\n")
+        plan = cache_gc.plan_gc(cache, live=set(), tmp_stale_seconds=5.0)
+        assert sorted(plan.stale_attempts) == sorted([resolved, aged])
+        summary = cache_gc.run_gc(plan)
+        assert summary["attempts_removed"] == 2
+        assert fresh.exists()
+        assert not resolved.exists() and not aged.exists()
+
 
 class TestVerify:
     def test_pristine_cache_verifies_clean(self, disk_cache):
@@ -307,3 +384,52 @@ class TestCli:
         monkeypatch.delenv("REPRO_CACHE_DIR", raising=False)
         with pytest.raises(SystemExit):
             cli_main(["cache", "stats"])
+
+    def test_cache_stats_reports_quarantine_census(self, tmp_path):
+        from repro.sim.gc import cache_stats
+        from repro.sim.queue import QUARANTINE_AFTER
+
+        cache = tmp_path / "cache"
+        queue_dir = cache / QUEUE_SUBDIR
+        queue_dir.mkdir(parents=True)
+        poisoned = queue_dir / "trace-bad.attempts"
+        poisoned.write_text(
+            "w1\t0.0\tRuntimeError: boom\n" * QUARANTINE_AFTER)
+        flaky = queue_dir / "result-flaky.attempts"
+        flaky.write_text("w2\t0.0\tOSError: io\n")
+        stats = cache_stats(cache)
+        assert stats["attempt_records"] == 2
+        assert stats["failed_attempts"] == QUARANTINE_AFTER + 1
+        assert stats["quarantined_jobs"] == ["trace-bad"]
+
+    def test_cache_stats_json_is_machine_readable(self, tmp_path, capsys):
+        import json
+
+        cache = tmp_path / "cache"
+        cache.mkdir()
+        _fake_artifact(cache, "sweep", "live")
+        assert cli_main(["cache", "stats", "--json",
+                         "--cache-dir", str(cache)]) == 0
+        stats = json.loads(capsys.readouterr().out)
+        assert stats["total_files"] == 1
+        assert stats["engine_backend"] in ("python", "native")
+        assert stats["quarantined_jobs"] == []
+        assert stats["attempt_records"] == 0
+
+    def test_cache_verify_json_lists_issues(self, tmp_path, capsys):
+        import json
+
+        cache = tmp_path / "cache"
+        cache.mkdir()
+        _fake_artifact(cache, "sweep", "ok")
+        bad = _fake_artifact(cache, "profile", "bad")
+        payload, digest = split_spill(bad.read_text())
+        bad.write_text("y" + payload[1:] + "\n#sha256:" + digest + "\n")
+        assert cli_main(["cache", "verify", "--json",
+                         "--cache-dir", str(cache)]) == 1
+        report = json.loads(capsys.readouterr().out)
+        assert report["corrupt"] == 1
+        assert report["ok"] >= 0
+        files = [issue["file"] for issue in report["issues"]
+                 if issue["status"] == "corrupt"]
+        assert files == [bad.name]

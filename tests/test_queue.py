@@ -189,6 +189,93 @@ class TestDrain:
             claim.release()
 
 
+class TestReclaimRaces:
+    """Reclaim races under injected delays (the chaos-hardening pins)."""
+
+    @pytest.fixture(autouse=True)
+    def _no_leftover_faults(self):
+        from repro.sim import faults
+
+        faults.install(None)
+        yield
+        faults.install(None)
+
+    def test_two_workers_racing_one_stale_lock(self, tmp_path, disk_cache):
+        """Exactly one racer reclaims; the loser's unlink miss is benign,
+        and the follow-up claim race also has exactly one winner."""
+        import threading
+
+        from repro.sim import faults
+
+        queue_a = _fast_queue(tmp_path)
+        queue_b = _fast_queue(tmp_path)
+        dead = queue_a.try_claim("job-1")
+        dead._stop.set()
+        dead._thread.join()
+        old = time.time() - 10.0
+        os.utime(dead.path, (old, old))
+        # Injected claim delays widen the race window without changing
+        # the invariant.
+        faults.install("claim:delay:1.0:0.01@seed=0")
+        reclaims: dict[str, list] = {}
+        claims: dict[str, object] = {}
+        barrier = threading.Barrier(2)
+
+        def race(name, queue):
+            barrier.wait()
+            reclaims[name] = queue.reclaim_stale()
+            claims[name] = queue.try_claim("job-1")
+
+        threads = [threading.Thread(target=race, args=(n, q))
+                   for n, q in (("a", queue_a), ("b", queue_b))]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=30.0)
+        assert sorted(reclaims["a"] + reclaims["b"]) in ([], ["job-1"])
+        winners = [c for c in claims.values() if c is not None]
+        assert len(winners) == 1  # O_EXCL: the claim race has one winner
+        winners[0].release()
+        assert not queue_a.is_claimed("job-1")
+
+    def test_late_spill_after_reclaim_does_not_corrupt_winner(
+            self, tmp_path, disk_cache):
+        """A reclaimed worker finishing late rewrites the winner's
+        artifact with byte-identical content through an atomic rename —
+        concurrent readers always decode a complete spill."""
+        import threading
+
+        from repro.sim.runner import TraceCache
+
+        key = ("gop-profile", "race-artifact")
+        value = {"rows": list(range(64)), "deterministic": True}
+        cache_dir = disk_cache.cache_dir
+        winner = TraceCache(cache_dir=cache_dir)
+        loser = TraceCache(cache_dir=cache_dir)
+        stop = threading.Event()
+        bad: list[object] = []
+
+        def reader():
+            while not stop.is_set():
+                probe = TraceCache(cache_dir=cache_dir)
+                seen = probe.peek(key)
+                if seen is not None and seen != value:
+                    bad.append(seen)
+
+        thread = threading.Thread(target=reader)
+        thread.start()
+        try:
+            for _ in range(30):
+                winner.put(key, value)   # the reclaiming winner spills
+                loser.put(key, value)    # the stalled loser spills late
+        finally:
+            stop.set()
+            thread.join(timeout=30.0)
+        assert bad == []
+        probe = TraceCache(cache_dir=cache_dir)
+        assert probe.peek(key) == value
+
+
 class TestTableDrain:
     def test_drain_covers_ablation_and_extra_tables(self, tmp_path,
                                                     disk_cache):
