@@ -1,0 +1,77 @@
+"""Serving front-end throughput and tail-latency pins.
+
+Each benchmark drives the whole serving stack — attested handshakes,
+sealed records, admission, coalescing, batched pricing — through the
+load generator and records the wall time of a fixed request schedule.
+The loadgen's own numbers (sustained req/s, p50/p95/p99 latency) ride
+along in ``extra_info`` so the trend history carries them, and the
+``serve_`` fullname prefix puts these entries under the bench-trend
+gate next to the scheduler/engine families.
+"""
+
+from __future__ import annotations
+
+from repro.serve.loadgen import LoadConfig, run_load
+from repro.serve.server import ServerConfig
+
+#: Cheap, cache-friendly mix: every kind the catalog serves.
+_MIX = (
+    ("dnn-alexnet", "MGX"),
+    ("dnn-dlrm", "NP"),
+    ("pagerank", "MGX"),
+    ("bfs", "MGX"),
+    ("genome-align", None),
+    ("video-decode", None),
+)
+
+
+def _attach(benchmark, report) -> None:
+    benchmark.extra_info.update({
+        "throughput_rps": round(report.throughput_rps, 2),
+        "latency_p50_ms": round(report.latency_ms["p50"], 3),
+        "latency_p95_ms": round(report.latency_ms["p95"], 3),
+        "latency_p99_ms": round(report.latency_ms["p99"], 3),
+        "busy": report.busy,
+    })
+
+
+def test_serve_closed_loop_throughput(benchmark):
+    """16 tenants, one request in flight each, full catalog mix."""
+    config = LoadConfig(tenants=16, requests=96, mix=_MIX, seed=42)
+    report = benchmark(run_load, config)
+    _attach(benchmark, report)
+    assert report.lost == 0
+    assert report.ok == report.sent
+    assert report.payload_mismatches == 0
+
+
+def test_serve_open_loop_offered_load(benchmark):
+    """Fixed-rate arrivals against a bounded queue: measures the serve
+    path under pressure, BUSY replies included (they are answered work,
+    and answering them cheaply is part of the admission contract)."""
+    config = LoadConfig(
+        tenants=8, requests=64, mix=_MIX, mode="open", rate=400.0, seed=42,
+        server=ServerConfig(queue_depth=16, per_tenant_inflight=2),
+    )
+    report = benchmark(run_load, config)
+    _attach(benchmark, report)
+    assert report.lost == 0
+    assert report.ok + report.busy + report.errors == report.sent
+    assert report.errors == 0
+
+
+def test_serve_coalesced_hot_key(benchmark):
+    """Every tenant hammers the same artifact: the single-flight +
+    warm-cache path should dominate, with exactly one cold pricing per
+    process at most."""
+    config = LoadConfig(
+        tenants=12, requests=72,
+        mix=(("genome-align", None),), seed=42,
+    )
+    report = benchmark(run_load, config)
+    _attach(benchmark, report)
+    assert report.lost == 0
+    stats = report.server_stats
+    assert stats["computed"] <= 1
+    assert (stats["computed"] + stats["warm_hits"]
+            + stats["coalesced"]) == report.ok

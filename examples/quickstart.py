@@ -92,8 +92,8 @@ def main() -> None:
     # and replays it after the final result lands: a classic rollback.
     attacker = Attacker(dram)
     granule = base_c // engine.mac_granularity
-    stale_c1 = attacker.snapshot(base_c, TILE_BYTES)
-    stale_macs = [
+    _stale_c1 = attacker.snapshot(base_c, TILE_BYTES)
+    _stale_macs = [
         attacker.snapshot(engine.mac_address(granule + k), 8)
         for k in range(TILE_BYTES // engine.mac_granularity)
     ]

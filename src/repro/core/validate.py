@@ -16,7 +16,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from repro.core.access import DataClass, MemAccess, Phase
+from repro.core.access import MemAccess, Phase
 from repro.core.counters import space_for
 
 

@@ -18,7 +18,7 @@ hardware budget.
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.common.errors import ConfigError
 from repro.core.counters import VnSpace, tag_vn

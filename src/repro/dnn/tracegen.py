@@ -24,19 +24,15 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.common.errors import ConfigError
-from repro.common.units import GIB
 from repro.core.access import AccessKind, DataClass, MemAccess, Phase
 from repro.core.vngen import DnnVnState
 from repro.dnn.accelerator import DnnAcceleratorConfig
 from repro.dnn.layers import (
     ConcatLayer,
-    ConvLayer,
-    DenseLayer,
     DnnModel,
     EltwiseAddLayer,
     EmbeddingLayer,
     Layer,
-    MatmulLayer,
     PoolLayer,
 )
 from repro.dnn.tiling import plan_gemm

@@ -16,7 +16,7 @@ binds first, times 64 bytes per activate.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.common.errors import ConfigError
 from repro.common.units import CACHE_BLOCK, ceil_div

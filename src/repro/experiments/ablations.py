@@ -27,7 +27,6 @@ from __future__ import annotations
 
 from dataclasses import replace
 
-from repro.core.access import DataClass
 from repro.core.schemes import (
     MacPolicy,
     CounterModeProtection,

@@ -16,7 +16,8 @@ is byte-identical to a serial run.
 from __future__ import annotations
 
 import inspect
-from typing import Callable
+from dataclasses import dataclass
+from typing import Callable, Hashable
 
 from repro.experiments import (
     ablations,
@@ -71,6 +72,155 @@ FAMILIES = ("ablations", "extras")
 #: Every artifact-producing experiment id: the whole suite's graph
 #: (``suite_graph(FULL_SUITE, quick)``) is the GC's default mark set.
 FULL_SUITE = (*EXPERIMENTS, *FAMILIES)
+
+
+# ---------------------------------------------------------------------------
+# Serving request resolution
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class RequestSpec:
+    """One serving request, resolved to its artifact-graph address.
+
+    The serving front-end (:mod:`repro.serve`) accepts requests **by
+    registered name** (:data:`SERVE_CATALOG`); resolution turns a name
+    (plus, for priced workloads, a protection scheme) into the exact
+    artifact the suite's job graph would produce for the same
+    configuration.  ``kind`` is ``"result"`` for (workload × scheme)
+    pricings — DNN inference, PageRank/BFS — and ``"profile"`` for the
+    functional pipelines (genome alignment, video decode); in both
+    cases :meth:`artifact_key` is the same content address
+    :func:`~repro.sim.scheduler.compute_job` stores under, so the
+    server, the offline drains and the warm cache all share artifacts.
+    """
+
+    name: str
+    kind: str  # "result" | "profile"
+    spec: "SweepSpec | ProfileSpec"
+    scheme: str | None = None
+
+    def artifact_key(self) -> Hashable:
+        """The exact artifact-graph key this request resolves to."""
+        if self.kind == "result":
+            return self.spec.result_key(self.scheme)
+        return self.spec.artifact_key()
+
+    def group_key(self) -> Hashable:
+        """The batching group: requests sharing it share one trace.
+
+        Result requests over the same workload trace are *compatible* —
+        the server builds the trace once and prices every requested
+        scheme against it through ``pricing_session()``.  Profile
+        requests never batch (each is one opaque pipeline run).
+        """
+        if self.kind == "result":
+            return self.spec.trace_key()
+        return self.artifact_key()
+
+    def build(self) -> object:
+        """Compute the artifact value — identical to ``compute_job``'s.
+
+        ``result`` requests price through
+        :func:`repro.sim.scheduler._price_spec` (the artifact graph's
+        single pricing path, which streams the trace's batches through
+        the scheme's ``pricing_session()``); ``profile`` requests run
+        the registered pipeline entry point.
+        """
+        if self.kind == "result":
+            from repro.sim.scheduler import _price_spec
+
+            return _price_spec(self.spec, self.scheme)
+        return self.spec.build_profile()
+
+    def encode(self, value: object) -> str:
+        """Serialize an artifact value to the response payload.
+
+        The codec is the disk tier's: deterministic JSON, so a payload
+        encoded from a warm cache hit is byte-identical to one encoded
+        from a fresh computation — and to the spill an offline
+        artifact-graph drain writes for the same key.
+        """
+        from repro.experiments.storage import dumps_profile, dumps_result
+
+        if self.kind == "result":
+            return dumps_result(value)
+        return dumps_profile(value)
+
+    def offline_payload(self) -> str:
+        """Cache-bypassed recompute + encode, for response verification."""
+        return self.encode(self.build())
+
+
+def _dnn_request(model: str) -> Callable[[str | None], RequestSpec]:
+    from repro.sim.scheduler import dnn_spec
+
+    def make(scheme: str | None) -> RequestSpec:
+        return RequestSpec(name=f"dnn-{model.lower()}", kind="result",
+                           spec=dnn_spec(model, "Cloud", False, 1),
+                           scheme=scheme or "MGX")
+    return make
+
+
+def _graph_request(name: str, benchmark: str,
+                   algorithm: str) -> Callable[[str | None], RequestSpec]:
+    from repro.sim.scheduler import graph_spec
+
+    def make(scheme: str | None) -> RequestSpec:
+        return RequestSpec(name=name, kind="result",
+                           spec=graph_spec(benchmark, algorithm, iterations=2,
+                                           scale_divisor=256),
+                           scheme=scheme or "MGX")
+    return make
+
+
+def _gact_request(scheme: str | None) -> RequestSpec:
+    from repro.sim.scheduler import gact_profile_spec
+
+    return RequestSpec(name="genome-align", kind="profile",
+                       spec=gact_profile_spec("chrY", "PacBio", 2))
+
+
+def _gop_request(scheme: str | None) -> RequestSpec:
+    from repro.sim.scheduler import gop_profile_spec
+
+    return RequestSpec(name="video-decode", kind="profile",
+                       spec=gop_profile_spec("IBPB", 8, 8))
+
+
+#: Registered serving workloads: request name → RequestSpec factory
+#: (taking the requested scheme, ``None`` for the default).  The priced
+#: workloads use the quick-suite parameters, so a serving deployment
+#: sharing a cache dir with a ``--quick`` drain starts warm.
+SERVE_CATALOG: dict[str, Callable[[str | None], RequestSpec]] = {
+    "dnn-alexnet": _dnn_request("AlexNet"),
+    "dnn-dlrm": _dnn_request("DLRM"),
+    "pagerank": _graph_request("pagerank", "google-plus", "PR"),
+    "bfs": _graph_request("bfs", "ogbl-ppa", "BFS"),
+    "genome-align": _gact_request,
+    "video-decode": _gop_request,
+}
+
+
+def resolve_request(name: str, scheme: str | None = None) -> RequestSpec:
+    """Resolve a serving request name (+ scheme) to its artifact spec.
+
+    Raises ``KeyError`` for unknown names and ``ValueError`` for unknown
+    schemes — the server maps both to protocol-level error replies.
+    """
+    try:
+        factory = SERVE_CATALOG[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown serve request {name!r}; known: {sorted(SERVE_CATALOG)}"
+        ) from None
+    if scheme is not None:
+        from repro.sim.runner import SCHEMES
+
+        if scheme not in SCHEMES:
+            raise ValueError(
+                f"unknown scheme {scheme!r}; known: {list(SCHEMES)}"
+            )
+    return factory(scheme)
 
 
 def suite_specs(experiment_ids,

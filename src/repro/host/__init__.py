@@ -8,7 +8,14 @@ from repro.host.attestation import (
 )
 from repro.host.channel import SecureChannel
 from repro.host.dh import MODP_2048_G, MODP_2048_P, DhParty
-from repro.host.session import SecureAcceleratorDevice, UserSession
+from repro.host.session import (
+    DeviceSession,
+    SecureAcceleratorDevice,
+    UserSession,
+    derive_channel_key,
+    dh_transcript,
+    verify_session_quote,
+)
 
 __all__ = [
     "AttestationQuote",
@@ -19,6 +26,10 @@ __all__ = [
     "MODP_2048_G",
     "MODP_2048_P",
     "DhParty",
+    "DeviceSession",
     "SecureAcceleratorDevice",
     "UserSession",
+    "derive_channel_key",
+    "dh_transcript",
+    "verify_session_quote",
 ]

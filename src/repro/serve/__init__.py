@@ -1,0 +1,44 @@
+"""Protection-as-a-service: the asyncio multi-tenant serving front-end.
+
+Builds the concurrent service of the ROADMAP's "millions of users"
+direction on the §II session substrate: tenants perform the real
+attestation/DH handshake (:mod:`repro.host`), submit registered workload
+requests (DNN inference, PageRank/BFS, genome alignment, video decode)
+over their AES-GCM record channel, and receive MAC-sealed results priced
+through the artifact graph — identical requests coalesced single-flight,
+compatible pricings batched over one shared trace, overload rejected
+explicitly by admission control.
+
+* :mod:`repro.serve.protocol` — wire messages + the tenant-side client;
+* :mod:`repro.serve.server` — the server (admission, coalescing,
+  batching, per-tenant sessions);
+* :mod:`repro.serve.loadgen` — closed/open-loop load generator with
+  sustained-throughput and tail-latency reporting;
+* ``python -m repro.serve`` — CLI wiring it all together (the CI
+  ``serve-smoke`` gate drives it).
+"""
+
+from repro.serve.loadgen import LoadConfig, LoadReport, run_load
+from repro.serve.protocol import (
+    STATUS_BUSY,
+    STATUS_ERROR,
+    STATUS_OK,
+    TenantClient,
+    WorkReply,
+    WorkRequest,
+)
+from repro.serve.server import ProtectionServer, ServerConfig
+
+__all__ = [
+    "LoadConfig",
+    "LoadReport",
+    "run_load",
+    "STATUS_BUSY",
+    "STATUS_ERROR",
+    "STATUS_OK",
+    "TenantClient",
+    "WorkReply",
+    "WorkRequest",
+    "ProtectionServer",
+    "ServerConfig",
+]

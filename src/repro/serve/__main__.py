@@ -1,0 +1,168 @@
+"""``python -m repro.serve`` — drive the serving front-end under load.
+
+Boots the in-process multi-tenant server, connects attested tenants,
+runs the configured load, and prints the report.  ``--verify``
+recomputes every distinct (name, scheme) payload offline through the
+artifact graph and asserts byte-identity with what the server sealed;
+the CI ``serve-smoke`` job runs exactly this.
+
+Exit status is non-zero if any request was lost, any reply failed MAC
+verification, identical requests got different payloads, or ``--verify``
+found a divergence from offline pricing.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from repro.serve.loadgen import DEFAULT_MIX, LoadConfig, LoadReport, run_load
+from repro.serve.server import ServerConfig
+
+
+def _parse_mix(kinds: str | None) -> tuple[tuple[str, str | None], ...]:
+    """``name[:scheme]`` comma list → request mix (default: full catalog)."""
+    if not kinds:
+        return DEFAULT_MIX
+    mix = []
+    for item in kinds.split(","):
+        name, _, scheme = item.strip().partition(":")
+        mix.append((name, scheme or None))
+    return tuple(mix)
+
+
+def _verify_offline(report: LoadReport) -> list[str]:
+    """Recompute every distinct payload offline; return divergences."""
+    from repro.experiments.registry import resolve_request
+
+    failures = []
+    for label, payload in sorted(report.payloads.items()):
+        name, _, scheme = label.partition(":")
+        rs = resolve_request(name, None if scheme == "default" else scheme)
+        if rs.offline_payload() != payload:
+            failures.append(label)
+    return failures
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.serve",
+        description="multi-tenant serving front-end load driver",
+    )
+    parser.add_argument("--tenants", type=int, default=16)
+    parser.add_argument("--requests", type=int, default=200)
+    parser.add_argument(
+        "--kinds",
+        type=str,
+        default=None,
+        help="comma list of name[:scheme] requests (default: the full catalog mix)",
+    )
+    parser.add_argument("--mode", choices=("closed", "open"), default="closed")
+    parser.add_argument(
+        "--rate",
+        type=float,
+        default=200.0,
+        help="open-loop arrival rate, requests/sec",
+    )
+    parser.add_argument(
+        "--queue-depth",
+        type=int,
+        default=64,
+        help="global admission cap on in-flight requests",
+    )
+    parser.add_argument(
+        "--per-tenant", type=int, default=4, help="per-tenant in-flight cap"
+    )
+    parser.add_argument(
+        "--workers", type=int, default=2, help="pricing thread-pool size"
+    )
+    parser.add_argument(
+        "--batch-window",
+        type=float,
+        default=0.002,
+        help="trace-batching window, seconds",
+    )
+    parser.add_argument("--seed", type=int, default=1234)
+    parser.add_argument("--json", action="store_true", help="print the report as JSON")
+    parser.add_argument(
+        "--verify",
+        action="store_true",
+        help="assert payloads are byte-identical to offline artifact-graph pricing",
+    )
+    args = parser.parse_args(argv)
+
+    config = LoadConfig(
+        tenants=args.tenants,
+        requests=args.requests,
+        mix=_parse_mix(args.kinds),
+        mode=args.mode,
+        rate=args.rate,
+        seed=args.seed,
+        server=ServerConfig(
+            queue_depth=args.queue_depth,
+            per_tenant_inflight=args.per_tenant,
+            pricing_workers=args.workers,
+            batch_window_s=args.batch_window,
+        ),
+    )
+    report = run_load(config)
+    doc = report.to_doc()
+    if args.json:
+        print(json.dumps(doc, indent=2, sort_keys=True))
+    else:
+        print(
+            f"serve[{report.mode}] tenants={report.tenants} "
+            f"sent={report.sent} ok={report.ok} busy={report.busy} "
+            f"errors={report.errors} lost={report.lost}"
+        )
+        print(
+            f"  throughput {report.throughput_rps:.1f} req/s over "
+            f"{report.duration_s:.2f}s; latency ms "
+            f"p50={report.latency_ms['p50']:.2f} "
+            f"p95={report.latency_ms['p95']:.2f} "
+            f"p99={report.latency_ms['p99']:.2f}"
+        )
+        print(
+            f"  mac_verified={report.mac_verified} "
+            f"payload_mismatches={report.payload_mismatches}"
+        )
+        print(f"  server: {report.server_stats}")
+
+    status = 0
+    if report.lost != 0:
+        print(f"FAIL: {report.lost} requests lost", file=sys.stderr)
+        status = 1
+    if report.mac_verified < report.ok:
+        print(
+            f"FAIL: only {report.mac_verified}/{report.ok} replies MAC-verified",
+            file=sys.stderr,
+        )
+        status = 1
+    if report.payload_mismatches:
+        print(
+            f"FAIL: {report.payload_mismatches} payload mismatches "
+            "between identical requests",
+            file=sys.stderr,
+        )
+        status = 1
+    if args.verify:
+        failures = _verify_offline(report)
+        if failures:
+            print(
+                f"FAIL: payloads diverge from offline pricing: {failures}",
+                file=sys.stderr,
+            )
+            status = 1
+        else:
+            # Stderr so --json output stays machine-parseable.
+            print(
+                f"verified {len(report.payloads)} distinct payloads "
+                "against offline artifact-graph pricing",
+                file=sys.stderr,
+            )
+    return status
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,222 @@
+"""Serving wire protocol: sealed work records + the tenant-side client.
+
+Every message after the attestation handshake travels as an AES-GCM
+record on the tenant's session channel (:class:`repro.host.channel.
+SecureChannel`), so requests and replies are encrypted, authenticated
+and replay-protected under **per-tenant** keys — the GCM tag is the
+response MAC, and only the tenant that opened the session can verify
+(or forge) its records.  Message bodies are canonical JSON (sorted
+keys, no whitespace), so identical logical messages are byte-identical
+on the wire.
+
+The handshake itself is the §II flow of :mod:`repro.host.session`: the
+client sends a fresh nonce + DH public value, the server's device
+completes the exchange and returns a quote the client verifies against
+the manufacturer CA before deriving the channel key.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import itertools
+import json
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+from repro.common.errors import ConfigError
+from repro.host.attestation import ManufacturerCa, measurement
+from repro.host.channel import SecureChannel
+from repro.host.dh import DhParty
+from repro.host.session import derive_channel_key, dh_transcript, verify_session_quote
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.serve.server import ProtectionServer, TenantConnection
+
+#: Reply status values.
+STATUS_OK = "ok"
+STATUS_BUSY = "busy"
+STATUS_ERROR = "error"
+
+#: Additional authenticated data binding records to their protocol role:
+#: a request record cannot be replayed to the server as a reply (or vice
+#: versa) even under the same key and sequence number.
+REQUEST_AAD = b"mgx-serve-request"
+REPLY_AAD = b"mgx-serve-reply"
+
+
+def canonical_dumps(doc: dict) -> bytes:
+    """Canonical JSON bytes: sorted keys, no whitespace."""
+    return json.dumps(doc, sort_keys=True, separators=(",", ":")).encode()
+
+
+@dataclass(frozen=True)
+class WorkRequest:
+    """One tenant request: a registered workload name (+ scheme)."""
+
+    request_id: int
+    name: str
+    scheme: str | None = None
+
+    def encode(self) -> bytes:
+        return canonical_dumps(
+            {"id": self.request_id, "name": self.name, "scheme": self.scheme}
+        )
+
+    @classmethod
+    def decode(cls, payload: bytes) -> "WorkRequest":
+        doc = json.loads(payload)
+        return cls(
+            request_id=int(doc["id"]), name=doc["name"], scheme=doc.get("scheme")
+        )
+
+
+@dataclass(frozen=True)
+class WorkReply:
+    """One sealed response.
+
+    ``status`` is :data:`STATUS_OK` with the artifact payload (the disk
+    codec's deterministic JSON, byte-identical to offline artifact-graph
+    pricing of the same spec), :data:`STATUS_BUSY` for an admission
+    rejection (the request was *answered*, not dropped — retry later),
+    or :data:`STATUS_ERROR` with a diagnostic detail.
+    """
+
+    request_id: int
+    status: str
+    kind: str | None = None
+    payload: str | None = None
+    detail: str | None = None
+
+    def encode(self) -> bytes:
+        return canonical_dumps(
+            {
+                "id": self.request_id,
+                "status": self.status,
+                "kind": self.kind,
+                "payload": self.payload,
+                "detail": self.detail,
+            }
+        )
+
+    @classmethod
+    def decode(cls, payload: bytes) -> "WorkReply":
+        doc = json.loads(payload)
+        return cls(
+            request_id=int(doc["id"]),
+            status=doc["status"],
+            kind=doc.get("kind"),
+            payload=doc.get("payload"),
+            detail=doc.get("detail"),
+        )
+
+
+class TenantClient:
+    """One tenant: attested handshake, sealed requests, verified replies.
+
+    The client owns the user side of the session — it verifies the
+    device's quote before deriving keys, seals every request, and
+    MAC-verifies every reply (a reply that fails GCM verification raises
+    :class:`~repro.common.errors.IntegrityError` out of the pending
+    request).  Requests may be issued concurrently; replies arrive in
+    the server's completion order and are matched by request id, while
+    the channel's sequence numbers keep the record stream itself
+    replay-protected.
+    """
+
+    def __init__(
+        self,
+        ca: ManufacturerCa,
+        expected_firmware: bytes,
+        kernel: bytes,
+        nonce: bytes,
+    ) -> None:
+        self._ca = ca
+        self._expected_firmware = expected_firmware
+        self._kernel = kernel
+        self.nonce = nonce
+        self._channel: SecureChannel | None = None
+        self._connection: "TenantConnection | None" = None
+        self._reader: asyncio.Task | None = None
+        self._pending: dict[int, asyncio.Future] = {}
+        self._ids = itertools.count()
+        #: Replies whose GCM tag verified under this tenant's key.
+        self.mac_verified = 0
+
+    async def connect(self, server: "ProtectionServer") -> None:
+        """Run the attestation/DH handshake and start the reply reader."""
+        user_dh = DhParty(self.nonce + b"user-entropy")
+        device_public, quote, connection = server.open_session(
+            self.nonce, user_dh.public, measurement(self._kernel)
+        )
+        transcript = dh_transcript(user_dh.public, device_public)
+        verify_session_quote(
+            self._ca,
+            quote,
+            expected_firmware=self._expected_firmware,
+            kernel=self._kernel,
+            nonce=self.nonce,
+            transcript=transcript,
+        )
+        shared = user_dh.shared_secret(device_public)
+        self._channel = SecureChannel(
+            derive_channel_key(shared, transcript), direction=0
+        )
+        self._connection = connection
+        self._reader = asyncio.create_task(self._read_replies())
+
+    @property
+    def channel(self) -> SecureChannel:
+        if self._channel is None:
+            raise ConfigError("client is not connected")
+        return self._channel
+
+    async def request(self, name: str, scheme: str | None = None) -> WorkReply:
+        """Submit one workload request; resolves when its reply arrives."""
+        if self._connection is None:
+            raise ConfigError("client is not connected")
+        request = WorkRequest(request_id=next(self._ids), name=name, scheme=scheme)
+        future: asyncio.Future = asyncio.get_running_loop().create_future()
+        self._pending[request.request_id] = future
+        # Seal + enqueue without an intervening await: the channel's
+        # sequence numbers are assigned at seal time, and the server
+        # decrypts records strictly in sequence order.
+        record = self.channel.send(request.encode(), aad=REQUEST_AAD)
+        self._connection.submit(record)
+        return await future
+
+    async def _read_replies(self) -> None:
+        assert self._connection is not None
+        while True:
+            record = await self._connection.replies.get()
+            if record is None:  # server closed the connection
+                break
+            sequence, ciphertext, tag = record
+            try:
+                payload = self.channel.receive(sequence, ciphertext, tag, aad=REPLY_AAD)
+            except Exception as exc:
+                # A reply that fails MAC verification poisons the oldest
+                # pending request: the failure must surface, not hang.
+                self._fail_pending(exc)
+                continue
+            self.mac_verified += 1
+            reply = WorkReply.decode(payload)
+            future = self._pending.pop(reply.request_id, None)
+            if future is not None and not future.done():
+                future.set_result(reply)
+
+    def _fail_pending(self, exc: Exception) -> None:
+        for request_id in sorted(self._pending):
+            future = self._pending.pop(request_id)
+            if not future.done():
+                future.set_exception(exc)
+            break
+
+    async def close(self) -> None:
+        """Stop the reader task (the session itself is dropped with it)."""
+        if self._reader is not None:
+            self._reader.cancel()
+            try:
+                await self._reader
+            except asyncio.CancelledError:
+                pass
+            self._reader = None

@@ -51,11 +51,12 @@ import mmap
 import os
 import shutil
 import tempfile
+import threading
 from collections import OrderedDict
 from concurrent.futures import FIRST_COMPLETED, Future, ProcessPoolExecutor, wait
 from dataclasses import dataclass
 from pathlib import Path
-from typing import TYPE_CHECKING, Hashable, Iterable, Sequence
+from typing import TYPE_CHECKING, Callable, Hashable, Iterable, Sequence
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.sim.perf import PerformanceModel, SimResult
@@ -183,6 +184,76 @@ def _load_stored_trace(digest: str, store_dir: str) -> "BatchedTrace":
     else:
         _TRACE_MEMO.move_to_end(digest)
     return trace
+
+
+# ---------------------------------------------------------------------------
+# Single-flight coalescing
+# ---------------------------------------------------------------------------
+
+class SingleFlight:
+    """Coalesce concurrent computations of one artifact key.
+
+    The serving front-end (:mod:`repro.serve`) receives many identical
+    requests at once — N tenants asking for the same ``ArtifactJob`` key.
+    Computing the artifact N times is wasted work (the results are
+    byte-identical), so the first caller of :meth:`run` for a key becomes
+    the **leader** and actually computes; every concurrent caller with
+    the same key becomes a **follower** and waits on the leader's future
+    instead.  Once the leader finishes, the key leaves the in-flight
+    table — a later call computes afresh (the artifact cache, not this
+    table, is the memoization layer).
+
+    Thread-safe: leaders may run on executor threads while followers
+    wait from others.  A leader's exception propagates to every waiter
+    of that flight and is not sticky.  ``leaders``/``followers`` count
+    flights for observability (the serve stats and the coalescing tests
+    pin against them).
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._inflight: dict[Hashable, Future] = {}
+        self.leaders = 0
+        self.followers = 0
+
+    def begin(self, key: Hashable) -> tuple[Future, bool]:
+        """Join (or open) the flight for ``key``.
+
+        Returns ``(future, leader)``.  A leader **must** complete the
+        future via :meth:`finish`; followers just wait on it.
+        """
+        with self._lock:
+            future = self._inflight.get(key)
+            if future is not None:
+                self.followers += 1
+                return future, False
+            future = Future()
+            self._inflight[key] = future
+            self.leaders += 1
+            return future, True
+
+    def finish(self, key: Hashable, future: Future,
+               result: object = None, error: BaseException | None = None) -> None:
+        """Retire a leader's flight, waking every follower."""
+        with self._lock:
+            self._inflight.pop(key, None)
+        if error is not None:
+            future.set_exception(error)
+        else:
+            future.set_result(result)
+
+    def run(self, key: Hashable, compute: Callable[[], object]) -> object:
+        """Compute (or wait for) the value of ``key`` — blocking form."""
+        future, leader = self.begin(key)
+        if not leader:
+            return future.result()
+        try:
+            value = compute()
+        except BaseException as exc:
+            self.finish(key, future, error=exc)
+            raise
+        self.finish(key, future, result=value)
+        return value
 
 
 # ---------------------------------------------------------------------------

@@ -29,7 +29,7 @@ from repro.core.access import AccessKind, DataClass, MemAccess, Phase
 from repro.core.functional import MgxFunctionalEngine
 from repro.core.vngen import FrameVnState
 from repro.mem.layout import AddressSpace
-from repro.video.gop import FrameType, GopStructure
+from repro.video.gop import GopStructure
 
 
 @dataclass(frozen=True)

@@ -6,7 +6,7 @@ from hypothesis import given, settings, strategies as st
 
 from repro.common.errors import ConfigError
 from repro.dnn.chaidnn import ChaiOp, compile_model
-from repro.dnn.layers import ConvLayer, DeconvLayer, GemmShape
+from repro.dnn.layers import ConvLayer, DeconvLayer
 from repro.dnn.models import build_model, segnet_toy
 from repro.dnn.reference import conv2d_direct, conv2d_gemm, im2col
 from repro.dnn.tracegen import DnnTraceGenerator

@@ -7,7 +7,7 @@ location.  These tests check it across inference, tiling and training.
 
 import pytest
 
-from repro.core.access import AccessKind, DataClass
+from repro.core.access import DataClass
 from repro.core.vngen import UniquenessGuard
 from repro.dnn.accelerator import CLOUD, EDGE
 from repro.dnn.models import alexnet, bert_base, build_model, dlrm, resnet50

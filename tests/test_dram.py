@@ -6,7 +6,7 @@ import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.common.errors import ConfigError
-from repro.dram.address_map import AddressMap, DramCoord
+from repro.dram.address_map import AddressMap
 from repro.dram.bank import BankState
 from repro.dram.controller import DramRequest
 from repro.dram.model import DramConfig, DramModel, TrafficProfile

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.dnn.accelerator import CLOUD, EDGE
+from repro.dnn.accelerator import EDGE
 from repro.dnn.layers import ConvLayer
 from repro.dnn.models import build_model, mobilenet_v1
 from repro.dnn.tracegen import DnnTraceGenerator

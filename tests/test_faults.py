@@ -13,7 +13,6 @@ artifacts with a deterministic quarantine set.
 from __future__ import annotations
 
 import hashlib
-import os
 import time
 from pathlib import Path
 

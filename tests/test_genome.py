@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro.common.errors import ConfigError
-from repro.genome.darwin import DarwinConfig, darwin_vn_state, simulate_gact_workload
+from repro.genome.darwin import darwin_vn_state, simulate_gact_workload
 from repro.genome.dsoft import DsoftConfig, SeedIndex, dsoft_filter
 from repro.genome.gact import GactConfig, GactTimingModel, align_tile
 from repro.genome.sequences import (
@@ -83,7 +83,6 @@ class TestDsoft:
 
     def test_noisy_read_still_found(self, index):
         ref = index.reference
-        rng = np.random.default_rng(4)
         reads = simulate_reads(ref, PACBIO, 3, seed=5)
         hits = 0
         for read in reads:

@@ -1,6 +1,5 @@
 """GraphLily-like accelerator trace generation (§V, Fig. 10)."""
 
-import numpy as np
 import pytest
 
 from repro.common.errors import ConfigError

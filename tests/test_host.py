@@ -78,7 +78,7 @@ class TestSecureChannel:
 
     def test_sequence_enforced(self):
         host, dev = self._pair()
-        first = host.send(b"one")
+        host.send(b"one")
         second = host.send(b"two")
         with pytest.raises(ReplayError):
             dev.receive(*second)  # skipped record 0
@@ -148,3 +148,70 @@ class TestProvisioningFlow:
     def test_receive_without_session_rejected(self, ca, device):
         with pytest.raises(ConfigError):
             device.receive_payload("input", (0, b"", b""))
+
+
+class TestConcurrentSessions:
+    """Multi-tenant sessions (the serving front-end's substrate)."""
+
+    def test_session_nonce_replay_rejected(self, ca, device):
+        user = UserSession(ca=ca, expected_firmware=_FIRMWARE, kernel=_KERNEL)
+        user.connect(device)
+        # Replaying the same handshake nonce must fail before any keys
+        # are derived — the device DH seed is a function of the nonce.
+        replayer = UserSession(ca=ca, expected_firmware=_FIRMWARE,
+                               kernel=_KERNEL, nonce=user.nonce)
+        with pytest.raises(ReplayError):
+            replayer.connect(device)
+
+    def test_tenant_nonce_replay_rejected(self, ca, device):
+        dh = DhParty(b"tenant-a-entropy")
+        device.open_tenant_session(b"nonce-a", dh.public, measurement(_KERNEL))
+        with pytest.raises(ReplayError):
+            device.open_tenant_session(b"nonce-a", DhParty(b"other").public,
+                                       measurement(_KERNEL))
+        # Nonces are single-use across *both* session APIs.
+        with pytest.raises(ReplayError):
+            device.open_session(b"nonce-a", dh.public, measurement(_KERNEL))
+
+    def test_tenant_keys_are_isolated(self, ca, device):
+        from repro.host.session import derive_channel_key, dh_transcript
+
+        sessions = {}
+        for tenant in (b"tenant-a", b"tenant-b"):
+            dh = DhParty(tenant + b"-entropy")
+            public, quote, session = device.open_tenant_session(
+                tenant, dh.public, measurement(_KERNEL))
+            ca.verify(quote)
+            key = derive_channel_key(dh.shared_secret(public),
+                                     dh_transcript(dh.public, public))
+            sessions[tenant] = (SecureChannel(key, direction=0), session)
+        chan_a, sess_a = sessions[b"tenant-a"]
+        chan_b, sess_b = sessions[b"tenant-b"]
+        # A record sealed under tenant A's session key fails MAC
+        # verification under tenant B's — results are unverifiable (and
+        # unforgeable) across tenants.
+        record = sess_a.send(b"tenant A result", aad=b"reply")
+        assert chan_a.receive(*record, aad=b"reply") == b"tenant A result"
+        record = sess_a.send(b"second result", aad=b"reply")
+        with pytest.raises(IntegrityError):
+            chan_b.receive(*record, aad=b"reply")
+
+    def test_tenant_stores_are_disjoint(self, ca, device):
+        out = {}
+        for tenant in (b"tenant-a", b"tenant-b"):
+            dh = DhParty(tenant + b"-entropy")
+            public, _quote, session = device.open_tenant_session(
+                tenant, dh.public, measurement(_KERNEL))
+            from repro.host.session import derive_channel_key, dh_transcript
+
+            key = derive_channel_key(dh.shared_secret(public),
+                                     dh_transcript(dh.public, public))
+            channel = SecureChannel(key, direction=0)
+            session.receive_payload(
+                "input", channel.send(tenant + b" secret", aad=b"input"))
+            out[tenant] = session
+        # Same protected address range, different stores and keys: each
+        # session reads back its own plaintext.
+        assert out[b"tenant-a"].read_protected("input") == b"tenant-a secret"
+        assert out[b"tenant-b"].read_protected("input") == b"tenant-b secret"
+        assert out[b"tenant-a"].store is not out[b"tenant-b"].store

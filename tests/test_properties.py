@@ -10,7 +10,6 @@ import numpy as np
 import pytest
 from hypothesis import given, settings, strategies as st
 from hypothesis.stateful import (
-    Bundle,
     RuleBasedStateMachine,
     invariant,
     precondition,

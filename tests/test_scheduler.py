@@ -13,7 +13,6 @@ from dataclasses import astuple
 
 from repro.sim.runner import SCHEMES, dnn_sweep, graph_sweep
 from repro.sim.scheduler import (
-    SweepSpec,
     dnn_spec,
     effective_workers,
     graph_spec,

@@ -45,7 +45,7 @@ class TestDnnVnState:
         pass_counts = {"x1": 2, "x2": 3, "x3": 1, "x4": 2}
         for tensor, t in pass_counts.items():
             for _ in range(t):
-                vn = s.write_features(tensor)
+                s.write_features(tensor)
         expected = 1
         for tensor, t in pass_counts.items():
             expected += t
